@@ -1,0 +1,212 @@
+(* Benchmark harness.
+
+   Two sections:
+
+   1. Experiment regeneration — one entry per table/figure of the
+      paper's evaluation section (via Dtr_experiments.Registry): each
+      run prints the same rows/series the paper reports, plus wall
+      time.  This is the artifact-style reproduction harness.
+
+   2. Bechamel micro-benchmarks — the core operations whose cost
+      dominates the heuristic search (Dijkstra, SPF DAG construction,
+      two-class evaluation, FindH/FindL passes, a packet-level
+      simulation slice, MT-OSPF flooding).
+
+   Usage:
+     dune exec bench/main.exe                 # both sections, quick preset
+     dune exec bench/main.exe -- --micro      # micro-benchmarks only
+     dune exec bench/main.exe -- --experiments  # experiments only
+     dune exec bench/main.exe -- --only fig2a --only fig9
+     dune exec bench/main.exe -- --preset default --seed 7 *)
+
+module Prng = Dtr_util.Prng
+module Graph = Dtr_graph.Graph
+module Spf = Dtr_graph.Spf
+module Dijkstra = Dtr_graph.Dijkstra
+module Matrix = Dtr_traffic.Matrix
+module Objective = Dtr_routing.Objective
+module Weights = Dtr_routing.Weights
+module Problem = Dtr_core.Problem
+module Search_config = Dtr_core.Search_config
+module Registry = Dtr_experiments.Registry
+module Scenario = Dtr_experiments.Scenario
+
+(* ------------------------------------------------------------------ *)
+(* Command line *)
+
+type mode = Both | Micro_only | Experiments_only
+
+let mode = ref Both
+
+let preset = ref Search_config.quick
+
+let preset_name = ref "quick"
+
+let seed = ref 1
+
+let only : string list ref = ref []
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--micro" :: rest ->
+        mode := Micro_only;
+        go rest
+    | "--experiments" :: rest ->
+        mode := Experiments_only;
+        go rest
+    | "--preset" :: p :: rest ->
+        (preset :=
+           match p with
+           | "quick" -> Search_config.quick
+           | "default" -> Search_config.default
+           | "paper" -> Search_config.paper
+           | _ -> failwith ("unknown preset: " ^ p));
+        preset_name := p;
+        go rest
+    | "--seed" :: s :: rest ->
+        seed := int_of_string s;
+        go rest
+    | "--only" :: name :: rest ->
+        only := name :: !only;
+        go rest
+    | arg :: _ -> failwith ("unknown argument: " ^ arg)
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+(* ------------------------------------------------------------------ *)
+(* Section 1: experiment regeneration *)
+
+let run_experiments () =
+  let selected =
+    match !only with
+    | [] -> Registry.all
+    | names -> List.filter (fun e -> List.mem e.Registry.name names) Registry.all
+  in
+  Printf.printf
+    "=== Experiment regeneration (preset=%s, seed=%d, %d experiments) ===\n\n%!"
+    !preset_name !seed (List.length selected);
+  let t_all = Unix.gettimeofday () in
+  List.iter
+    (fun e ->
+      Printf.printf "--- %s: %s ---\n%!" e.Registry.name e.Registry.description;
+      let t0 = Unix.gettimeofday () in
+      let tables = e.Registry.run ~cfg:!preset ~seed:!seed in
+      let dt = Unix.gettimeofday () -. t0 in
+      List.iter (fun t -> print_endline (Dtr_util.Table.to_string t)) tables;
+      Printf.printf "(%s took %.1f s)\n\n%!" e.Registry.name dt)
+    selected;
+  Printf.printf "=== all experiments done in %.1f s ===\n\n%!"
+    (Unix.gettimeofday () -. t_all)
+
+(* ------------------------------------------------------------------ *)
+(* Section 2: Bechamel micro-benchmarks *)
+
+let micro_tests () =
+  let open Bechamel in
+  (* Shared fixtures: the paper's random topology scenario at 0.6
+     utilization. *)
+  let inst =
+    Scenario.make
+      {
+        Scenario.topology = Scenario.Random_topo;
+        fraction = 0.30;
+        hp = Scenario.Random_density 0.10;
+        seed = !seed;
+      }
+  in
+  let inst = Scenario.scale_to_utilization inst ~target:0.6 in
+  let g = inst.Scenario.graph in
+  let w = Weights.uniform g 15 in
+  let wl = Weights.uniform g 14 in
+  let problem_load = Scenario.problem inst ~model:Objective.Load in
+  let problem_sla =
+    Scenario.problem inst ~model:(Objective.Sla Dtr_cost.Sla.default)
+  in
+  let sol_load = Problem.eval_dtr problem_load ~wh:w ~wl in
+  let sol_sla = Problem.eval_dtr problem_sla ~wh:w ~wl in
+  let cfg = !preset in
+  let isp = Dtr_topology.Isp.generate () in
+  let isp_w = Weights.uniform isp 10 in
+  let netsim_cfg =
+    {
+      Dtr_netsim.Sim.default_config with
+      Dtr_netsim.Sim.duration = 200.;
+      warmup = 20.;
+      mean_packet_bits = 8000.;
+      seed = !seed;
+    }
+  in
+  let th_small = Matrix.create 16 and tl_small = Matrix.create 16 in
+  Matrix.set th_small 0 15 20.;
+  Matrix.set tl_small 3 12 40.;
+  [
+    Test.make ~name:"dijkstra-30n-300a"
+      (Staged.stage (fun () -> ignore (Dijkstra.distances_to g ~weights:w ~dst:0)));
+    Test.make ~name:"spf-all-destinations"
+      (Staged.stage (fun () -> ignore (Spf.all_destinations g ~weights:w)));
+    Test.make ~name:"evaluate-str-load"
+      (Staged.stage (fun () -> ignore (Problem.eval_str problem_load ~w)));
+    Test.make ~name:"evaluate-dtr-load"
+      (Staged.stage (fun () -> ignore (Problem.eval_dtr problem_load ~wh:w ~wl)));
+    Test.make ~name:"evaluate-dtr-sla"
+      (Staged.stage (fun () -> ignore (Problem.eval_dtr problem_sla ~wh:w ~wl)));
+    (let rng = Prng.create 42 in
+     Test.make ~name:"find-h-pass-load"
+       (Staged.stage (fun () ->
+            ignore (Dtr_core.Dtr_search.find_h rng cfg problem_load sol_load))));
+    (let rng = Prng.create 43 in
+     Test.make ~name:"find-l-pass-load"
+       (Staged.stage (fun () ->
+            ignore (Dtr_core.Dtr_search.find_l rng cfg problem_load sol_load))));
+    (let rng = Prng.create 44 in
+     Test.make ~name:"find-h-pass-sla"
+       (Staged.stage (fun () ->
+            ignore (Dtr_core.Dtr_search.find_h rng cfg problem_sla sol_sla))));
+    Test.make ~name:"netsim-isp-200ms"
+      (Staged.stage (fun () ->
+           ignore
+             (Dtr_netsim.Sim.run isp ~wh:isp_w ~wl:isp_w ~th:th_small
+                ~tl:tl_small netsim_cfg)));
+    Test.make ~name:"mtospf-flood-isp"
+      (Staged.stage (fun () ->
+           let net = Dtr_mtospf.Network.create isp ~weight_sets:[| isp_w; isp_w |] in
+           ignore (Dtr_mtospf.Network.flood net)));
+    Test.make ~name:"fortz-phi"
+      (Staged.stage (fun () -> ignore (Dtr_cost.Fortz.phi ~load:420. ~capacity:500.)));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  print_endline "=== Bechamel micro-benchmarks ===";
+  let benchmark test =
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+    Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  let tests = Test.make_grouped ~name:"dtr" ~fmt:"%s/%s" (micro_tests ()) in
+  let results = benchmark tests in
+  let analysis = analyze results in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) analysis [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-36s %14.1f ns/run\n" name est
+      | Some _ | None -> Printf.printf "%-36s (no estimate)\n" name)
+    (List.sort compare rows);
+  print_newline ()
+
+let () =
+  parse_args ();
+  (match !mode with
+  | Both ->
+      run_experiments ();
+      run_micro ()
+  | Micro_only -> run_micro ()
+  | Experiments_only -> run_experiments ());
+  print_endline "bench: done"

@@ -1,0 +1,364 @@
+(* dtr — command-line driver for the dual-topology-routing library.
+
+   Subcommands:
+     topo        generate a topology and print/save it
+     optimize    run the STR and DTR weight searches on a scenario
+     experiment  regenerate a paper figure/table (or all of them)
+     simulate    packet-level replay of an optimized scenario
+     mtospf      flood a weight pair through the MT-OSPF control plane *)
+
+open Cmdliner
+
+module Scenario = Dtr_experiments.Scenario
+module Objective = Dtr_routing.Objective
+module Problem = Dtr_core.Problem
+module Lexico = Dtr_cost.Lexico
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsers                                            *)
+
+let topology_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "random" -> Ok Scenario.Random_topo
+    | "power-law" | "powerlaw" -> Ok Scenario.Power_law
+    | "isp" -> Ok Scenario.Isp
+    | "waxman" -> Ok Scenario.Waxman
+    | "transit-stub" | "transitstub" -> Ok Scenario.Transit_stub
+    | "abilene" -> Ok Scenario.Abilene
+    | _ ->
+        Error
+          (`Msg
+             "expected one of: random, power-law, isp, waxman, transit-stub, abilene")
+  in
+  let print ppf k = Format.pp_print_string ppf (Scenario.topology_name k) in
+  Arg.conv (parse, print)
+
+let model_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "load" -> Ok Objective.Load
+    | "sla" -> Ok (Objective.Sla Dtr_cost.Sla.default)
+    | _ -> Error (`Msg "expected one of: load, sla")
+  in
+  let print ppf m = Format.pp_print_string ppf (Objective.model_name m) in
+  Arg.conv (parse, print)
+
+let preset_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "quick" -> Ok Dtr_core.Search_config.quick
+    | "default" -> Ok Dtr_core.Search_config.default
+    | "paper" -> Ok Dtr_core.Search_config.paper
+    | _ -> Error (`Msg "expected one of: quick, default, paper")
+  in
+  let print ppf _ = Format.pp_print_string ppf "<preset>" in
+  Arg.conv (parse, print)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let preset_arg =
+  Arg.(
+    value
+    & opt preset_conv Dtr_core.Search_config.default
+    & info [ "preset" ] ~docv:"PRESET"
+        ~doc:"Search budget: quick, default or paper.")
+
+let topology_arg =
+  Arg.(
+    value
+    & opt topology_conv Scenario.Random_topo
+    & info [ "topology" ] ~docv:"KIND" ~doc:"Topology: random, power-law, isp, waxman, transit-stub.")
+
+let model_arg =
+  Arg.(
+    value
+    & opt model_conv Objective.Load
+    & info [ "model" ] ~docv:"MODEL" ~doc:"Cost model: load or sla.")
+
+let util_arg =
+  Arg.(
+    value
+    & opt float 0.6
+    & info [ "util" ] ~docv:"U" ~doc:"Target average link utilization.")
+
+let fraction_arg =
+  Arg.(
+    value
+    & opt float 0.3
+    & info [ "fraction"; "f" ] ~docv:"F"
+        ~doc:"High-priority share of total traffic volume.")
+
+let density_arg =
+  Arg.(
+    value
+    & opt float 0.1
+    & info [ "density"; "k" ] ~docv:"K"
+        ~doc:"Fraction of SD pairs carrying high-priority traffic.")
+
+let make_spec topology fraction density seed =
+  {
+    Scenario.topology;
+    fraction;
+    hp = Scenario.Random_density density;
+    seed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* topo                                                               *)
+
+let topo_cmd =
+  let run topology seed out dot =
+    let spec = make_spec topology 0.3 0.1 seed in
+    let inst = Scenario.make spec in
+    let g = inst.Scenario.graph in
+    Printf.printf "%s topology: %d nodes, %d arcs, strongly connected: %b\n"
+      (Scenario.topology_name topology)
+      (Dtr_graph.Graph.node_count g)
+      (Dtr_graph.Graph.arc_count g)
+      (Dtr_graph.Graph.is_strongly_connected g);
+    (match out with
+    | Some path ->
+        Dtr_topology.Topo_io.save g path;
+        Printf.printf "saved to %s\n" path
+    | None -> ());
+    if dot then print_string (Dtr_graph.Graph.to_dot g)
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Save the topology to a file.")
+  in
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Print Graphviz output.")
+  in
+  Cmd.v
+    (Cmd.info "topo" ~doc:"Generate a topology")
+    Term.(const run $ topology_arg $ seed_arg $ out_arg $ dot_arg)
+
+(* ------------------------------------------------------------------ *)
+(* optimize                                                           *)
+
+let optimize_cmd =
+  let run topology model fraction density util preset seed save_weights =
+    let spec = make_spec topology fraction density seed in
+    let inst = Scenario.make spec in
+    Printf.printf "scenario: %s topology, %s cost, f=%.0f%%, k=%.0f%%, target util %.2f\n%!"
+      (Scenario.topology_name topology)
+      (Objective.model_name model)
+      (fraction *. 100.) (density *. 100.) util;
+    let point = Dtr_experiments.Compare.run_point ~cfg:preset ~seed inst ~model ~target_util:util in
+    let pr name (o : Lexico.t) =
+      Printf.printf "%-4s objective: primary=%.6g secondary=%.6g\n" name
+        o.Lexico.primary o.Lexico.secondary
+    in
+    pr "STR" point.Dtr_experiments.Compare.str.Dtr_core.Str_search.objective;
+    pr "DTR" point.Dtr_experiments.Compare.dtr.Dtr_core.Dtr_search.objective;
+    Printf.printf "measured avg utilization: %.3f\n"
+      point.Dtr_experiments.Compare.measured_util;
+    Printf.printf "H-cost ratio RH = %.3f\nL-cost ratio RL = %.3f\n"
+      point.Dtr_experiments.Compare.rh point.Dtr_experiments.Compare.rl;
+    match save_weights with
+    | None -> ()
+    | Some path ->
+        let sol = point.Dtr_experiments.Compare.dtr.Dtr_core.Dtr_search.best in
+        Dtr_routing.Weights_io.save [| sol.Problem.wh; sol.Problem.wl |] path;
+        Printf.printf "DTR weight pair saved to %s\n" path
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-weights" ] ~docv:"FILE"
+          ~doc:"Save the best DTR weight pair to a file.")
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Run the STR and DTR weight searches on one scenario")
+    Term.(
+      const run $ topology_arg $ model_arg $ fraction_arg $ density_arg
+      $ util_arg $ preset_arg $ seed_arg $ save_arg)
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                         *)
+
+let experiment_cmd =
+  let run names list preset seed =
+    if list then begin
+      List.iter
+        (fun e ->
+          Printf.printf "%-16s %s\n" e.Dtr_experiments.Registry.name
+            e.Dtr_experiments.Registry.description)
+        Dtr_experiments.Registry.all;
+      `Ok ()
+    end
+    else begin
+      let targets =
+        match names with
+        | [ "all" ] -> Some Dtr_experiments.Registry.all
+        | [] -> None
+        | names -> (
+            let resolved =
+              List.map
+                (fun n -> (n, Dtr_experiments.Registry.find n))
+                names
+            in
+            match List.find_opt (fun (_, e) -> e = None) resolved with
+            | Some (n, _) -> (
+                Printf.eprintf "unknown experiment: %s\n" n;
+                None)
+            | None -> Some (List.filter_map snd resolved))
+      in
+      match targets with
+      | None ->
+          `Error (false, "pass experiment names, or 'all', or --list")
+      | Some experiments ->
+          List.iter
+            (fun e ->
+              Printf.printf "== %s: %s ==\n%!" e.Dtr_experiments.Registry.name
+                e.Dtr_experiments.Registry.description;
+              let tables = e.Dtr_experiments.Registry.run ~cfg:preset ~seed in
+              List.iter
+                (fun t -> print_endline (Dtr_util.Table.to_string t))
+                tables)
+            experiments;
+          `Ok ()
+    end
+  in
+  let names_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"NAME" ~doc:"Experiment names (or 'all').")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List available experiments.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a paper figure or table")
+    Term.(ret (const run $ names_arg $ list_arg $ preset_arg $ seed_arg))
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                           *)
+
+let simulate_cmd =
+  let run topology fraction density util preset seed duration =
+    let spec = make_spec topology fraction density seed in
+    let inst = Scenario.make spec in
+    let inst = Scenario.scale_to_utilization inst ~target:util in
+    let problem = Scenario.problem inst ~model:Objective.Load in
+    Printf.printf "optimizing DTR weights...\n%!";
+    let report =
+      Dtr_core.Dtr_search.run (Dtr_util.Prng.create seed) preset problem
+    in
+    let sol = report.Dtr_core.Dtr_search.best in
+    Printf.printf "simulating %g ms of traffic...\n%!" duration;
+    let cfg = { Dtr_netsim.Sim.default_config with duration; seed } in
+    let r =
+      Dtr_netsim.Sim.run inst.Scenario.graph ~wh:sol.Problem.wh
+        ~wl:sol.Problem.wl ~th:inst.Scenario.th ~tl:inst.Scenario.tl cfg
+    in
+    let pr name (s : Dtr_netsim.Sim.class_stats) =
+      Printf.printf
+        "%-4s injected=%d delivered=%d mean-delay=%.3fms p95=%.3fms hops=%.2f\n"
+        name s.Dtr_netsim.Sim.injected s.Dtr_netsim.Sim.delivered
+        s.Dtr_netsim.Sim.mean_delay s.Dtr_netsim.Sim.p95_delay
+        s.Dtr_netsim.Sim.mean_hops
+    in
+    pr "high" r.Dtr_netsim.Sim.high;
+    pr "low" r.Dtr_netsim.Sim.low;
+    Printf.printf "mean simulated link utilization: %.3f\n"
+      (Dtr_util.Stats.mean r.Dtr_netsim.Sim.link_utilization)
+  in
+  let duration_arg =
+    Arg.(
+      value
+      & opt float 2000.
+      & info [ "duration" ] ~docv:"MS" ~doc:"Simulated milliseconds.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Packet-level replay of an optimized scenario")
+    Term.(
+      const run $ topology_arg $ fraction_arg $ density_arg $ util_arg
+      $ preset_arg $ seed_arg $ duration_arg)
+
+(* ------------------------------------------------------------------ *)
+(* mtospf                                                             *)
+
+let mtospf_cmd =
+  let run topology seed =
+    let spec = make_spec topology 0.3 0.1 seed in
+    let inst = Scenario.make spec in
+    let g = inst.Scenario.graph in
+    let m = Dtr_graph.Graph.arc_count g in
+    let rng = Dtr_util.Prng.create seed in
+    let wh = Dtr_routing.Weights.random rng g in
+    let wl = Dtr_routing.Weights.random rng g in
+    let net = Dtr_mtospf.Network.create g ~weight_sets:[| wh; wl |] in
+    let stats = Dtr_mtospf.Network.flood net in
+    Printf.printf
+      "flooded %d-router area (%d arcs, 2 topologies): %d rounds, %d messages, converged: %b\n"
+      (Dtr_graph.Graph.node_count g) m stats.Dtr_mtospf.Network.rounds
+      stats.Dtr_mtospf.Network.messages
+      (Dtr_mtospf.Network.converged net);
+    let update = Dtr_mtospf.Network.set_weight net ~topology:0 ~arc:0 ~weight:7 in
+    Printf.printf "single weight change reflood: %d rounds, %d messages\n"
+      update.Dtr_mtospf.Network.rounds update.Dtr_mtospf.Network.messages
+  in
+  Cmd.v
+    (Cmd.info "mtospf" ~doc:"Flood a dual weight set through the MT-OSPF control plane")
+    Term.(const run $ topology_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* inspect                                                            *)
+
+let inspect_cmd =
+  let run topology model fraction density util preset seed top =
+    let spec = make_spec topology fraction density seed in
+    let inst = Scenario.make spec in
+    let inst = Scenario.scale_to_utilization inst ~target:util in
+    let problem = Scenario.problem inst ~model in
+    Printf.printf "optimizing DTR weights...\n%!";
+    let report =
+      Dtr_core.Dtr_search.run (Dtr_util.Prng.create seed) preset problem
+    in
+    let sol = report.Dtr_core.Dtr_search.best in
+    let eval = sol.Problem.result.Dtr_routing.Objective.eval in
+    print_endline (Dtr_util.Table.to_string (Dtr_routing.Report.summary_table eval));
+    print_endline
+      (Dtr_util.Table.to_string (Dtr_routing.Report.per_link_table ~top eval));
+    match (model, sol.Problem.result.Dtr_routing.Objective.sla) with
+    | Objective.Sla params, Some sla ->
+        let node_name =
+          match topology with
+          | Scenario.Isp -> Dtr_topology.Isp.city_name
+          | Scenario.Abilene -> Dtr_topology.Abilene.city_name
+          | Scenario.Random_topo | Scenario.Power_law | Scenario.Waxman
+          | Scenario.Transit_stub ->
+              string_of_int
+        in
+        print_endline
+          (Dtr_util.Table.to_string
+             (Dtr_routing.Report.per_pair_delay_table ~top ~node_name sla params))
+    | _ -> ()
+  in
+  let top_arg =
+    Arg.(
+      value
+      & opt int 15
+      & info [ "top" ] ~docv:"N" ~doc:"Rows per table.")
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Optimize a scenario and print per-link/per-pair reports")
+    Term.(
+      const run $ topology_arg $ model_arg $ fraction_arg $ density_arg
+      $ util_arg $ preset_arg $ seed_arg $ top_arg)
+
+let main_cmd =
+  let info =
+    Cmd.info "dtr" ~version:"1.0.0"
+      ~doc:"Dual-topology routing for service differentiation (CoNEXT 2007 reproduction)"
+  in
+  Cmd.group info
+    [ topo_cmd; optimize_cmd; experiment_cmd; simulate_cmd; mtospf_cmd;
+      inspect_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,21 @@
+(* Why not just minimize J = alpha * Phi_H + Phi_L?  (paper §3.3.1)
+
+   On the 3-node triangle of Fig. 1, the joint-cost optimum flips from
+   the lexicographic solution to a "priority inversion" between
+   alpha = 35 and alpha = 30: the high-priority class loses 50% so the
+   low-priority class can gain 81%.  No single alpha works across
+   configurations — which is the argument for lexicographic
+   optimization plus a second routing topology.
+
+   Run with:  dune exec examples/joint_cost_pitfall.exe *)
+
+let () =
+  let table = Dtr_experiments.Fig1_joint.run ~alphas:[ 35.; 34.; 32.; 30. ] in
+  print_string (Dtr_util.Table.to_string table);
+  let h35, l35 = Dtr_experiments.Fig1_joint.optimum_for_alpha ~alpha:35. in
+  let h30, l30 = Dtr_experiments.Fig1_joint.optimum_for_alpha ~alpha:30. in
+  Printf.printf
+    "\nalpha 35 -> 30: Phi_L improves by %.0f%% but Phi_H degrades by %.0f%%\n\
+     (the paper's 81%% / 50%% priority inversion).\n"
+    ((l35 -. l30) /. l35 *. 100.)
+    ((h30 -. h35) /. h35 *. 100.)

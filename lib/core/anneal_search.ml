@@ -1,0 +1,126 @@
+module Prng = Dtr_util.Prng
+module Lexico = Dtr_cost.Lexico
+module Objective = Dtr_routing.Objective
+module Weights = Dtr_routing.Weights
+
+type schedule = {
+  t0_ratio : float;
+  cooling : float;
+  moves_per_temp : int;
+  t_min_ratio : float;
+}
+
+let default_schedule =
+  { t0_ratio = 0.05; cooling = 0.95; moves_per_temp = 50; t_min_ratio = 1e-4 }
+
+let validate_schedule s =
+  if s.t0_ratio <= 0. then invalid_arg "Anneal_search: t0_ratio must be positive";
+  if s.cooling <= 0. || s.cooling >= 1. then
+    invalid_arg "Anneal_search: cooling must be in (0, 1)";
+  if s.moves_per_temp < 1 then
+    invalid_arg "Anneal_search: moves_per_temp must be positive";
+  if s.t_min_ratio <= 0. || s.t_min_ratio >= 1. then
+    invalid_arg "Anneal_search: t_min_ratio must be in (0, 1)"
+
+type report = {
+  best : Problem.solution;
+  objective : Lexico.t;
+  evaluations : int;
+  accepted : int;
+}
+
+(* Propose one two-arc move on [w] using the Algorithm-2 candidate
+   machinery with a cost ranking. *)
+let propose rng cfg ~costs_cmp ~n_arcs w =
+  let ranking = Neighborhood.rank_by_cost ~cmp:costs_cmp n_arcs in
+  let a, b =
+    Neighborhood.candidate_sets rng ~tau:cfg.Search_config.tau ~m:1 ~ranking
+  in
+  match Neighborhood.moves rng ~a ~b with
+  | [] -> Array.copy w
+  | move :: _ ->
+      let step = Prng.int_incl rng 1 cfg.Search_config.max_step in
+      Neighborhood.apply move ~step w
+
+(* One annealing phase: minimize [energy] by mutating the class chosen
+   by [mutate].  Returns the accepted-move count. *)
+let anneal_phase rng schedule ~energy ~mutate ~current ~best =
+  let e0 = Float.max 1e-9 (energy !current) in
+  let t = ref (schedule.t0_ratio *. e0) in
+  let t_min = !t *. schedule.t_min_ratio in
+  let accepted = ref 0 in
+  while !t > t_min do
+    for _ = 1 to schedule.moves_per_temp do
+      let cand = mutate rng !current in
+      let delta = energy cand -. energy !current in
+      let accept =
+        delta <= 0. || Prng.float rng 1.0 < exp (-.delta /. !t)
+      in
+      if accept then begin
+        current := cand;
+        incr accepted;
+        if Lexico.lt ~rel_tol:1e-9 (Problem.objective cand) (Problem.objective !best)
+        then best := cand
+      end
+    done;
+    t := !t *. schedule.cooling
+  done;
+  !accepted
+
+let run ?(schedule = default_schedule) ?w0 rng cfg problem =
+  Search_config.validate cfg;
+  validate_schedule schedule;
+  let eval0 = Problem.evaluations () in
+  let mid = (Weights.min_weight + Weights.max_weight) / 2 in
+  let m = Dtr_graph.Graph.arc_count problem.Problem.graph in
+  let wh0, wl0 =
+    match w0 with Some w -> w | None -> (Array.make m mid, Array.make m mid)
+  in
+  let current = ref (Problem.eval_dtr problem ~wh:wh0 ~wl:wl0) in
+  let best = ref !current in
+  (* Phase 1: anneal W_H against the primary cost. *)
+  let mutate_h rng (sol : Problem.solution) =
+    let costs = Objective.link_costs_h problem.Problem.model sol.Problem.result in
+    let wh =
+      propose rng cfg
+        ~costs_cmp:(fun a b -> Lexico.compare costs.(a) costs.(b))
+        ~n_arcs:m sol.Problem.wh
+    in
+    Problem.combine problem
+      ~h:(Problem.route_h problem wh)
+      ~l:(Problem.l_routing_of sol)
+  in
+  let acc1 =
+    anneal_phase rng schedule
+      ~energy:(fun s -> (Problem.objective s).Lexico.primary)
+      ~mutate:mutate_h ~current ~best
+  in
+  (* Fix the best W_H found, then anneal W_L against Φ_L. *)
+  current :=
+    Problem.combine problem
+      ~h:(Problem.h_routing_of !best)
+      ~l:(Problem.l_routing_of !current);
+  if Lexico.lt ~rel_tol:1e-9 (Problem.objective !current) (Problem.objective !best)
+  then best := !current;
+  let mutate_l rng (sol : Problem.solution) =
+    let costs = Objective.link_costs_l sol.Problem.result in
+    let wl =
+      propose rng cfg
+        ~costs_cmp:(fun a b -> Float.compare costs.(a) costs.(b))
+        ~n_arcs:m sol.Problem.wl
+    in
+    Problem.combine problem
+      ~h:(Problem.h_routing_of sol)
+      ~l:(Problem.route_l problem wl)
+  in
+  let acc2 =
+    anneal_phase rng schedule
+      ~energy:(fun s -> (Problem.objective s).Lexico.secondary)
+      ~mutate:mutate_l ~current ~best
+  in
+  {
+    best = !best;
+    objective = Problem.objective !best;
+    evaluations = Problem.evaluations () - eval0;
+    accepted = acc1 + acc2;
+  }

@@ -1,0 +1,210 @@
+module Prng = Dtr_util.Prng
+module Lexico = Dtr_cost.Lexico
+module Objective = Dtr_routing.Objective
+module Weights = Dtr_routing.Weights
+
+(* Primary costs within this relative tolerance are considered equal,
+   letting the lexicographic tie-break (the secondary cost) fire: at
+   low load exponentially many weight settings attain the optimal
+   primary cost and differ only in low-priority cost, but accumulated
+   floating-point sums of the primary differ in the last bits. *)
+let rel_tol = 1e-9
+
+let lex_lt a b = Lexico.lt ~rel_tol a b
+
+type phase = Optimize_h | Optimize_l | Refine
+
+type progress = {
+  phase : phase;
+  iteration : int;
+  best_objective : Lexico.t;
+}
+
+type report = {
+  best : Problem.solution;
+  objective : Lexico.t;
+  evaluations : int;
+  improvements : int;
+  phase_objectives : (phase * Lexico.t) list;
+}
+
+let best_of_candidates current candidates =
+  List.fold_left
+    (fun acc cand ->
+      if lex_lt (Problem.objective cand) (Problem.objective acc) then cand
+      else acc)
+    current candidates
+
+(* Weight vectors for a full value scan of one heavy-tail-ranked arc
+   (the Fortz–Thorup move; used with probability scan_probability). *)
+let scan_vectors rng cfg ~ranking w =
+  let ht =
+    Dtr_util.Dist.heavy_tail ~tau:cfg.Search_config.tau ~n:(Array.length ranking)
+  in
+  let arc = ranking.(Dtr_util.Dist.heavy_tail_sample ht rng - 1) in
+  let acc = ref [] in
+  for v = Weights.min_weight to Weights.max_weight do
+    if v <> w.(arc) then begin
+      let w' = Array.copy w in
+      w'.(arc) <- v;
+      acc := w' :: !acc
+    end
+  done;
+  !acc
+
+(* Weight vectors for the literal Algorithm-2 neighborhood: m two-arc
+   moves (one weight up, one down) built from the candidate windows. *)
+let move_vectors rng cfg ~ranking w =
+  let a, b =
+    Neighborhood.candidate_sets rng ~tau:cfg.Search_config.tau
+      ~m:cfg.Search_config.m_neighbors ~ranking
+  in
+  List.map
+    (fun move ->
+      let step = Prng.int_incl rng 1 cfg.Search_config.max_step in
+      Neighborhood.apply move ~step w)
+    (Neighborhood.moves rng ~a ~b)
+
+let neighbor_vectors rng cfg ~ranking w =
+  if Prng.float rng 1.0 < cfg.Search_config.scan_probability then
+    scan_vectors rng cfg ~ranking w
+  else move_vectors rng cfg ~ranking w
+
+let find_h rng cfg problem sol =
+  let costs = Objective.link_costs_h problem.Problem.model sol.Problem.result in
+  let ranking =
+    Neighborhood.rank_by_cost
+      ~cmp:(fun a b -> Lexico.compare costs.(a) costs.(b))
+      (Array.length costs)
+  in
+  let l = Problem.l_routing_of sol in
+  let candidates =
+    List.map
+      (fun wh -> Problem.combine problem ~h:(Problem.route_h problem wh) ~l)
+      (neighbor_vectors rng cfg ~ranking sol.Problem.wh)
+  in
+  best_of_candidates sol candidates
+
+let find_l rng cfg problem sol =
+  let costs = Objective.link_costs_l sol.Problem.result in
+  let ranking =
+    Neighborhood.rank_by_cost
+      ~cmp:(fun a b -> Float.compare costs.(a) costs.(b))
+      (Array.length costs)
+  in
+  let h = Problem.h_routing_of sol in
+  let candidates =
+    List.map
+      (fun wl -> Problem.combine problem ~h ~l:(Problem.route_l problem wl))
+      (neighbor_vectors rng cfg ~ranking sol.Problem.wl)
+  in
+  best_of_candidates sol candidates
+
+let default_w0 problem =
+  let mid = (Weights.min_weight + Weights.max_weight) / 2 in
+  let m = Dtr_graph.Graph.arc_count problem.Problem.graph in
+  (Array.make m mid, Array.make m mid)
+
+let run ?w0 ?on_progress rng cfg problem =
+  Search_config.validate cfg;
+  let eval0 = Problem.evaluations () in
+  let improvements = ref 0 in
+  let wh0, wl0 = match w0 with Some w -> w | None -> default_w0 problem in
+  let current = ref (Problem.eval_dtr problem ~wh:wh0 ~wl:wl0) in
+  let best = ref !current in
+  let notify phase iteration =
+    match on_progress with
+    | None -> ()
+    | Some f ->
+        f { phase; iteration; best_objective = Problem.objective !best }
+  in
+  let phase_objectives = ref [] in
+
+  (* Routine 1: optimize W_H with W_L frozen. *)
+  let stall = ref 0 in
+  for iteration = 1 to cfg.Search_config.n_iters do
+    current := find_h rng cfg problem !current;
+    if lex_lt (Problem.objective !current) (Problem.objective !best) then begin
+      best := !current;
+      incr improvements;
+      stall := 0
+    end
+    else incr stall;
+    if !stall >= cfg.Search_config.diversify_after then begin
+      let wh =
+        Weights.perturb rng ~fraction:cfg.Search_config.g1 !current.Problem.wh
+      in
+      current :=
+        Problem.combine problem
+          ~h:(Problem.route_h problem wh)
+          ~l:(Problem.l_routing_of !current);
+      stall := 0
+    end;
+    notify Optimize_h iteration
+  done;
+  phase_objectives := (Optimize_h, Problem.objective !best) :: !phase_objectives;
+
+  (* Routine 2: freeze the best W_H, optimize W_L. *)
+  current :=
+    Problem.combine problem
+      ~h:(Problem.h_routing_of !best)
+      ~l:(Problem.l_routing_of !current);
+  if lex_lt (Problem.objective !current) (Problem.objective !best) then
+    best := !current;
+  stall := 0;
+  for iteration = 1 to cfg.Search_config.n_iters do
+    current := find_l rng cfg problem !current;
+    if lex_lt (Problem.objective !current) (Problem.objective !best) then begin
+      best := !current;
+      incr improvements;
+      stall := 0
+    end
+    else incr stall;
+    if !stall >= cfg.Search_config.diversify_after then begin
+      let wl =
+        Weights.perturb rng ~fraction:cfg.Search_config.g2 !current.Problem.wl
+      in
+      current :=
+        Problem.combine problem
+          ~h:(Problem.h_routing_of !current)
+          ~l:(Problem.route_l problem wl);
+      stall := 0
+    end;
+    notify Optimize_l iteration
+  done;
+  phase_objectives := (Optimize_l, Problem.objective !best) :: !phase_objectives;
+
+  (* Routine 3: joint refinement around the incumbent. *)
+  current := !best;
+  stall := 0;
+  for iteration = 1 to cfg.Search_config.k_iters do
+    current := find_h rng cfg problem !current;
+    current := find_l rng cfg problem !current;
+    if lex_lt (Problem.objective !current) (Problem.objective !best) then begin
+      best := !current;
+      incr improvements;
+      stall := 0
+    end
+    else incr stall;
+    if !stall >= cfg.Search_config.diversify_after then begin
+      (* Restart from the incumbent, slightly perturbed on both sides. *)
+      let wh =
+        Weights.perturb rng ~fraction:cfg.Search_config.g3 !best.Problem.wh
+      in
+      let wl =
+        Weights.perturb rng ~fraction:cfg.Search_config.g3 !best.Problem.wl
+      in
+      current := Problem.eval_dtr problem ~wh ~wl;
+      stall := 0
+    end;
+    notify Refine iteration
+  done;
+  phase_objectives := (Refine, Problem.objective !best) :: !phase_objectives;
+
+  {
+    best = !best;
+    objective = Problem.objective !best;
+    evaluations = Problem.evaluations () - eval0;
+    improvements = !improvements;
+    phase_objectives = List.rev !phase_objectives;
+  }

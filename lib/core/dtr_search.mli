@@ -1,0 +1,57 @@
+(** The paper's DTR weight-search heuristic (Algorithm 1), built from
+    the FindH / FindL passes (Algorithm 2).
+
+    Three routines: (1) optimize the high-priority weights [W_H] with
+    [W_L] frozen; (2) freeze the best [W_H] and optimize [W_L]; (3)
+    refine both around the incumbent, restarting from it (with a small
+    perturbation) whenever [M] iterations pass without improvement. *)
+
+type phase = Optimize_h | Optimize_l | Refine
+
+type progress = {
+  phase : phase;
+  iteration : int;
+  best_objective : Dtr_cost.Lexico.t;
+}
+
+type report = {
+  best : Problem.solution;  (** incumbent after all three routines *)
+  objective : Dtr_cost.Lexico.t;
+  evaluations : int;  (** objective evaluations spent *)
+  improvements : int;  (** accepted strict improvements *)
+  phase_objectives : (phase * Dtr_cost.Lexico.t) list;
+      (** incumbent objective at the end of each routine, in order *)
+}
+
+val find_h :
+  Dtr_util.Prng.t ->
+  Search_config.t ->
+  Problem.t ->
+  Problem.solution ->
+  Problem.solution
+(** One FindH pass: build the Algorithm-2 neighborhood on the
+    high-priority weights and return the best neighbor if it strictly
+    improves the lexicographic objective, the input solution
+    otherwise.  The low-priority routing is reused, not recomputed. *)
+
+val find_l :
+  Dtr_util.Prng.t ->
+  Search_config.t ->
+  Problem.t ->
+  Problem.solution ->
+  Problem.solution
+(** Symmetric pass on the low-priority weights (ranking links by
+    [Φ_{L,l}] only, since [W_L] cannot affect the high-priority
+    class); the high-priority routing — including the SLA delay
+    computation — is reused. *)
+
+val run :
+  ?w0:int array * int array ->
+  ?on_progress:(progress -> unit) ->
+  Dtr_util.Prng.t ->
+  Search_config.t ->
+  Problem.t ->
+  report
+(** Full Algorithm 1.  [w0] defaults to all weights =
+    [(min_weight + max_weight) / 2] for both classes so initial moves
+    can go both ways.  [on_progress] fires once per iteration. *)

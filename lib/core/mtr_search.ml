@@ -1,0 +1,233 @@
+module Prng = Dtr_util.Prng
+module Graph = Dtr_graph.Graph
+module Matrix = Dtr_traffic.Matrix
+module Multi = Dtr_routing.Multi
+module Weights = Dtr_routing.Weights
+
+type problem = {
+  graph : Graph.t;
+  matrices : Matrix.t array;
+}
+
+let create_problem ~graph ~matrices =
+  if Array.length matrices < 2 then
+    invalid_arg "Mtr_search.create_problem: need at least 2 classes";
+  let n = Graph.node_count graph in
+  Array.iter
+    (fun m ->
+      if Matrix.size m <> n then
+        invalid_arg "Mtr_search.create_problem: matrix size mismatch")
+    matrices;
+  if not (Graph.is_strongly_connected graph) then
+    invalid_arg "Mtr_search.create_problem: graph must be strongly connected";
+  { graph; matrices }
+
+type report = {
+  weights : int array array;
+  objective : float array;
+  eval : Multi.t;
+  evaluations : int;
+  improvements : int;
+}
+
+type state = {
+  mutable current_w : int array array;
+  mutable current : Multi.t;
+  mutable best_w : int array array;
+  mutable best : Multi.t;
+  mutable evaluations : int;
+  mutable improvements : int;
+  mutable stall : int;
+}
+
+let copy_weights w = Array.map Array.copy w
+
+let eval_state st problem w =
+  st.evaluations <- st.evaluations + 1;
+  Multi.evaluate problem.graph ~weights:w ~matrices:problem.matrices
+
+let better a b = Multi.compare_objective (Multi.objective a) (Multi.objective b) < 0
+
+(* One local-search pass mutating [target] weight vectors (indices into
+   the per-class weights; a single shared vector passes [[|0|]] with
+   the vector aliased everywhere).  Arc ranking uses the summed
+   per-class arc costs of the mutated classes. *)
+let pass rng cfg problem st ~klass =
+  let w = st.current_w in
+  let m = Graph.arc_count problem.graph in
+  let costs =
+    Array.init m (fun a -> st.current.Multi.phi_per_arc.(klass).(a))
+  in
+  let ranking =
+    Neighborhood.rank_by_cost ~cmp:(fun x y -> Float.compare costs.(x) costs.(y)) m
+  in
+  let vectors =
+    if Prng.float rng 1.0 < cfg.Search_config.scan_probability then begin
+      let ht =
+        Dtr_util.Dist.heavy_tail ~tau:cfg.Search_config.tau ~n:(Array.length ranking)
+      in
+      let arc = ranking.(Dtr_util.Dist.heavy_tail_sample ht rng - 1) in
+      let acc = ref [] in
+      for v = Weights.min_weight to Weights.max_weight do
+        if v <> w.(klass).(arc) then begin
+          let w' = Array.copy w.(klass) in
+          w'.(arc) <- v;
+          acc := w' :: !acc
+        end
+      done;
+      !acc
+    end
+    else begin
+      let a, b =
+        Neighborhood.candidate_sets rng ~tau:cfg.Search_config.tau
+          ~m:cfg.Search_config.m_neighbors ~ranking
+      in
+      List.map
+        (fun move ->
+          let step = Prng.int_incl rng 1 cfg.Search_config.max_step in
+          Neighborhood.apply move ~step w.(klass))
+        (Neighborhood.moves rng ~a ~b)
+    end
+  in
+  List.iter
+    (fun w_k ->
+      let cand_w = Array.copy w in
+      cand_w.(klass) <- w_k;
+      let cand = eval_state st problem cand_w in
+      if better cand st.current then begin
+        st.current_w <- cand_w;
+        st.current <- cand
+      end)
+    vectors
+
+let record_best st =
+  if better st.current st.best then begin
+    st.best_w <- copy_weights st.current_w;
+    st.best <- st.current;
+    st.improvements <- st.improvements + 1;
+    st.stall <- 0
+  end
+  else st.stall <- st.stall + 1
+
+let diversify rng problem st ~fraction ~classes =
+  let w = copy_weights st.current_w in
+  List.iter (fun k -> w.(k) <- Weights.perturb rng ~fraction w.(k)) classes;
+  st.current_w <- w;
+  st.current <- eval_state st problem w;
+  st.stall <- 0
+
+let finish st =
+  {
+    weights = copy_weights st.best_w;
+    objective = Multi.objective st.best;
+    eval = st.best;
+    evaluations = st.evaluations;
+    improvements = st.improvements;
+  }
+
+let init_state problem w0 =
+  let st =
+    {
+      current_w = w0;
+      current = Multi.evaluate problem.graph ~weights:w0 ~matrices:problem.matrices;
+      best_w = copy_weights w0;
+      best = Multi.evaluate problem.graph ~weights:w0 ~matrices:problem.matrices;
+      evaluations = 2;
+      improvements = 0;
+      stall = 0;
+    }
+  in
+  st
+
+let run ?w0 rng cfg problem =
+  Search_config.validate cfg;
+  let classes = Array.length problem.matrices in
+  let mid = (Weights.min_weight + Weights.max_weight) / 2 in
+  let m = Graph.arc_count problem.graph in
+  let w0 =
+    match w0 with
+    | Some w ->
+        if Array.length w <> classes then
+          invalid_arg "Mtr_search.run: w0 class count mismatch";
+        copy_weights w
+    | None -> Array.init classes (fun _ -> Array.make m mid)
+  in
+  let st = init_state problem w0 in
+  (* One routine per class, in priority order. *)
+  for klass = 0 to classes - 1 do
+    st.stall <- 0;
+    (* Continue each routine from the incumbent. *)
+    st.current_w <- copy_weights st.best_w;
+    st.current <- st.best;
+    for _ = 1 to cfg.Search_config.n_iters do
+      pass rng cfg problem st ~klass;
+      record_best st;
+      if st.stall >= cfg.Search_config.diversify_after then
+        diversify rng problem st ~fraction:cfg.Search_config.g1 ~classes:[ klass ]
+    done
+  done;
+  (* Joint refinement cycling over classes. *)
+  st.current_w <- copy_weights st.best_w;
+  st.current <- st.best;
+  st.stall <- 0;
+  let all_classes = List.init classes Fun.id in
+  for _ = 1 to cfg.Search_config.k_iters do
+    List.iter (fun klass -> pass rng cfg problem st ~klass) all_classes;
+    record_best st;
+    if st.stall >= cfg.Search_config.diversify_after then begin
+      st.current_w <- copy_weights st.best_w;
+      st.current <- st.best;
+      diversify rng problem st ~fraction:cfg.Search_config.g3 ~classes:all_classes
+    end
+  done;
+  finish st
+
+let run_single_topology ?w0 rng cfg problem =
+  Search_config.validate cfg;
+  let classes = Array.length problem.matrices in
+  let mid = (Weights.min_weight + Weights.max_weight) / 2 in
+  let m = Graph.arc_count problem.graph in
+  let shared =
+    match w0 with Some w -> Array.copy w | None -> Array.make m mid
+  in
+  (* All classes alias the same vector, so Multi shares one SPF. *)
+  let make_w shared = Array.make classes shared in
+  let st = init_state problem (make_w shared) in
+  let iters = (classes * cfg.Search_config.n_iters) + cfg.Search_config.k_iters in
+  for _ = 1 to iters do
+    (* Mutate through class 0's slot; re-alias so the change applies to
+       every class. *)
+    let w = st.current_w.(0) in
+    let costs =
+      Array.init m (fun a ->
+          let total = ref 0. in
+          Array.iter (fun pa -> total := !total +. pa.(a)) st.current.Multi.phi_per_arc;
+          !total)
+    in
+    let ranking =
+      Neighborhood.rank_by_cost ~cmp:(fun x y -> Float.compare costs.(x) costs.(y)) m
+    in
+    let a, b =
+      Neighborhood.candidate_sets rng ~tau:cfg.Search_config.tau
+        ~m:cfg.Search_config.m_neighbors ~ranking
+    in
+    List.iter
+      (fun move ->
+        let step = Prng.int_incl rng 1 cfg.Search_config.max_step in
+        let w' = Neighborhood.apply move ~step w in
+        let cand_w = make_w w' in
+        let cand = eval_state st problem cand_w in
+        if better cand st.current then begin
+          st.current_w <- cand_w;
+          st.current <- cand
+        end)
+      (Neighborhood.moves rng ~a ~b);
+    record_best st;
+    if st.stall >= cfg.Search_config.diversify_after then begin
+      let w' = Weights.perturb rng ~fraction:cfg.Search_config.g1 st.current_w.(0) in
+      st.current_w <- make_w w';
+      st.current <- eval_state st problem st.current_w;
+      st.stall <- 0
+    end
+  done;
+  finish st

@@ -1,0 +1,51 @@
+module Prng = Dtr_util.Prng
+module Dist = Dtr_util.Dist
+module Weights = Dtr_routing.Weights
+
+type move = { up_arc : int; down_arc : int }
+
+let rank_by_cost ~cmp n_arcs =
+  let ids = Array.init n_arcs (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = cmp b a in
+      (* decreasing cost *)
+      if c <> 0 then c else compare a b)
+    ids;
+  ids
+
+let candidate_sets rng ~tau ~m ~ranking =
+  let n = Array.length ranking in
+  if n = 0 then invalid_arg "Neighborhood.candidate_sets: empty ranking";
+  if m < 1 then invalid_arg "Neighborhood.candidate_sets: m must be positive";
+  let m = min m n in
+  let support = n - m + 1 in
+  let ht = Dist.heavy_tail ~tau ~n:support in
+  let k1 = Dist.heavy_tail_sample ht rng in
+  let k2 = Dist.heavy_tail_sample ht rng in
+  (* A: ranks k1 .. k1+m-1 (1-based from the top). *)
+  let a = Array.init m (fun i -> ranking.(k1 - 1 + i)) in
+  (* B: ranks n+1-k2 down to n+2-k2-m (1-based), i.e. m consecutive
+     ranks ending k2-1 above the bottom. *)
+  let b = Array.init m (fun i -> ranking.(n - k2 - i)) in
+  (a, b)
+
+let moves rng ~a ~b =
+  let a = Array.copy a and b = Array.copy b in
+  Prng.shuffle rng a;
+  Prng.shuffle rng b;
+  let count = min (Array.length a) (Array.length b) in
+  let acc = ref [] in
+  for i = count - 1 downto 0 do
+    if a.(i) <> b.(i) then acc := { up_arc = a.(i); down_arc = b.(i) } :: !acc
+  done;
+  !acc
+
+let apply move ~step w =
+  if step < 1 then invalid_arg "Neighborhood.apply: step must be positive";
+  let result = Array.copy w in
+  result.(move.up_arc) <-
+    min Weights.max_weight (result.(move.up_arc) + step);
+  result.(move.down_arc) <-
+    max Weights.min_weight (result.(move.down_arc) - step);
+  result

@@ -1,0 +1,108 @@
+module Graph = Dtr_graph.Graph
+module Spf = Dtr_graph.Spf
+module Matrix = Dtr_traffic.Matrix
+module Objective = Dtr_routing.Objective
+module Evaluate = Dtr_routing.Evaluate
+module Loads = Dtr_routing.Loads
+module Weights = Dtr_routing.Weights
+
+type t = {
+  graph : Graph.t;
+  th : Matrix.t;
+  tl : Matrix.t;
+  model : Objective.model;
+}
+
+let create ~graph ~th ~tl ~model =
+  let n = Graph.node_count graph in
+  if Matrix.size th <> n || Matrix.size tl <> n then
+    invalid_arg "Problem.create: matrix size mismatch";
+  if not (Graph.is_strongly_connected graph) then
+    invalid_arg "Problem.create: graph must be strongly connected";
+  { graph; th; tl; model }
+
+type solution = {
+  wh : int array;
+  wl : int array;
+  result : Objective.result;
+}
+
+type class_routing = {
+  w : int array;
+  dags : Spf.dag array;
+  loads : float array;
+  mutable sla_cache : Evaluate.sla option;
+}
+
+let objective s = s.result.Objective.objective
+
+let eval_count = ref 0
+
+let evaluations () = !eval_count
+
+let reset_evaluations () = eval_count := 0
+
+let route_with t matrix w =
+  Weights.validate t.graph w;
+  let w = Array.copy w in
+  let dags = Spf.all_destinations t.graph ~weights:w in
+  let loads = Loads.of_matrix t.graph ~dags matrix in
+  { w; dags; loads; sla_cache = None }
+
+let route_h t w = route_with t t.th w
+
+let route_l t w = route_with t t.tl w
+
+let routing_weights r = Array.copy r.w
+
+let combine t ~h ~l =
+  incr eval_count;
+  let eval =
+    Evaluate.assemble t.graph ~dags_h:h.dags ~h_loads:h.loads ~dags_l:l.dags
+      ~l_loads:l.loads
+  in
+  let result =
+    match t.model with
+    | Objective.Load -> Objective.of_eval t.model eval ~th:t.th ()
+    | Objective.Sla params -> (
+        match h.sla_cache with
+        | Some sla -> Objective.of_eval t.model eval ~th:t.th ~sla ()
+        | None ->
+            let sla = Evaluate.evaluate_sla params eval ~th:t.th in
+            h.sla_cache <- Some sla;
+            Objective.of_eval t.model eval ~th:t.th ~sla ())
+  in
+  { wh = h.w; wl = l.w; result }
+
+let eval_dtr t ~wh ~wl = combine t ~h:(route_h t wh) ~l:(route_l t wl)
+
+let eval_str t ~w =
+  incr eval_count;
+  Weights.validate t.graph w;
+  let w = Array.copy w in
+  let dags = Spf.all_destinations t.graph ~weights:w in
+  let h_loads = Loads.of_matrix t.graph ~dags t.th in
+  let l_loads = Loads.of_matrix t.graph ~dags t.tl in
+  let eval =
+    Evaluate.assemble t.graph ~dags_h:dags ~h_loads ~dags_l:dags ~l_loads
+  in
+  let result = Objective.of_eval t.model eval ~th:t.th () in
+  { wh = w; wl = w; result }
+
+let is_str s = s.wh == s.wl
+
+let h_routing_of s =
+  {
+    w = s.wh;
+    dags = s.result.Objective.eval.Evaluate.dags_h;
+    loads = s.result.Objective.eval.Evaluate.h_loads;
+    sla_cache = s.result.Objective.sla;
+  }
+
+let l_routing_of s =
+  {
+    w = s.wl;
+    dags = s.result.Objective.eval.Evaluate.dags_l;
+    loads = s.result.Objective.eval.Evaluate.l_loads;
+    sla_cache = None;
+  }

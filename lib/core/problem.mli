@@ -1,0 +1,67 @@
+(** A weight-optimization problem instance: network, the two traffic
+    matrices, and the objective model. *)
+
+type t = {
+  graph : Dtr_graph.Graph.t;
+  th : Dtr_traffic.Matrix.t;  (** high-priority traffic matrix *)
+  tl : Dtr_traffic.Matrix.t;  (** low-priority traffic matrix *)
+  model : Dtr_routing.Objective.model;
+}
+
+val create :
+  graph:Dtr_graph.Graph.t ->
+  th:Dtr_traffic.Matrix.t ->
+  tl:Dtr_traffic.Matrix.t ->
+  model:Dtr_routing.Objective.model ->
+  t
+(** @raise Invalid_argument on a size mismatch or a graph that is not
+    strongly connected (the paper's model needs all pairs routable). *)
+
+type solution = {
+  wh : int array;
+  wl : int array;
+  result : Dtr_routing.Objective.result;
+}
+(** An evaluated weight setting.  For STR solutions [wh == wl]
+    (physical equality is preserved so re-evaluations stay cheap). *)
+
+val objective : solution -> Dtr_cost.Lexico.t
+
+val eval_dtr : t -> wh:int array -> wl:int array -> solution
+(** Evaluate a dual setting (the arrays are defensively copied). *)
+
+val eval_str : t -> w:int array -> solution
+(** Evaluate a single-topology setting ([wh == wl] in the result). *)
+
+val is_str : solution -> bool
+
+type class_routing
+(** One traffic class's routing state (weights, shortest-path DAGs,
+    arc loads) — the reusable half of an evaluation when a search pass
+    mutates only the other class's weights. *)
+
+val route_h : t -> int array -> class_routing
+(** Route the high-priority matrix on the given weights. *)
+
+val route_l : t -> int array -> class_routing
+(** Route the low-priority matrix on the given weights. *)
+
+val routing_weights : class_routing -> int array
+(** The weight vector the routing was computed from (fresh copy). *)
+
+val combine : t -> h:class_routing -> l:class_routing -> solution
+(** Assemble a solution from per-class routings.  Under the SLA model
+    the delay/penalty computation is cached inside the high-priority
+    routing, so re-combining the same [h] with many [l] candidates
+    (FindL) costs only the low-priority Fortz sum. *)
+
+val h_routing_of : solution -> class_routing
+(** Recover the (cached) high-priority routing of a solution. *)
+
+val l_routing_of : solution -> class_routing
+
+val evaluations : unit -> int
+(** Process-wide count of objective evaluations performed through this
+    module (monotonic; used to report search effort). *)
+
+val reset_evaluations : unit -> unit

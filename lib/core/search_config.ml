@@ -1,0 +1,72 @@
+type t = {
+  n_iters : int;
+  k_iters : int;
+  m_neighbors : int;
+  diversify_after : int;
+  g1 : float;
+  g2 : float;
+  g3 : float;
+  tau : float;
+  max_step : int;
+  scan_probability : float;
+  seed_split : int;
+}
+
+let paper =
+  {
+    n_iters = 300_000;
+    k_iters = 800_000;
+    m_neighbors = 5;
+    diversify_after = 300;
+    g1 = 0.05;
+    g2 = 0.05;
+    g3 = 0.03;
+    tau = 1.5;
+    max_step = 5;
+    scan_probability = 0.;
+    seed_split = 0;
+  }
+
+let default =
+  {
+    paper with
+    n_iters = 1_500;
+    k_iters = 3_000;
+    diversify_after = 60;
+    scan_probability = 0.15;
+  }
+
+let quick =
+  {
+    paper with
+    n_iters = 250;
+    k_iters = 500;
+    diversify_after = 30;
+    scan_probability = 0.15;
+  }
+
+let scale t factor =
+  if factor <= 0. then invalid_arg "Search_config.scale: non-positive factor";
+  let mul x = max 1 (int_of_float (Float.round (float_of_int x *. factor))) in
+  {
+    t with
+    n_iters = mul t.n_iters;
+    k_iters = mul t.k_iters;
+    diversify_after = mul t.diversify_after;
+  }
+
+let validate t =
+  if t.n_iters < 1 then invalid_arg "Search_config: n_iters must be positive";
+  if t.k_iters < 0 then invalid_arg "Search_config: k_iters must be non-negative";
+  if t.m_neighbors < 1 then invalid_arg "Search_config: m_neighbors must be positive";
+  if t.diversify_after < 1 then
+    invalid_arg "Search_config: diversify_after must be positive";
+  let frac name x =
+    if x < 0. || x > 1. then invalid_arg ("Search_config: " ^ name ^ " out of [0,1]")
+  in
+  frac "g1" t.g1;
+  frac "g2" t.g2;
+  frac "g3" t.g3;
+  if t.tau < 0. then invalid_arg "Search_config: tau must be non-negative";
+  if t.max_step < 1 then invalid_arg "Search_config: max_step must be positive";
+  frac "scan_probability" t.scan_probability

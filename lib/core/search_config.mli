@@ -1,0 +1,49 @@
+(** Tuning knobs of the weight-search heuristics (paper §5.1.3).
+
+    The paper's published budget ([N = 300 000], [K = 800 000]) targets
+    hours of C runtime; the heuristic is anytime, so the scaled-down
+    presets below reach the same qualitative STR/DTR gap in seconds.
+    EXPERIMENTS.md records the preset used for every reported number. *)
+
+type t = {
+  n_iters : int;  (** [N]: iterations of routines 1 and 2 each *)
+  k_iters : int;  (** [K]: iterations of the refinement routine *)
+  m_neighbors : int;  (** [m]: neighbors evaluated per iteration; paper 5 *)
+  diversify_after : int;
+      (** [M]: iterations without improvement before perturbing *)
+  g1 : float;  (** fraction of [W_H] weights perturbed in routine 1; paper 5% *)
+  g2 : float;  (** fraction of [W_L] weights perturbed in routine 2; paper 5% *)
+  g3 : float;  (** fraction of both perturbed in routine 3; paper 3% *)
+  tau : float;  (** heavy-tail exponent of the rank distribution; paper 1.5 *)
+  max_step : int;
+      (** upper bound of the (uniform) random magnitude of a single
+          weight increase/decrease; the paper leaves the amount
+          unspecified *)
+  scan_probability : float;
+      (** probability that a FindH/FindL pass replaces its two-arc
+          neighborhood by a full value scan of one cost-ranked arc
+          (the Fortz–Thorup move).  Compensates for running orders of
+          magnitude fewer iterations than the paper's N = 300 000;
+          set to 0. for the literal Algorithm 2 neighborhood. *)
+  seed_split : int;  (** stream id so sub-searches decorrelate *)
+}
+
+val paper : t
+(** The published parameters (very slow: [N = 300000], [K = 800000]). *)
+
+val default : t
+(** Balanced preset used by examples and the CLI:
+    [N = 1500], [K = 3000], [M = 60]. *)
+
+val quick : t
+(** Small preset for tests and smoke benches:
+    [N = 250], [K = 500], [M = 30]. *)
+
+val scale : t -> float -> t
+(** Multiply the iteration budgets ([n_iters], [k_iters],
+    [diversify_after]) by a positive factor (min 1 iteration each).
+    @raise Invalid_argument on a non-positive factor. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on nonsensical settings (non-positive
+    budgets, fractions outside [0,1], [m_neighbors < 1], ...). *)

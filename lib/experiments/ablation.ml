@@ -1,0 +1,104 @@
+module Table = Dtr_util.Table
+module Prng = Dtr_util.Prng
+module Lexico = Dtr_cost.Lexico
+module Objective = Dtr_routing.Objective
+module Search_config = Dtr_core.Search_config
+module Dtr_search = Dtr_core.Dtr_search
+
+let scenario ~seed ~target_util =
+  let spec =
+    {
+      Scenario.topology = Scenario.Isp;
+      fraction = 0.30;
+      hp = Scenario.Random_density 0.10;
+      seed;
+    }
+  in
+  let inst = Scenario.make spec in
+  let inst = Scenario.scale_to_utilization inst ~target:target_util in
+  Scenario.problem inst ~model:Objective.Load
+
+let run_variants ~title ~seed ~target_util variants =
+  let problem = scenario ~seed ~target_util in
+  let table =
+    Table.create ~title
+      ~columns:[ "variant"; "PhiH"; "PhiL"; "evaluations"; "improvements" ]
+  in
+  List.iter
+    (fun (name, cfg) ->
+      let report = Dtr_search.run (Prng.create (seed + 13)) cfg problem in
+      Table.add_row table
+        [
+          name;
+          Printf.sprintf "%.1f" report.Dtr_search.objective.Lexico.primary;
+          Printf.sprintf "%.4g" report.Dtr_search.objective.Lexico.secondary;
+          string_of_int report.Dtr_search.evaluations;
+          string_of_int report.Dtr_search.improvements;
+        ])
+    variants;
+  table
+
+let run_neighborhood ?(cfg = Search_config.quick) ?(seed = 67)
+    ?(target_util = 0.6) () =
+  run_variants
+    ~title:"Ablation: FindH/FindL neighborhood (ISP, load cost, f=30%, k=10%)"
+    ~seed ~target_util
+    [
+      ( "literal Algorithm 2 (step 1, no scan)",
+        { cfg with Search_config.max_step = 1; scan_probability = 0. } );
+      ( "random step <= 5",
+        { cfg with Search_config.max_step = 5; scan_probability = 0. } );
+      ( "random step + 15% value scans",
+        { cfg with Search_config.max_step = 5; scan_probability = 0.15 } );
+    ]
+
+let run_tau ?(cfg = Search_config.quick) ?(seed = 71) ?(target_util = 0.6) () =
+  run_variants
+    ~title:"Ablation: heavy-tail rank exponent tau (ISP, load cost)"
+    ~seed ~target_util
+    [
+      ("tau = 0 (uniform link choice)", { cfg with Search_config.tau = 0. });
+      ("tau = 1.5 (paper)", { cfg with Search_config.tau = 1.5 });
+      ("tau = 5 (greedy extremes)", { cfg with Search_config.tau = 5. });
+    ]
+
+let run_optimizer ?(cfg = Search_config.quick) ?(seed = 77) ?(target_util = 0.6)
+    () =
+  let problem = scenario ~seed ~target_util in
+  let table =
+    Table.create
+      ~title:"Ablation: Algorithm-1 local search vs simulated annealing (ISP, load cost)"
+      ~columns:[ "optimizer"; "PhiH"; "PhiL"; "evaluations" ]
+  in
+  let local = Dtr_search.run (Prng.create (seed + 13)) cfg problem in
+  Table.add_row table
+    [
+      "Algorithm 1 (local search)";
+      Printf.sprintf "%.1f" local.Dtr_search.objective.Lexico.primary;
+      Printf.sprintf "%.4g" local.Dtr_search.objective.Lexico.secondary;
+      string_of_int local.Dtr_search.evaluations;
+    ];
+  let sa =
+    Dtr_core.Anneal_search.run (Prng.create (seed + 14)) cfg problem
+  in
+  Table.add_row table
+    [
+      "simulated annealing";
+      Printf.sprintf "%.1f" sa.Dtr_core.Anneal_search.objective.Lexico.primary;
+      Printf.sprintf "%.4g" sa.Dtr_core.Anneal_search.objective.Lexico.secondary;
+      string_of_int sa.Dtr_core.Anneal_search.evaluations;
+    ];
+  table
+
+let run_diversification ?(cfg = Search_config.quick) ?(seed = 73)
+    ?(target_util = 0.6) () =
+  run_variants
+    ~title:"Ablation: stall-triggered diversification (ISP, load cost)"
+    ~seed ~target_util
+    [
+      ( "diversification off",
+        { cfg with Search_config.diversify_after = max_int } );
+      ( Printf.sprintf "diversify after %d stalls (preset)"
+          cfg.Search_config.diversify_after,
+        cfg );
+    ]

@@ -1,0 +1,41 @@
+(** Ablations of the DTR heuristic's design choices (DESIGN.md §4):
+
+    - the neighborhood: literal Algorithm 2 (±1 two-arc moves) vs the
+      randomized step size vs the added single-arc value scan;
+    - the heavy-tail rank exponent τ (0 = uniform link choice, the
+      paper's 1.5, and a strongly greedy 5);
+    - stall-triggered diversification on vs off.
+
+    Each ablation optimizes the same ISP scenario with each variant and
+    reports the final lexicographic objective and the evaluation count,
+    so the contribution of each ingredient is visible. *)
+
+val run_neighborhood :
+  ?cfg:Dtr_core.Search_config.t ->
+  ?seed:int ->
+  ?target_util:float ->
+  unit ->
+  Dtr_util.Table.t
+
+val run_tau :
+  ?cfg:Dtr_core.Search_config.t ->
+  ?seed:int ->
+  ?target_util:float ->
+  unit ->
+  Dtr_util.Table.t
+
+val run_diversification :
+  ?cfg:Dtr_core.Search_config.t ->
+  ?seed:int ->
+  ?target_util:float ->
+  unit ->
+  Dtr_util.Table.t
+
+val run_optimizer :
+  ?cfg:Dtr_core.Search_config.t ->
+  ?seed:int ->
+  ?target_util:float ->
+  unit ->
+  Dtr_util.Table.t
+(** Algorithm-1 local search vs the simulated-annealing variant
+    ({!Dtr_core.Anneal_search}) on the same scenario. *)

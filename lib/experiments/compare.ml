@@ -1,0 +1,68 @@
+module Prng = Dtr_util.Prng
+module Table = Dtr_util.Table
+module Lexico = Dtr_cost.Lexico
+module Evaluate = Dtr_routing.Evaluate
+module Objective = Dtr_routing.Objective
+module Problem = Dtr_core.Problem
+module Str_search = Dtr_core.Str_search
+module Dtr_search = Dtr_core.Dtr_search
+
+type point = {
+  target_util : float;
+  measured_util : float;
+  rh : float;
+  rl : float;
+  str : Str_search.report;
+  dtr : Dtr_search.report;
+}
+
+let ratio ~num ~den =
+  let eps = 1e-12 in
+  if den <= eps then if num <= eps then 1. else Float.infinity
+  else num /. den
+
+let run_point ?(cfg = Dtr_core.Search_config.default) ?(seed = 0) inst ~model
+    ~target_util =
+  let inst = Scenario.scale_to_utilization inst ~target:target_util in
+  let problem = Scenario.problem inst ~model in
+  let root = Prng.create (seed + (inst.Scenario.spec.Scenario.seed * 7919)) in
+  let str_rng = Prng.split root in
+  let dtr_rng = Prng.split root in
+  let str = Str_search.run str_rng cfg problem in
+  let dtr = Dtr_search.run dtr_rng cfg problem in
+  let measured_util =
+    Evaluate.avg_utilization
+      str.Str_search.best.Problem.result.Objective.eval
+  in
+  {
+    target_util;
+    measured_util;
+    rh =
+      ratio ~num:str.Str_search.objective.Lexico.primary
+        ~den:dtr.Dtr_search.objective.Lexico.primary;
+    rl =
+      ratio ~num:str.Str_search.objective.Lexico.secondary
+        ~den:dtr.Dtr_search.objective.Lexico.secondary;
+    str;
+    dtr;
+  }
+
+let sweep ?cfg ?seed spec ~model ~targets =
+  let inst = Scenario.make spec in
+  List.map (fun t -> run_point ?cfg ?seed inst ~model ~target_util:t) targets
+
+let points_table ~title points =
+  let table =
+    Table.create ~title
+      ~columns:[ "avg-util"; "H-cost-ratio (RH)"; "L-cost-ratio (RL)" ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row table
+        [
+          Printf.sprintf "%.3f" p.measured_util;
+          Printf.sprintf "%.3f" p.rh;
+          Printf.sprintf "%.2f" p.rl;
+        ])
+    points;
+  table

@@ -1,0 +1,41 @@
+(** One evaluation point: optimize the same scenario with STR and DTR
+    and compare costs — the measurement behind Figs. 2, 4, 5, 8 and
+    Table 1. *)
+
+type point = {
+  target_util : float;  (** requested network load *)
+  measured_util : float;  (** average link utilization of the STR solution *)
+  rh : float;  (** STR primary cost / DTR primary cost (≈ 1 expected) *)
+  rl : float;  (** STR Φ_L / DTR Φ_L (the paper's headline ratio) *)
+  str : Dtr_core.Str_search.report;
+  dtr : Dtr_core.Dtr_search.report;
+}
+
+val ratio : num:float -> den:float -> float
+(** Zero-guarded ratio: both ≈ 0 gives 1 (equal performance); a zero
+    denominator with a positive numerator gives [infinity]. *)
+
+val run_point :
+  ?cfg:Dtr_core.Search_config.t ->
+  ?seed:int ->
+  Scenario.instance ->
+  model:Dtr_routing.Objective.model ->
+  target_util:float ->
+  point
+(** Scale the instance to [target_util], then run both searches
+    (independent PRNG streams derived from [seed], default 0). *)
+
+val sweep :
+  ?cfg:Dtr_core.Search_config.t ->
+  ?seed:int ->
+  Scenario.spec ->
+  model:Dtr_routing.Objective.model ->
+  targets:float list ->
+  point list
+(** {!run_point} over a list of target utilizations on one generated
+    instance. *)
+
+val points_table :
+  title:string -> point list -> Dtr_util.Table.t
+(** Render points as the paper's figure series: measured utilization,
+    H-cost ratio, L-cost ratio. *)

@@ -1,0 +1,109 @@
+module Table = Dtr_util.Table
+module Prng = Dtr_util.Prng
+module Matrix = Dtr_traffic.Matrix
+module Diurnal = Dtr_traffic.Diurnal
+module Lexico = Dtr_cost.Lexico
+module Objective = Dtr_routing.Objective
+module Problem = Dtr_core.Problem
+module Dtr_search = Dtr_core.Dtr_search
+module Network = Dtr_mtospf.Network
+
+let weight_churn old_w new_w =
+  let changed = ref [] in
+  Array.iteri (fun i w -> if w <> old_w.(i) then changed := i :: !changed) new_w;
+  List.rev !changed
+
+let run ?(cfg = Dtr_core.Search_config.quick) ?(seed = 97) ?(peak_util = 0.75)
+    ?(hours = [ 0.; 4.; 8.; 12.; 16.; 20. ]) () =
+  let spec =
+    {
+      Scenario.topology = Scenario.Isp;
+      fraction = 0.30;
+      hp = Scenario.Random_density 0.10;
+      seed;
+    }
+  in
+  let inst = Scenario.make spec in
+  let inst = Scenario.scale_to_utilization inst ~target:peak_util in
+  let g = inst.Scenario.graph in
+  let snapshots =
+    Diurnal.snapshots Diurnal.default ~hours ~th:inst.Scenario.th
+      ~tl:inst.Scenario.tl
+  in
+  (* Strategy A: optimize once at the peak snapshot. *)
+  let peak_problem =
+    Problem.create ~graph:g ~th:inst.Scenario.th ~tl:inst.Scenario.tl
+      ~model:Objective.Load
+  in
+  let static = Dtr_search.run (Prng.create (seed + 4)) cfg peak_problem in
+  let static_sol = static.Dtr_search.best in
+  (* Control plane carrying the static weights; re-optimizations flood
+     their deltas into it. *)
+  let net =
+    Network.create g
+      ~weight_sets:[| static_sol.Problem.wh; static_sol.Problem.wl |]
+  in
+  ignore (Network.flood net);
+  let table =
+    Table.create
+      ~title:
+        "Extension: diurnal demand - static peak weights vs per-period re-optimization (ISP)"
+      ~columns:
+        [
+          "hour";
+          "multiplier";
+          "PhiL static";
+          "PhiL reopt";
+          "weights changed";
+          "LSA messages";
+        ]
+  in
+  let prev = ref (static_sol.Problem.wh, static_sol.Problem.wl) in
+  List.iter
+    (fun (hour, th_h, tl_h) ->
+      let problem =
+        Problem.create ~graph:g ~th:th_h ~tl:tl_h ~model:Objective.Load
+      in
+      let static_eval =
+        Problem.eval_dtr problem ~wh:static_sol.Problem.wh
+          ~wl:static_sol.Problem.wl
+      in
+      let reopt =
+        Dtr_search.run
+          ~w0:(Array.copy (fst !prev), Array.copy (snd !prev))
+          (Prng.create (seed + 5 + int_of_float hour))
+          cfg problem
+      in
+      let reopt_sol = reopt.Dtr_search.best in
+      let changed_h = weight_churn (fst !prev) reopt_sol.Problem.wh in
+      let changed_l = weight_churn (snd !prev) reopt_sol.Problem.wl in
+      (* Flood the deltas through the MT-OSPF area. *)
+      let messages = ref 0 in
+      List.iter
+        (fun arc ->
+          let stats =
+            Network.set_weight net ~topology:0 ~arc
+              ~weight:reopt_sol.Problem.wh.(arc)
+          in
+          messages := !messages + stats.Network.messages)
+        changed_h;
+      List.iter
+        (fun arc ->
+          let stats =
+            Network.set_weight net ~topology:1 ~arc
+              ~weight:reopt_sol.Problem.wl.(arc)
+          in
+          messages := !messages + stats.Network.messages)
+        changed_l;
+      prev := (reopt_sol.Problem.wh, reopt_sol.Problem.wl);
+      Table.add_row table
+        [
+          Printf.sprintf "%.0f" hour;
+          Printf.sprintf "%.2f" (Diurnal.multiplier Diurnal.default ~hour);
+          Printf.sprintf "%.4g" (Problem.objective static_eval).Lexico.secondary;
+          Printf.sprintf "%.4g" reopt.Dtr_search.objective.Lexico.secondary;
+          string_of_int (List.length changed_h + List.length changed_l);
+          string_of_int !messages;
+        ])
+    snapshots;
+  table

@@ -1,0 +1,18 @@
+(** Extension experiment (not in the paper, motivated by its §1 cost
+    discussion): how does a DTR weight pair age over a day of traffic,
+    and what does keeping it fresh cost in control-plane churn?
+
+    A peak-hour-optimized weight pair is evaluated against diurnal
+    demand snapshots and compared with per-period re-optimization
+    (warm-started from the previous period).  For the re-optimizing
+    strategy the table also reports how many arc weights changed and
+    how many MT-OSPF LSA transmissions the reconfiguration floods
+    (measured on the simulated control plane). *)
+
+val run :
+  ?cfg:Dtr_core.Search_config.t ->
+  ?seed:int ->
+  ?peak_util:float ->
+  ?hours:float list ->
+  unit ->
+  Dtr_util.Table.t

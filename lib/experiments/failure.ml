@@ -1,0 +1,109 @@
+module Table = Dtr_util.Table
+module Prng = Dtr_util.Prng
+module Graph = Dtr_graph.Graph
+module Lexico = Dtr_cost.Lexico
+module Objective = Dtr_routing.Objective
+module Problem = Dtr_core.Problem
+module Search_config = Dtr_core.Search_config
+
+let fail_link g ~arc =
+  if arc < 0 || arc >= Graph.arc_count g then
+    invalid_arg "Failure.fail_link: arc out of range";
+  let target = Graph.arc g arc in
+  let drop (a : Graph.arc) =
+    (a.Graph.src = target.Graph.src && a.Graph.dst = target.Graph.dst)
+    || (a.Graph.src = target.Graph.dst && a.Graph.dst = target.Graph.src)
+  in
+  let survivors = ref [] and mapping = ref [] in
+  Array.iteri
+    (fun id a ->
+      if not (drop a) then begin
+        survivors := a :: !survivors;
+        mapping := id :: !mapping
+      end)
+    (Graph.arcs g);
+  let reduced = Graph.build ~n:(Graph.node_count g) (List.rev !survivors) in
+  if Graph.is_strongly_connected reduced then
+    Some (reduced, Array.of_list (List.rev !mapping))
+  else None
+
+let remap_weights w mapping = Array.map (fun orig -> w.(orig)) mapping
+
+let post_failure_costs inst ~wh ~wl =
+  let g = inst.Scenario.graph in
+  let links = Graph.undirected_link_pairs g in
+  let costs = ref [] and skipped = ref 0 in
+  Array.iter
+    (fun (a, _) ->
+      match fail_link g ~arc:a with
+      | None -> incr skipped
+      | Some (reduced, mapping) ->
+          let wh' = remap_weights wh mapping in
+          let wl' = remap_weights wl mapping in
+          let r =
+            Objective.evaluate Objective.Load reduced ~wh:wh' ~wl:wl'
+              ~th:inst.Scenario.th ~tl:inst.Scenario.tl
+          in
+          costs := r.Objective.objective :: !costs)
+    links;
+  (List.rev !costs, !skipped)
+
+let run ?(cfg = Search_config.quick) ?(seed = 79) ?(target_util = 0.55) () =
+  let spec =
+    {
+      Scenario.topology = Scenario.Isp;
+      fraction = 0.30;
+      hp = Scenario.Random_density 0.10;
+      seed;
+    }
+  in
+  let inst = Scenario.make spec in
+  let inst = Scenario.scale_to_utilization inst ~target:target_util in
+  let problem = Scenario.problem inst ~model:Objective.Load in
+  let str = Dtr_core.Str_search.run (Prng.create (seed + 1)) cfg problem in
+  let dtr = Dtr_core.Dtr_search.run (Prng.create (seed + 2)) cfg problem in
+  let table =
+    Table.create
+      ~title:
+        "Extension: single-link failure robustness without re-optimization (ISP, load cost)"
+      ~columns:
+        [ "scheme"; "class"; "no-failure cost"; "mean post-failure"; "worst post-failure" ]
+  in
+  let describe name ~wh ~wl (baseline : Lexico.t) =
+    let costs, skipped = post_failure_costs inst ~wh ~wl in
+    let primaries = Array.of_list (List.map (fun c -> c.Lexico.primary) costs) in
+    let secondaries = Array.of_list (List.map (fun c -> c.Lexico.secondary) costs) in
+    let row klass base arr =
+      Table.add_row table
+        [
+          name;
+          klass;
+          Printf.sprintf "%.4g" base;
+          Printf.sprintf "%.4g" (Dtr_util.Stats.mean arr);
+          Printf.sprintf "%.4g" (Array.fold_left Float.max 0. arr);
+        ]
+    in
+    row "high" baseline.Lexico.primary primaries;
+    row "low" baseline.Lexico.secondary secondaries;
+    skipped
+  in
+  let str_sol = str.Dtr_core.Str_search.best in
+  let dtr_sol = dtr.Dtr_core.Dtr_search.best in
+  let s1 =
+    describe "STR" ~wh:str_sol.Problem.wh ~wl:str_sol.Problem.wl
+      str.Dtr_core.Str_search.objective
+  in
+  let s2 =
+    describe "DTR" ~wh:dtr_sol.Problem.wh ~wl:dtr_sol.Problem.wl
+      dtr.Dtr_core.Dtr_search.objective
+  in
+  if s1 + s2 > 0 then
+    Table.add_row table
+      [
+        "(skipped)";
+        "-";
+        Printf.sprintf "%d disconnecting failures" (s1 + s2);
+        "-";
+        "-";
+      ];
+  table

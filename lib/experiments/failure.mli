@@ -1,0 +1,27 @@
+(** Extension experiment (not in the paper): robustness of optimized
+    weight settings to single-link failures.
+
+    OSPF/MT-OSPF reacts to a failure by re-running SPF on the surviving
+    topology with the {e same} weights — no re-optimization.  This
+    experiment optimizes STR and DTR weights on the ISP backbone, then
+    fails each physical (bidirectional) link in turn and re-evaluates
+    both classes on the reduced graph.  Reported per scheme: the
+    no-failure cost and the mean and worst post-failure costs.
+
+    Failures that disconnect the network are skipped (and counted). *)
+
+val run :
+  ?cfg:Dtr_core.Search_config.t ->
+  ?seed:int ->
+  ?target_util:float ->
+  unit ->
+  Dtr_util.Table.t
+
+val fail_link :
+  Dtr_graph.Graph.t ->
+  arc:int ->
+  (Dtr_graph.Graph.t * int array) option
+(** Remove the physical link containing [arc] (both directions).
+    Returns the reduced graph and, for each surviving arc, its original
+    arc id (for weight remapping) — or [None] if the reduced graph is
+    no longer strongly connected.  Exposed for tests. *)

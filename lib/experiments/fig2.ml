@@ -1,0 +1,30 @@
+module Objective = Dtr_routing.Objective
+
+let default_targets = function
+  (* The paper plots 0.5-0.9; we add a 0.35 point so the light-load
+     end of the increase-then-decrease pattern is visible. *)
+  | Scenario.Random_topo -> [ 0.35; 0.5; 0.6; 0.7; 0.8; 0.9 ]
+  | Scenario.Power_law -> [ 0.4; 0.5; 0.6; 0.7; 0.8 ]
+  | Scenario.Isp | Scenario.Waxman | Scenario.Transit_stub
+  | Scenario.Abilene ->
+      [ 0.4; 0.5; 0.6; 0.7; 0.8 ]
+
+let run ?cfg ?(seed = 11) ?targets ~topology ~model () =
+  let targets =
+    match targets with Some t -> t | None -> default_targets topology
+  in
+  let spec =
+    {
+      Scenario.topology;
+      fraction = 0.30;
+      hp = Scenario.Random_density 0.10;
+      seed;
+    }
+  in
+  let points = Compare.sweep ?cfg spec ~model ~targets in
+  let title =
+    Printf.sprintf "Fig 2: cost ratios, %s topology, %s cost (f=30%%, k=10%%)"
+      (Scenario.topology_name topology)
+      (Objective.model_name model)
+  in
+  Compare.points_table ~title points

@@ -1,0 +1,16 @@
+(** Fig. 2: STR/DTR cost ratios vs average link utilization, for one
+    topology and one cost model ([f = 30%], [k = 10%]).  Panels:
+    (a–c) load-based on random / power-law / ISP, (d–f) SLA-based on
+    the same three topologies. *)
+
+val run :
+  ?cfg:Dtr_core.Search_config.t ->
+  ?seed:int ->
+  ?targets:float list ->
+  topology:Scenario.topology_kind ->
+  model:Dtr_routing.Objective.model ->
+  unit ->
+  Dtr_util.Table.t
+
+val default_targets : Scenario.topology_kind -> float list
+(** The x-range the paper uses for each topology. *)

@@ -1,0 +1,17 @@
+(** Fig. 3: link-utilization histograms, STR vs DTR, on the random
+    topology ([f = 30%]).  Panels: (a) load-based cost, [k = 10%];
+    (b) SLA-based, [k = 10%]; (c) SLA-based, [k = 30%].
+
+    DTR is expected to show a much shorter overloaded tail. *)
+
+type panel = A | B | C
+
+val panel_name : panel -> string
+
+val run :
+  ?cfg:Dtr_core.Search_config.t ->
+  ?seed:int ->
+  ?target_util:float ->
+  panel ->
+  Dtr_util.Table.t
+(** One histogram table: bin center, STR link count, DTR link count. *)

@@ -1,0 +1,15 @@
+(** Fig. 6: per-link high-priority utilization under STR (load-based
+    cost), sorted in descending order, for [k = 10%] vs [k = 30%].
+    Expected: the [k = 30%] curve is flatter — the same high-priority
+    volume spreads over more links. *)
+
+val run :
+  ?cfg:Dtr_core.Search_config.t ->
+  ?seed:int ->
+  ?target_util:float ->
+  ?densities:float list ->
+  ?stride:int ->
+  unit ->
+  Dtr_util.Table.t
+(** Rows are sorted link ranks (sampled every [stride], default 10);
+    one H-utilization column per density. *)

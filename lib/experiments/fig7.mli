@@ -1,0 +1,17 @@
+(** Fig. 7: link load as a function of propagation delay under the
+    SLA-based cost (random topology, [f = 30%], [k = 30%]).
+    Expected: under STR, links with small propagation delay attract a
+    disproportionate load (the SLA optimization concentrates
+    high-priority paths — and, in STR, the low-priority traffic that
+    rides along — on low-delay links); DTR spreads the low-priority
+    load out. *)
+
+val run :
+  ?cfg:Dtr_core.Search_config.t ->
+  ?seed:int ->
+  ?target_util:float ->
+  ?buckets:int ->
+  unit ->
+  Dtr_util.Table.t
+(** Links are grouped into propagation-delay buckets; each row reports
+    the bucket's mean total utilization under STR and DTR. *)

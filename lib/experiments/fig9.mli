@@ -1,0 +1,14 @@
+(** Fig. 9: the SLA-relaxation study — vary the SLA delay bound θ from
+    25 to 35 ms (random topology, [f = 30%], [k = 30%], network load
+    ≈ 0.5) and report, for STR and DTR: (a) the number of violated
+    high-priority SLAs, (b) the low-priority cost [Φ_L], (c) the
+    maximum link utilization.  Expected: loosening θ lets STR close
+    most of the low-priority gap. *)
+
+val run :
+  ?cfg:Dtr_core.Search_config.t ->
+  ?seed:int ->
+  ?target_util:float ->
+  ?thetas:float list ->
+  unit ->
+  Dtr_util.Table.t

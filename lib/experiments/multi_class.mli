@@ -1,0 +1,12 @@
+(** Extension experiment (not in the paper): three priority classes on
+    three routing topologies (gold / silver / bronze on the ISP
+    backbone), single shared topology vs one topology per class.
+    Expected: the highest class is unaffected, every lower class
+    improves, the lowest by the largest factor. *)
+
+val run :
+  ?cfg:Dtr_core.Search_config.t ->
+  ?seed:int ->
+  ?target_util:float ->
+  unit ->
+  Dtr_util.Table.t

@@ -1,0 +1,55 @@
+module Table = Dtr_util.Table
+module Prng = Dtr_util.Prng
+module Objective = Dtr_routing.Objective
+module Problem = Dtr_core.Problem
+module Sim = Dtr_netsim.Sim
+module Link_queue = Dtr_netsim.Link_queue
+
+let run ?(cfg = Dtr_core.Search_config.quick) ?(seed = 89) ?(target_util = 0.65)
+    ?(sim_duration = 2500.) () =
+  let spec =
+    {
+      Scenario.topology = Scenario.Isp;
+      fraction = 0.30;
+      hp = Scenario.Random_density 0.10;
+      seed;
+    }
+  in
+  let inst = Scenario.make spec in
+  let inst = Scenario.scale_to_utilization inst ~target:target_util in
+  let problem = Scenario.problem inst ~model:Objective.Load in
+  let report = Dtr_core.Dtr_search.run (Prng.create (seed + 3)) cfg problem in
+  let sol = report.Dtr_core.Dtr_search.best in
+  let simulate discipline =
+    Sim.run inst.Scenario.graph ~wh:sol.Problem.wh ~wl:sol.Problem.wl
+      ~th:inst.Scenario.th ~tl:inst.Scenario.tl
+      {
+        Sim.default_config with
+        Sim.duration = sim_duration;
+        warmup = sim_duration /. 10.;
+        seed;
+        discipline;
+      }
+  in
+  let prio = simulate Link_queue.Priority in
+  let fifo = simulate Link_queue.Fifo in
+  let table =
+    Table.create
+      ~title:
+        "Extension: contention resolution matters - priority vs FIFO queues (ISP, DTR weights)"
+      ~columns:[ "discipline"; "class"; "mean delay (ms)"; "p95 delay (ms)" ]
+  in
+  let add name klass (s : Sim.class_stats) =
+    Table.add_row table
+      [
+        name;
+        klass;
+        Printf.sprintf "%.3f" s.Sim.mean_delay;
+        Printf.sprintf "%.3f" s.Sim.p95_delay;
+      ]
+  in
+  add "priority" "high" prio.Sim.high;
+  add "priority" "low" prio.Sim.low;
+  add "fifo" "high" fifo.Sim.high;
+  add "fifo" "low" fifo.Sim.low;
+  table

@@ -1,0 +1,17 @@
+(** Extension experiment (not in the paper, but its premise): how much
+    of the differentiation comes from contention resolution vs routing?
+
+    The same DTR-optimized scenario is replayed packet-by-packet twice:
+    once with strict priority queues (the paper's model) and once with
+    plain shared FIFOs.  Reported per class: mean and p95 delays under
+    each discipline.  Expected: under FIFO the two classes collapse to
+    the same delay — scheduling provides the per-hop differentiation,
+    routing decides which hops each class crosses. *)
+
+val run :
+  ?cfg:Dtr_core.Search_config.t ->
+  ?seed:int ->
+  ?target_util:float ->
+  ?sim_duration:float ->
+  unit ->
+  Dtr_util.Table.t

@@ -1,0 +1,157 @@
+module Objective = Dtr_routing.Objective
+
+type experiment = {
+  name : string;
+  description : string;
+  run : cfg:Dtr_core.Search_config.t -> seed:int -> Dtr_util.Table.t list;
+}
+
+let sla = Objective.Sla Dtr_cost.Sla.default
+
+let fig2 name topology model desc =
+  {
+    name;
+    description = desc;
+    run = (fun ~cfg ~seed -> [ Fig2.run ~cfg ~seed ~topology ~model () ]);
+  }
+
+let table1 name topology =
+  {
+    name;
+    description =
+      Printf.sprintf "Table 1 (%s topology): relaxed STR vs DTR"
+        (Scenario.topology_name topology);
+    run = (fun ~cfg ~seed -> [ Table1.run ~cfg ~seed ~topology () ]);
+  }
+
+let all =
+  [
+    {
+      name = "fig1";
+      description = "S3.3.1 joint-cost pitfall on the 3-node triangle";
+      run = (fun ~cfg:_ ~seed:_ -> [ Fig1_joint.run ~alphas:[ 35.; 30. ] ]);
+    };
+    fig2 "fig2a" Scenario.Random_topo Objective.Load
+      "Fig 2a: cost ratios, random topology, load-based cost";
+    fig2 "fig2b" Scenario.Power_law Objective.Load
+      "Fig 2b: cost ratios, power-law topology, load-based cost";
+    fig2 "fig2c" Scenario.Isp Objective.Load
+      "Fig 2c: cost ratios, ISP topology, load-based cost";
+    fig2 "fig2d" Scenario.Random_topo sla
+      "Fig 2d: cost ratios, random topology, SLA-based cost";
+    fig2 "fig2e" Scenario.Power_law sla
+      "Fig 2e: cost ratios, power-law topology, SLA-based cost";
+    fig2 "fig2f" Scenario.Isp sla
+      "Fig 2f: cost ratios, ISP topology, SLA-based cost";
+    {
+      name = "fig3a";
+      description = "Fig 3a: utilization histogram, load cost, k=10%";
+      run = (fun ~cfg ~seed -> [ Fig3.run ~cfg ~seed Fig3.A ]);
+    };
+    {
+      name = "fig3b";
+      description = "Fig 3b: utilization histogram, SLA cost, k=10%";
+      run = (fun ~cfg ~seed -> [ Fig3.run ~cfg ~seed Fig3.B ]);
+    };
+    {
+      name = "fig3c";
+      description = "Fig 3c: utilization histogram, SLA cost, k=30%";
+      run = (fun ~cfg ~seed -> [ Fig3.run ~cfg ~seed Fig3.C ]);
+    };
+    {
+      name = "fig4";
+      description = "Fig 4: impact of high-priority share f on RL";
+      run = (fun ~cfg ~seed -> [ Fig4.run ~cfg ~seed () ]);
+    };
+    {
+      name = "fig5a";
+      description = "Fig 5a: impact of SD-pair density k, load cost";
+      run = (fun ~cfg ~seed -> [ Fig5.run ~cfg ~seed ~model:Objective.Load () ]);
+    };
+    {
+      name = "fig5b";
+      description = "Fig 5b: impact of SD-pair density k, SLA cost";
+      run = (fun ~cfg ~seed -> [ Fig5.run ~cfg ~seed ~model:sla () ]);
+    };
+    {
+      name = "fig6";
+      description = "Fig 6: sorted H-utilization under STR, k=10% vs 30%";
+      run = (fun ~cfg ~seed -> [ Fig6.run ~cfg ~seed () ]);
+    };
+    {
+      name = "fig7";
+      description = "Fig 7: link load vs propagation delay, SLA cost";
+      run = (fun ~cfg ~seed -> [ Fig7.run ~cfg ~seed () ]);
+    };
+    {
+      name = "fig8a";
+      description = "Fig 8a: sink model Uniform vs Local, load cost";
+      run = (fun ~cfg ~seed -> [ Fig8.run ~cfg ~seed ~model:Objective.Load () ]);
+    };
+    {
+      name = "fig8b";
+      description = "Fig 8b: sink model Uniform vs Local, SLA cost";
+      run = (fun ~cfg ~seed -> [ Fig8.run ~cfg ~seed ~model:sla () ]);
+    };
+    {
+      name = "fig9";
+      description = "Fig 9: SLA-bound sweep 25-35 ms";
+      run = (fun ~cfg ~seed -> [ Fig9.run ~cfg ~seed () ]);
+    };
+    table1 "table1-random" Scenario.Random_topo;
+    table1 "table1-powerlaw" Scenario.Power_law;
+    table1 "table1-isp" Scenario.Isp;
+    {
+      name = "val-netsim";
+      description = "Extra: packet-level validation of the flow model";
+      run = (fun ~cfg ~seed -> [ Validation.run ~cfg ~seed () ]);
+    };
+    {
+      name = "ablation-neighborhood";
+      description = "Ablation: FindH/FindL neighborhood variants";
+      run = (fun ~cfg ~seed -> [ Ablation.run_neighborhood ~cfg ~seed () ]);
+    };
+    {
+      name = "ablation-tau";
+      description = "Ablation: heavy-tail rank exponent";
+      run = (fun ~cfg ~seed -> [ Ablation.run_tau ~cfg ~seed () ]);
+    };
+    {
+      name = "ablation-diversification";
+      description = "Ablation: stall-triggered diversification";
+      run = (fun ~cfg ~seed -> [ Ablation.run_diversification ~cfg ~seed () ]);
+    };
+    {
+      name = "ablation-optimizer";
+      description = "Ablation: local search vs simulated annealing";
+      run = (fun ~cfg ~seed -> [ Ablation.run_optimizer ~cfg ~seed () ]);
+    };
+    {
+      name = "ext-failure";
+      description = "Extension: single-link failure robustness";
+      run = (fun ~cfg ~seed -> [ Failure.run ~cfg ~seed () ]);
+    };
+    {
+      name = "ext-3class";
+      description = "Extension: three classes on three topologies";
+      run = (fun ~cfg ~seed -> [ Multi_class.run ~cfg ~seed () ]);
+    };
+    {
+      name = "ext-queueing";
+      description = "Extension: priority vs FIFO queueing at the packet level";
+      run = (fun ~cfg ~seed -> [ Queueing.run ~cfg ~seed () ]);
+    };
+    {
+      name = "ext-diurnal";
+      description = "Extension: diurnal demand, static vs re-optimized weights";
+      run = (fun ~cfg ~seed -> [ Diurnal_exp.run ~cfg ~seed () ]);
+    };
+    fig2 "ext-fig2-waxman" Scenario.Waxman Objective.Load
+      "Extension: Fig 2-style sweep on a Waxman topology, load cost";
+    fig2 "ext-fig2-transit" Scenario.Transit_stub Objective.Load
+      "Extension: Fig 2-style sweep on a transit-stub topology, load cost";
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+
+let names () = List.map (fun e -> e.name) all

@@ -1,0 +1,16 @@
+(** Name-indexed registry of every reproduced figure/table, shared by
+    the CLI ([dtr experiment <name>]) and the bench harness. *)
+
+type experiment = {
+  name : string;  (** e.g. "fig2a", "table1-isp" *)
+  description : string;
+  run :
+    cfg:Dtr_core.Search_config.t -> seed:int -> Dtr_util.Table.t list;
+}
+
+val all : experiment list
+(** Every experiment, in paper order. *)
+
+val find : string -> experiment option
+
+val names : unit -> string list

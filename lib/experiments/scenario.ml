@@ -1,0 +1,98 @@
+module Prng = Dtr_util.Prng
+module Graph = Dtr_graph.Graph
+module Matrix = Dtr_traffic.Matrix
+module Gravity = Dtr_traffic.Gravity
+module Highpri = Dtr_traffic.Highpri
+module Random_topo = Dtr_topology.Random_topo
+module Power_law = Dtr_topology.Power_law
+module Isp = Dtr_topology.Isp
+module Evaluate = Dtr_routing.Evaluate
+module Weights = Dtr_routing.Weights
+
+type topology_kind = Random_topo | Power_law | Isp | Waxman | Transit_stub | Abilene
+
+let topology_name = function
+  | Random_topo -> "random"
+  | Power_law -> "power-law"
+  | Isp -> "isp"
+  | Waxman -> "waxman"
+  | Transit_stub -> "transit-stub"
+  | Abilene -> "abilene"
+
+type hp_model =
+  | Random_density of float
+  | Sinks of {
+      sinks : int;
+      density : float;
+      placement : Highpri.placement;
+    }
+
+type spec = {
+  topology : topology_kind;
+  fraction : float;
+  hp : hp_model;
+  seed : int;
+}
+
+type instance = {
+  graph : Graph.t;
+  th : Matrix.t;
+  tl : Matrix.t;
+  spec : spec;
+}
+
+let build_topology rng = function
+  | Random_topo -> Dtr_topology.Random_topo.generate rng Dtr_topology.Random_topo.default
+  | Power_law -> Dtr_topology.Power_law.generate rng Dtr_topology.Power_law.default
+  | Isp -> Dtr_topology.Isp.generate ()
+  | Waxman -> Dtr_topology.Waxman.generate rng Dtr_topology.Waxman.default
+  | Transit_stub ->
+      Dtr_topology.Transit_stub.generate rng Dtr_topology.Transit_stub.default
+  | Abilene -> Dtr_topology.Abilene.generate ()
+
+let make spec =
+  let root = Prng.create spec.seed in
+  let topo_rng = Prng.split root in
+  let traffic_rng = Prng.split root in
+  let graph = build_topology topo_rng spec.topology in
+  let n = Graph.node_count graph in
+  let tl = Gravity.generate traffic_rng ~n Gravity.default in
+  let pairs =
+    match spec.hp with
+    | Random_density k -> Highpri.random_pairs traffic_rng ~n ~density:k
+    | Sinks { sinks; density; placement } ->
+        let sink_nodes = Dtr_topology.Power_law.top_degree_nodes graph sinks in
+        let count =
+          Highpri.client_count_for_density ~n ~sinks ~density
+        in
+        let clients =
+          Highpri.select_clients traffic_rng graph ~sinks:sink_nodes ~count
+            placement
+        in
+        Highpri.sink_pairs ~sinks:sink_nodes ~clients
+  in
+  let th =
+    Highpri.volumes traffic_rng ~low:tl ~fraction:spec.fraction ~pairs
+  in
+  { graph; th; tl; spec }
+
+let reference_avg_utilization inst =
+  let mid = (Weights.min_weight + Weights.max_weight) / 2 in
+  let w = Array.make (Graph.arc_count inst.graph) mid in
+  let eval =
+    Evaluate.evaluate inst.graph ~wh:w ~wl:w ~th:inst.th ~tl:inst.tl
+  in
+  Evaluate.avg_utilization eval
+
+let scale_to_utilization inst ~target =
+  if target <= 0. then invalid_arg "Scenario.scale_to_utilization: bad target";
+  let current = reference_avg_utilization inst in
+  let factor = target /. current in
+  {
+    inst with
+    th = Matrix.scale inst.th factor;
+    tl = Matrix.scale inst.tl factor;
+  }
+
+let problem inst ~model =
+  Dtr_core.Problem.create ~graph:inst.graph ~th:inst.th ~tl:inst.tl ~model

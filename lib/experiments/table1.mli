@@ -1,0 +1,15 @@
+(** Table 1: low-priority performance of ε-relaxed STR (§5.3.1) vs
+    DTR, load-based cost, [f = 30%], [k = 10%].
+
+    For each topology and each network load, reports
+    [R_L] (strict STR / DTR), [R_{L,5%}] and [R_{L,30%}] (relaxed STR
+    / DTR).  Expected: relaxation narrows but never closes the gap. *)
+
+val run :
+  ?cfg:Dtr_core.Search_config.t ->
+  ?seed:int ->
+  ?targets:float list ->
+  ?epsilons:float list ->
+  topology:Scenario.topology_kind ->
+  unit ->
+  Dtr_util.Table.t

@@ -1,0 +1,14 @@
+(** Extra experiment (not in the paper): validate the flow-level model
+    the whole evaluation rests on against the packet-level simulator.
+
+    A DTR-optimized ISP scenario is replayed packet-by-packet; the
+    table compares predicted vs simulated per-arc utilization (mean
+    absolute error) and per-class mean delays. *)
+
+val run :
+  ?cfg:Dtr_core.Search_config.t ->
+  ?seed:int ->
+  ?target_util:float ->
+  ?sim_config:Dtr_netsim.Sim.config ->
+  unit ->
+  Dtr_util.Table.t

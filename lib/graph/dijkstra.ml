@@ -1,0 +1,78 @@
+let unreachable = max_int
+
+let validate g ~weights ~node =
+  if Array.length weights <> Graph.arc_count g then
+    invalid_arg "Dijkstra: weights length mismatch";
+  Array.iter
+    (fun w -> if w <= 0 then invalid_arg "Dijkstra: weights must be positive")
+    weights;
+  if node < 0 || node >= Graph.node_count g then
+    invalid_arg "Dijkstra: node out of range"
+
+(* Dijkstra with lazy deletion; [adj v] lists candidate arc ids at [v],
+   [other id] is the neighbor reached through arc [id]. *)
+let run n ~adj ~other ~weights ~start =
+  let dist = Array.make n unreachable in
+  let settled = Array.make n false in
+  let q = Dtr_util.Pqueue.create () in
+  dist.(start) <- 0;
+  Dtr_util.Pqueue.add q 0. start;
+  let continue = ref true in
+  while !continue do
+    match Dtr_util.Pqueue.pop_min q with
+    | None -> continue := false
+    | Some (_, v) ->
+        if not settled.(v) then begin
+          settled.(v) <- true;
+          Array.iter
+            (fun id ->
+              let u = other id in
+              if not settled.(u) then begin
+                let cand = dist.(v) + weights.(id) in
+                if cand < dist.(u) then begin
+                  dist.(u) <- cand;
+                  Dtr_util.Pqueue.add q (float_of_int cand) u
+                end
+              end)
+            (adj v)
+        end
+  done;
+  dist
+
+let distances_to g ~weights ~dst =
+  validate g ~weights ~node:dst;
+  run (Graph.node_count g)
+    ~adj:(Graph.in_arcs g)
+    ~other:(fun id -> (Graph.arc g id).src)
+    ~weights ~start:dst
+
+let distances_from g ~weights ~src =
+  validate g ~weights ~node:src;
+  run (Graph.node_count g)
+    ~adj:(Graph.out_arcs g)
+    ~other:(fun id -> (Graph.arc g id).dst)
+    ~weights ~start:src
+
+let bellman_ford_to g ~weights ~dst =
+  validate g ~weights ~node:dst;
+  let n = Graph.node_count g in
+  let m = Graph.arc_count g in
+  let dist = Array.make n unreachable in
+  dist.(dst) <- 0;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= n do
+    changed := false;
+    incr rounds;
+    for id = 0 to m - 1 do
+      let a = Graph.arc g id in
+      if dist.(a.dst) <> unreachable then begin
+        let cand = dist.(a.dst) + weights.(id) in
+        if cand < dist.(a.src) then begin
+          dist.(a.src) <- cand;
+          changed := true
+        end
+      end
+    done
+  done;
+  dist

@@ -1,0 +1,22 @@
+(** Single-destination / single-source shortest paths over integer arc
+    weights (OSPF-style weights in [\[1, 30\]], but any positive ints
+    work).
+
+    Unreachable nodes get distance {!unreachable}. *)
+
+val unreachable : int
+(** Sentinel distance ([max_int]). *)
+
+val distances_to : Graph.t -> weights:int array -> dst:int -> int array
+(** [distances_to g ~weights ~dst] returns [d] with [d.(v)] the least
+    total weight of a directed path from [v] to [dst] ([0] for [dst]
+    itself).  Runs Dijkstra over incoming arcs.
+    @raise Invalid_argument if [weights] has the wrong length, contains
+    a non-positive weight, or [dst] is out of range. *)
+
+val distances_from : Graph.t -> weights:int array -> src:int -> int array
+(** Distances from [src] to every node, over outgoing arcs. *)
+
+val bellman_ford_to : Graph.t -> weights:int array -> dst:int -> int array
+(** Same result as {!distances_to} computed by Bellman–Ford in
+    O(nm); kept as an independent oracle for property tests. *)

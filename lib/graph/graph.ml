@@ -1,0 +1,153 @@
+type arc = { src : int; dst : int; capacity : float; delay : float }
+
+type t = {
+  n : int;
+  arcs : arc array;
+  out_adj : int array array;
+  in_adj : int array array;
+}
+
+let validate_arc n a =
+  if a.src < 0 || a.src >= n then invalid_arg "Graph.build: src out of range";
+  if a.dst < 0 || a.dst >= n then invalid_arg "Graph.build: dst out of range";
+  if a.src = a.dst then invalid_arg "Graph.build: self-loop";
+  if a.capacity <= 0. then invalid_arg "Graph.build: non-positive capacity";
+  if a.delay < 0. then invalid_arg "Graph.build: negative delay"
+
+let build ~n arcs =
+  if n <= 0 then invalid_arg "Graph.build: need at least one node";
+  let arcs = Array.of_list arcs in
+  Array.iter (validate_arc n) arcs;
+  let out_deg = Array.make n 0 and in_deg = Array.make n 0 in
+  Array.iter
+    (fun a ->
+      out_deg.(a.src) <- out_deg.(a.src) + 1;
+      in_deg.(a.dst) <- in_deg.(a.dst) + 1)
+    arcs;
+  let out_adj = Array.init n (fun v -> Array.make out_deg.(v) 0) in
+  let in_adj = Array.init n (fun v -> Array.make in_deg.(v) 0) in
+  let out_pos = Array.make n 0 and in_pos = Array.make n 0 in
+  Array.iteri
+    (fun id a ->
+      out_adj.(a.src).(out_pos.(a.src)) <- id;
+      out_pos.(a.src) <- out_pos.(a.src) + 1;
+      in_adj.(a.dst).(in_pos.(a.dst)) <- id;
+      in_pos.(a.dst) <- in_pos.(a.dst) + 1)
+    arcs;
+  { n; arcs; out_adj; in_adj }
+
+let node_count t = t.n
+
+let arc_count t = Array.length t.arcs
+
+let arc t id =
+  if id < 0 || id >= Array.length t.arcs then invalid_arg "Graph.arc: bad id";
+  t.arcs.(id)
+
+let arcs t = Array.copy t.arcs
+
+let out_arcs t v = t.out_adj.(v)
+
+let in_arcs t v = t.in_adj.(v)
+
+let out_degree t v = Array.length t.out_adj.(v)
+
+let in_degree t v = Array.length t.in_adj.(v)
+
+let find_arc t ~src ~dst =
+  let result = ref None in
+  Array.iter
+    (fun id -> if !result = None && t.arcs.(id).dst = dst then result := Some id)
+    t.out_adj.(src);
+  !result
+
+let capacities t = Array.map (fun a -> a.capacity) t.arcs
+
+let delays t = Array.map (fun a -> a.delay) t.arcs
+
+let reachable_from adj arcs_of n start =
+  let seen = Array.make n false in
+  let stack = ref [ start ] in
+  seen.(start) <- true;
+  let count = ref 0 in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+        stack := rest;
+        incr count;
+        Array.iter
+          (fun id ->
+            let u = arcs_of id in
+            if not seen.(u) then begin
+              seen.(u) <- true;
+              stack := u :: !stack
+            end)
+          adj.(v)
+  done;
+  !count
+
+let is_strongly_connected t =
+  if t.n = 0 then true
+  else begin
+    let fwd = reachable_from t.out_adj (fun id -> t.arcs.(id).dst) t.n 0 in
+    let bwd = reachable_from t.in_adj (fun id -> t.arcs.(id).src) t.n 0 in
+    fwd = t.n && bwd = t.n
+  end
+
+let reverse t =
+  let flipped =
+    Array.to_list (Array.map (fun a -> { a with src = a.dst; dst = a.src }) t.arcs)
+  in
+  build ~n:t.n flipped
+
+let add_symmetric ~capacity ~delay u v acc =
+  { src = u; dst = v; capacity; delay }
+  :: { src = v; dst = u; capacity; delay }
+  :: acc
+
+let undirected_link_pairs t =
+  let m = Array.length t.arcs in
+  let paired = Array.make m false in
+  let pairs = ref [] in
+  for id = 0 to m - 1 do
+    if not paired.(id) then begin
+      let a = t.arcs.(id) in
+      (* Find an unpaired reverse twin with matching attributes. *)
+      let twin = ref None in
+      Array.iter
+        (fun rid ->
+          if !twin = None && rid <> id && not paired.(rid) then begin
+            let r = t.arcs.(rid) in
+            if r.dst = a.src then twin := Some rid
+          end)
+        t.out_adj.(a.dst);
+      match !twin with
+      | Some rid ->
+          paired.(id) <- true;
+          paired.(rid) <- true;
+          let lo = min id rid and hi = max id rid in
+          pairs := (lo, hi) :: !pairs
+      | None ->
+          paired.(id) <- true;
+          pairs := (id, id) :: !pairs
+    end
+  done;
+  let a = Array.of_list (List.rev !pairs) in
+  Array.sort compare a;
+  a
+
+let to_dot t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph g {\n";
+  Array.iteri
+    (fun id a ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d -> %d [label=\"a%d c=%.0f d=%.1f\"];\n" a.src a.dst
+           id a.capacity a.delay))
+    t.arcs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp ppf t =
+  Format.fprintf ppf "graph(%d nodes, %d arcs)" t.n (Array.length t.arcs)

@@ -1,0 +1,74 @@
+(** Directed network graph.
+
+    Nodes are integers [0 .. n-1]; arcs (directed links) carry a
+    capacity (Mbps) and a propagation delay (ms) and are identified by
+    dense integer ids [0 .. arc_count-1], so per-arc state (weights,
+    loads, costs) lives in plain arrays.
+
+    Physical bidirectional links are modelled as two arcs, one per
+    direction, as in the paper's directed-graph formulation. *)
+
+type arc = {
+  src : int;
+  dst : int;
+  capacity : float;  (** Mbps; must be positive *)
+  delay : float;  (** propagation delay, ms; must be non-negative *)
+}
+
+type t
+
+val build : n:int -> arc list -> t
+(** [build ~n arcs] freezes an immutable graph with [n] nodes.
+    @raise Invalid_argument on an endpoint out of range, a self-loop,
+    a non-positive capacity or a negative delay. *)
+
+val node_count : t -> int
+
+val arc_count : t -> int
+
+val arc : t -> int -> arc
+(** @raise Invalid_argument on an id out of range. *)
+
+val arcs : t -> arc array
+(** All arcs, indexed by id (fresh copy). *)
+
+val out_arcs : t -> int -> int array
+(** Arc ids leaving a node (shared; do not mutate). *)
+
+val in_arcs : t -> int -> int array
+(** Arc ids entering a node (shared; do not mutate). *)
+
+val out_degree : t -> int -> int
+
+val in_degree : t -> int -> int
+
+val find_arc : t -> src:int -> dst:int -> int option
+(** First arc from [src] to [dst], if any. *)
+
+val capacities : t -> float array
+(** Per-arc capacities, indexed by arc id (fresh copy). *)
+
+val delays : t -> float array
+(** Per-arc propagation delays, indexed by arc id (fresh copy). *)
+
+val is_strongly_connected : t -> bool
+(** True when every node can reach every other node. *)
+
+val reverse : t -> t
+(** Graph with every arc flipped (same arc ids). *)
+
+val add_symmetric :
+  capacity:float -> delay:float -> int -> int -> arc list -> arc list
+(** [add_symmetric ~capacity ~delay u v acc] prepends both directions
+    of the physical link [u—v]. *)
+
+val undirected_link_pairs : t -> (int * int) array
+(** Pairs of arc ids [(a, b)] where [b] is the reverse arc of [a] and
+    [a < b]; arcs with no reverse twin appear as [(a, a)].  Useful for
+    treating symmetric topologies link-wise. *)
+
+val to_dot : t -> string
+(** Graphviz rendering (one edge per arc) for debugging. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: node and arc counts. *)

@@ -1,0 +1,95 @@
+type dag = {
+  dst : int;
+  dist : int array;
+  next_arcs : int array array;
+  order_desc : int array;
+}
+
+let to_destination g ~weights ~dst =
+  let dist = Dijkstra.distances_to g ~weights ~dst in
+  let n = Graph.node_count g in
+  let next_arcs =
+    Array.init n (fun v ->
+        if v = dst || dist.(v) = Dijkstra.unreachable then [||]
+        else begin
+          (* Two passes over the out-arcs: count, then fill — avoids
+             building an intermediate list on this very hot path. *)
+          let out = Graph.out_arcs g v in
+          let count = ref 0 in
+          Array.iter
+            (fun id ->
+              let d = dist.((Graph.arc g id).dst) in
+              if d <> Dijkstra.unreachable && weights.(id) + d = dist.(v) then
+                incr count)
+            out;
+          let keep = Array.make !count 0 in
+          let pos = ref 0 in
+          Array.iter
+            (fun id ->
+              let d = dist.((Graph.arc g id).dst) in
+              if d <> Dijkstra.unreachable && weights.(id) + d = dist.(v) then begin
+                keep.(!pos) <- id;
+                incr pos
+              end)
+            out;
+          keep
+        end)
+  in
+  let reachable_count = ref 0 in
+  for v = 0 to n - 1 do
+    if v <> dst && dist.(v) <> Dijkstra.unreachable then incr reachable_count
+  done;
+  let order_desc = Array.make !reachable_count 0 in
+  let pos = ref 0 in
+  for v = 0 to n - 1 do
+    if v <> dst && dist.(v) <> Dijkstra.unreachable then begin
+      order_desc.(!pos) <- v;
+      incr pos
+    end
+  done;
+  (* Sort by decreasing distance, ties by increasing node id. *)
+  Array.sort
+    (fun a b ->
+      let c = compare dist.(b) dist.(a) in
+      if c <> 0 then c else compare a b)
+    order_desc;
+  { dst; dist; next_arcs; order_desc }
+
+let all_destinations g ~weights =
+  Array.init (Graph.node_count g) (fun dst -> to_destination g ~weights ~dst)
+
+let path_count g dag ~src =
+  let n = Array.length dag.dist in
+  if src < 0 || src >= n then invalid_arg "Spf.path_count: src out of range";
+  if dag.dist.(src) = Dijkstra.unreachable then 0.
+  else begin
+    let counts = Array.make n (-1.) in
+    counts.(dag.dst) <- 1.;
+    (* order_desc is decreasing in distance; walk it reversed so every
+       next-hop (strictly closer to dst) is counted first. *)
+    for i = Array.length dag.order_desc - 1 downto 0 do
+      let v = dag.order_desc.(i) in
+      let acc = ref 0. in
+      Array.iter
+        (fun id ->
+          let u = (Graph.arc g id).dst in
+          acc := !acc +. counts.(u))
+        dag.next_arcs.(v);
+      counts.(v) <- !acc
+    done;
+    counts.(src)
+  end
+
+let first_path g dag ~src =
+  if dag.dist.(src) = Dijkstra.unreachable then
+    invalid_arg "Spf.first_path: unreachable";
+  let rec go v acc =
+    if v = dag.dst then List.rev acc
+    else begin
+      let best = ref max_int in
+      Array.iter (fun id -> if id < !best then best := id) dag.next_arcs.(v);
+      assert (!best <> max_int);
+      go (Graph.arc g !best).dst (!best :: acc)
+    end
+  in
+  go src []

@@ -1,0 +1,38 @@
+(** Per-destination shortest-path DAGs with ECMP next-hop sets.
+
+    This encodes the OSPF forwarding model: for destination [dst], a
+    node [v] forwards over {e all} outgoing arcs [(v, u)] with
+    [w(v,u) + d(u, dst) = d(v, dst)], splitting traffic evenly among
+    them (Fortz–Thorup). *)
+
+type dag = {
+  dst : int;
+  dist : int array;
+      (** [dist.(v)]: weighted distance from [v] to [dst];
+          {!Dijkstra.unreachable} when there is no path. *)
+  next_arcs : int array array;
+      (** [next_arcs.(v)]: arc ids on shortest paths from [v]; empty for
+          [dst] itself and for unreachable nodes. *)
+  order_desc : int array;
+      (** Nodes that can reach [dst] (excluding [dst]), sorted by
+          strictly decreasing [dist]; ties broken by node id.  Pushing
+          flow in this order guarantees each node is finalized before
+          its downstream neighbors. *)
+}
+
+val to_destination : Graph.t -> weights:int array -> dst:int -> dag
+(** Build the DAG for one destination.
+    @raise Invalid_argument as {!Dijkstra.distances_to}. *)
+
+val all_destinations : Graph.t -> weights:int array -> dag array
+(** One DAG per destination node, indexed by node id. *)
+
+val path_count : Graph.t -> dag -> src:int -> float
+(** Number of distinct shortest paths from [src] to the destination
+    (as a float; can be exponential in pathological graphs).  0. if
+    unreachable, 1. for [src = dst]. *)
+
+val first_path : Graph.t -> dag -> src:int -> int list
+(** One concrete shortest path (list of arc ids), choosing the
+    smallest-id next arc at every step.  Empty for [src = dst].
+    @raise Invalid_argument if [src] cannot reach the destination. *)

@@ -1,0 +1,30 @@
+type link_info = {
+  arc_id : int;
+  neighbor : int;
+  capacity : float;
+  delay : float;
+  weights : int option array;
+}
+
+type t = { origin : int; seq : int; links : link_info list }
+
+let make ~origin ~seq ~links =
+  if seq < 0 then invalid_arg "Lsa.make: negative sequence number";
+  (match links with
+  | [] -> ()
+  | first :: rest ->
+      let k = Array.length first.weights in
+      if k = 0 then invalid_arg "Lsa.make: empty weight vector";
+      List.iter
+        (fun l ->
+          if Array.length l.weights <> k then
+            invalid_arg "Lsa.make: inconsistent topology counts")
+        rest);
+  { origin; seq; links }
+
+let topology_count t =
+  match t.links with [] -> 0 | l :: _ -> Array.length l.weights
+
+let newer a b =
+  if a.origin <> b.origin then invalid_arg "Lsa.newer: different origins";
+  a.seq > b.seq

@@ -1,0 +1,31 @@
+(** Router LSAs carrying per-topology link weights (the RFC 4915
+    multi-topology extension the paper's DTR deployment relies on).
+
+    Each router originates one LSA describing its outgoing links; every
+    link advertises one weight per topology, or [None] when the link is
+    excluded from that topology. *)
+
+type link_info = {
+  arc_id : int;  (** global arc id (stands in for the interface id) *)
+  neighbor : int;  (** router at the other end *)
+  capacity : float;
+  delay : float;
+  weights : int option array;  (** per-topology weight; [None] = excluded *)
+}
+
+type t = {
+  origin : int;  (** advertising router *)
+  seq : int;  (** sequence number; higher wins *)
+  links : link_info list;
+}
+
+val make : origin:int -> seq:int -> links:link_info list -> t
+(** @raise Invalid_argument on a negative sequence number, an empty
+    weight vector, or inconsistent topology counts across links. *)
+
+val topology_count : t -> int
+(** Number of topologies advertised (0 for a link-less LSA). *)
+
+val newer : t -> t -> bool
+(** [newer a b]: [a] supersedes [b] (same origin, higher seq).
+    @raise Invalid_argument on different origins. *)

@@ -1,0 +1,35 @@
+type t = (int, Lsa.t) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+type install_outcome = Installed | Ignored
+
+let install t (lsa : Lsa.t) =
+  match Hashtbl.find_opt t lsa.Lsa.origin with
+  | None ->
+      Hashtbl.replace t lsa.Lsa.origin lsa;
+      Installed
+  | Some existing ->
+      if Lsa.newer lsa existing then begin
+        Hashtbl.replace t lsa.Lsa.origin lsa;
+        Installed
+      end
+      else Ignored
+
+let find t origin = Hashtbl.find_opt t origin
+
+let origins t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+
+let size t = Hashtbl.length t
+
+let equal a b =
+  size a = size b
+  && List.for_all
+       (fun o ->
+         match (find a o, find b o) with
+         | Some x, Some y -> x.Lsa.seq = y.Lsa.seq
+         | _ -> false)
+       (origins a)
+
+let copy t = Hashtbl.copy t

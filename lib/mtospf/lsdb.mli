@@ -1,0 +1,25 @@
+(** A router's link-state database: the freshest LSA per origin. *)
+
+type t
+
+val create : unit -> t
+
+type install_outcome =
+  | Installed  (** new origin or strictly newer sequence *)
+  | Ignored  (** already have this or a newer sequence *)
+
+val install : t -> Lsa.t -> install_outcome
+
+val find : t -> int -> Lsa.t option
+(** Current LSA of a given origin. *)
+
+val origins : t -> int list
+(** Sorted origins present. *)
+
+val size : t -> int
+
+val equal : t -> t -> bool
+(** Same origins with the same sequence numbers (content is implied by
+    origin + seq in this model). *)
+
+val copy : t -> t

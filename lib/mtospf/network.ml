@@ -1,0 +1,203 @@
+module Graph = Dtr_graph.Graph
+module Spf = Dtr_graph.Spf
+module Weights = struct
+  (* Bounds mirrored from Dtr_routing.Weights without depending on it
+     (the control plane floods whatever the optimizer produced). *)
+  let min_weight = 1
+  let max_weight = 30
+end
+
+type message = { lsa : Lsa.t; to_router : int; from_router : int }
+
+type t = {
+  graph : Graph.t;
+  topologies : int;
+  weights : int option array array;  (* topology -> arc -> weight *)
+  alive : bool array;  (* per arc *)
+  lsdbs : Lsdb.t array;  (* per router *)
+  seqs : int array;  (* per router: last originated sequence *)
+  mutable pending : message list;
+}
+
+let check_weight w =
+  if w < Weights.min_weight || w > Weights.max_weight then
+    invalid_arg "Mtospf: weight out of bounds"
+
+let build_lsa t router =
+  let links = ref [] in
+  Array.iter
+    (fun id ->
+      if t.alive.(id) then begin
+        let a = Graph.arc t.graph id in
+        let weights =
+          Array.init t.topologies (fun topo -> t.weights.(topo).(id))
+        in
+        links :=
+          {
+            Lsa.arc_id = id;
+            neighbor = a.Graph.dst;
+            capacity = a.Graph.capacity;
+            delay = a.Graph.delay;
+            weights;
+          }
+          :: !links
+      end)
+    (Graph.out_arcs t.graph router);
+  Lsa.make ~origin:router ~seq:t.seqs.(router) ~links:(List.rev !links)
+
+let neighbors_via_alive t router =
+  let acc = ref [] in
+  Array.iter
+    (fun id ->
+      if t.alive.(id) then acc := (Graph.arc t.graph id).Graph.dst :: !acc)
+    (Graph.out_arcs t.graph router);
+  List.rev !acc
+
+let originate t router =
+  t.seqs.(router) <- t.seqs.(router) + 1;
+  let lsa = build_lsa t router in
+  ignore (Lsdb.install t.lsdbs.(router) lsa);
+  List.iter
+    (fun nbr ->
+      t.pending <-
+        { lsa; to_router = nbr; from_router = router } :: t.pending)
+    (neighbors_via_alive t router)
+
+let create g ~weight_sets =
+  let m = Graph.arc_count g in
+  if Array.length weight_sets = 0 then
+    invalid_arg "Mtospf.create: need at least one topology";
+  Array.iter
+    (fun ws ->
+      if Array.length ws <> m then
+        invalid_arg "Mtospf.create: weight vector length mismatch";
+      Array.iter check_weight ws)
+    weight_sets;
+  let n = Graph.node_count g in
+  let t =
+    {
+      graph = g;
+      topologies = Array.length weight_sets;
+      weights = Array.map (fun ws -> Array.map (fun w -> Some w) ws) weight_sets;
+      alive = Array.make m true;
+      lsdbs = Array.init n (fun _ -> Lsdb.create ());
+      seqs = Array.make n (-1);
+      pending = [];
+    }
+  in
+  for r = 0 to n - 1 do
+    originate t r
+  done;
+  t
+
+let topology_count t = t.topologies
+
+type flood_stats = { rounds : int; messages : int }
+
+let flood t =
+  let rounds = ref 0 and messages = ref 0 in
+  while t.pending <> [] do
+    incr rounds;
+    let batch = List.rev t.pending in
+    t.pending <- [];
+    List.iter
+      (fun msg ->
+        incr messages;
+        match Lsdb.install t.lsdbs.(msg.to_router) msg.lsa with
+        | Lsdb.Ignored -> ()
+        | Lsdb.Installed ->
+            List.iter
+              (fun nbr ->
+                if nbr <> msg.from_router then
+                  t.pending <-
+                    { lsa = msg.lsa; to_router = nbr; from_router = msg.to_router }
+                    :: t.pending)
+              (neighbors_via_alive t msg.to_router))
+      batch
+  done;
+  { rounds = !rounds; messages = !messages }
+
+let converged t =
+  let n = Array.length t.lsdbs in
+  let ok = ref true in
+  for r = 1 to n - 1 do
+    if not (Lsdb.equal t.lsdbs.(0) t.lsdbs.(r)) then ok := false
+  done;
+  !ok && t.pending = []
+
+let check_arc t arc =
+  if arc < 0 || arc >= Graph.arc_count t.graph then
+    invalid_arg "Mtospf: arc id out of range"
+
+let check_topology t topo =
+  if topo < 0 || topo >= t.topologies then
+    invalid_arg "Mtospf: topology id out of range"
+
+let set_weight t ~topology ~arc ~weight =
+  check_arc t arc;
+  check_topology t topology;
+  check_weight weight;
+  if not t.alive.(arc) then invalid_arg "Mtospf.set_weight: arc is down";
+  t.weights.(topology).(arc) <- Some weight;
+  originate t (Graph.arc t.graph arc).Graph.src;
+  flood t
+
+let exclude_arc t ~topology ~arc =
+  check_arc t arc;
+  check_topology t topology;
+  t.weights.(topology).(arc) <- None;
+  originate t (Graph.arc t.graph arc).Graph.src;
+  flood t
+
+let fail_arc t ~arc =
+  check_arc t arc;
+  t.alive.(arc) <- false;
+  originate t (Graph.arc t.graph arc).Graph.src;
+  flood t
+
+let routing_table t ~router ~topology =
+  check_topology t topology;
+  if router < 0 || router >= Array.length t.lsdbs then
+    invalid_arg "Mtospf.routing_table: router out of range";
+  let lsdb = t.lsdbs.(router) in
+  (* Rebuild the view graph from the LSDB; remember global arc ids. *)
+  let view_arcs = ref [] and global_ids = ref [] in
+  List.iter
+    (fun origin ->
+      match Lsdb.find lsdb origin with
+      | None -> ()
+      | Some lsa ->
+          List.iter
+            (fun (l : Lsa.link_info) ->
+              match l.Lsa.weights.(topology) with
+              | None -> ()
+              | Some w ->
+                  view_arcs :=
+                    ( {
+                        Graph.src = origin;
+                        dst = l.Lsa.neighbor;
+                        capacity = l.Lsa.capacity;
+                        delay = l.Lsa.delay;
+                      },
+                      w )
+                    :: !view_arcs;
+                  global_ids := l.Lsa.arc_id :: !global_ids)
+            lsa.Lsa.links)
+    (Lsdb.origins lsdb);
+  let view_arcs = List.rev !view_arcs in
+  let global_ids = Array.of_list (List.rev !global_ids) in
+  let n = Graph.node_count t.graph in
+  let view = Graph.build ~n (List.map fst view_arcs) in
+  let weights = Array.of_list (List.map snd view_arcs) in
+  let dags = Spf.all_destinations view ~weights in
+  (* Translate local arc ids back to global ids. *)
+  Array.map
+    (fun (dag : Spf.dag) ->
+      {
+        dag with
+        Spf.next_arcs =
+          Array.map (Array.map (fun local -> global_ids.(local))) dag.Spf.next_arcs;
+      })
+    dags
+
+let lsdb_sizes t = Array.map Lsdb.size t.lsdbs

@@ -1,0 +1,57 @@
+(** Synchronous-round simulation of an MT-OSPF area: LSA origination,
+    reliable flooding over adjacencies, per-topology SPF from each
+    router's own LSDB.
+
+    The model demonstrates (and lets tests verify) that a weight pair
+    computed by the DTR heuristic can be disseminated with standard
+    multi-topology flooding and that every router's per-topology
+    forwarding state then agrees with the global {!Dtr_graph.Spf}
+    computation the optimizer used. *)
+
+type t
+
+type flood_stats = {
+  rounds : int;  (** synchronous rounds until quiescence *)
+  messages : int;  (** LSA transmissions over adjacencies *)
+}
+
+val create : Dtr_graph.Graph.t -> weight_sets:int array array -> t
+(** [create g ~weight_sets] builds one router per node; topology [k]
+    assigns weight [weight_sets.(k).(arc)] to each arc.  Every router
+    starts having originated its own LSA but nothing has been flooded
+    yet ({!flood} runs the exchange).
+    @raise Invalid_argument if no topology is given or a weight vector
+    has the wrong length or out-of-bounds weights. *)
+
+val topology_count : t -> int
+
+val flood : t -> flood_stats
+(** Run synchronous flooding rounds until no LSA is in flight. *)
+
+val converged : t -> bool
+(** All routers hold identical LSDBs. *)
+
+val set_weight : t -> topology:int -> arc:int -> weight:int -> flood_stats
+(** Reconfigure one arc's weight in one topology: the arc's head
+    router re-originates with a higher sequence number and the change
+    is flooded.  Returns the flooding cost.
+    @raise Invalid_argument on bad indices/bounds or a failed arc. *)
+
+val exclude_arc : t -> topology:int -> arc:int -> flood_stats
+(** Remove an arc from one topology only (MT-OSPF per-topology
+    exclusion); it keeps carrying other topologies. *)
+
+val fail_arc : t -> arc:int -> flood_stats
+(** Take an arc down in every topology (interface failure); flooding
+    stops using it too. *)
+
+val routing_table :
+  t -> router:int -> topology:int -> Dtr_graph.Spf.dag array
+(** Per-destination shortest-path DAGs computed from [router]'s own
+    LSDB for one topology.  Arc ids in the result are global arc ids
+    of the underlying graph, so the tables are directly comparable to
+    [Spf.all_destinations].  Destinations unreachable in that
+    router's current view get empty next-hop sets. *)
+
+val lsdb_sizes : t -> int array
+(** Per-router LSDB size (diagnostic). *)

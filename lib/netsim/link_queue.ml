@@ -1,0 +1,102 @@
+type discipline = Priority | Fifo
+
+type enqueue_outcome = Accepted | Dropped
+
+type t = {
+  discipline : discipline;
+  capacity_mbps : float;
+  buffer_packets : int option;
+  high : Packet.t Queue.t;
+  low : Packet.t Queue.t;  (* unused under Fifo: everything goes high *)
+  mutable busy : bool;
+  mutable busy_time : float;
+  mutable tx_high : int;
+  mutable tx_low : int;
+  mutable drop_high : int;
+  mutable drop_low : int;
+}
+
+let create ?(discipline = Priority) ?buffer_packets ~capacity_mbps () =
+  if capacity_mbps <= 0. then invalid_arg "Link_queue.create: non-positive capacity";
+  (match buffer_packets with
+  | Some b when b < 1 -> invalid_arg "Link_queue.create: non-positive buffer"
+  | Some _ | None -> ());
+  {
+    discipline;
+    capacity_mbps;
+    buffer_packets;
+    high = Queue.create ();
+    low = Queue.create ();
+    busy = false;
+    busy_time = 0.;
+    tx_high = 0;
+    tx_low = 0;
+    drop_high = 0;
+    drop_low = 0;
+  }
+
+let discipline t = t.discipline
+
+let note_dropped t (p : Packet.t) =
+  match p.Packet.klass with
+  | Packet.High -> t.drop_high <- t.drop_high + 1
+  | Packet.Low -> t.drop_low <- t.drop_low + 1
+
+let enqueue t (p : Packet.t) =
+  let target =
+    match t.discipline with
+    | Fifo -> t.high
+    | Priority -> (
+        match p.Packet.klass with Packet.High -> t.high | Packet.Low -> t.low)
+  in
+  let full =
+    match t.buffer_packets with
+    | None -> false
+    | Some b -> Queue.length target >= b
+  in
+  if full then begin
+    note_dropped t p;
+    Dropped
+  end
+  else begin
+    Queue.add p target;
+    Accepted
+  end
+
+let busy t = t.busy
+
+let set_busy t b = t.busy <- b
+
+let take_next t =
+  if not (Queue.is_empty t.high) then Some (Queue.pop t.high)
+  else if not (Queue.is_empty t.low) then Some (Queue.pop t.low)
+  else None
+
+let service_time t (p : Packet.t) =
+  (* capacity in Mbps = 1000 bits/ms. *)
+  p.Packet.size_bits /. (t.capacity_mbps *. 1000.)
+
+let queue_length t klass =
+  match (t.discipline, klass) with
+  | Fifo, Packet.High -> Queue.length t.high
+  | Fifo, Packet.Low -> 0
+  | Priority, Packet.High -> Queue.length t.high
+  | Priority, Packet.Low -> Queue.length t.low
+
+let total_queued t = Queue.length t.high + Queue.length t.low
+
+let busy_time t = t.busy_time
+
+let add_busy_time t dt = t.busy_time <- t.busy_time +. dt
+
+let transmitted t = function
+  | Packet.High -> t.tx_high
+  | Packet.Low -> t.tx_low
+
+let note_transmitted t = function
+  | Packet.High -> t.tx_high <- t.tx_high + 1
+  | Packet.Low -> t.tx_low <- t.tx_low + 1
+
+let dropped t = function
+  | Packet.High -> t.drop_high
+  | Packet.Low -> t.drop_low

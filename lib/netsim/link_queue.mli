@@ -1,0 +1,59 @@
+(** Output queue of one arc: strict two-priority, non-preemptive,
+    work-conserving, infinite buffers (the paper's contention-resolution
+    model).
+
+    The queue holds packets waiting for the transmitter; the simulator
+    drives it with {!start_service} / {!take_next}. *)
+
+type discipline =
+  | Priority  (** strict two-priority, high class first (the paper) *)
+  | Fifo  (** single shared FIFO — no differentiation at all *)
+
+type t
+
+val create :
+  ?discipline:discipline ->
+  ?buffer_packets:int ->
+  capacity_mbps:float ->
+  unit ->
+  t
+(** Defaults to [Priority] with unbounded buffers; [buffer_packets]
+    bounds each class queue (shared queue under [Fifo]).
+    @raise Invalid_argument on a non-positive capacity or buffer. *)
+
+type enqueue_outcome =
+  | Accepted
+  | Dropped  (** the class queue was full; the packet is lost *)
+
+val discipline : t -> discipline
+
+val enqueue : t -> Packet.t -> enqueue_outcome
+
+val busy : t -> bool
+
+val set_busy : t -> bool -> unit
+
+val take_next : t -> Packet.t option
+(** Dequeue the next packet to transmit: the high-priority queue is
+    always drained first. *)
+
+val service_time : t -> Packet.t -> float
+(** Transmission time of the packet in ms ([size / capacity]). *)
+
+val queue_length : t -> Packet.klass -> int
+
+val total_queued : t -> int
+
+val busy_time : t -> float
+(** Accumulated transmission time (ms); divide by elapsed time for
+    utilization. *)
+
+val add_busy_time : t -> float -> unit
+
+val transmitted : t -> Packet.klass -> int
+(** Packets fully transmitted per class. *)
+
+val dropped : t -> Packet.klass -> int
+(** Packets rejected per class because the buffer was full. *)
+
+val note_transmitted : t -> Packet.klass -> unit

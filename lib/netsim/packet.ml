@@ -1,0 +1,18 @@
+type klass = High | Low
+
+let klass_name = function High -> "high" | Low -> "low"
+
+type t = {
+  id : int;
+  klass : klass;
+  src : int;
+  dst : int;
+  size_bits : float;
+  created : float;
+  mutable hops : int;
+}
+
+let create ~id ~klass ~src ~dst ~size_bits ~created =
+  if size_bits <= 0. then invalid_arg "Packet.create: non-positive size";
+  if src = dst then invalid_arg "Packet.create: src = dst";
+  { id; klass; src; dst; size_bits; created; hops = 0 }

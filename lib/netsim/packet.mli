@@ -1,0 +1,25 @@
+(** Packets and traffic classes for the discrete-event simulator. *)
+
+type klass = High | Low
+
+val klass_name : klass -> string
+
+type t = {
+  id : int;
+  klass : klass;
+  src : int;
+  dst : int;
+  size_bits : float;
+  created : float;  (** injection time, ms *)
+  mutable hops : int;  (** links traversed so far *)
+}
+
+val create :
+  id:int ->
+  klass:klass ->
+  src:int ->
+  dst:int ->
+  size_bits:float ->
+  created:float ->
+  t
+(** @raise Invalid_argument on a non-positive size or [src = dst]. *)

@@ -1,0 +1,254 @@
+module Graph = Dtr_graph.Graph
+module Spf = Dtr_graph.Spf
+module Dijkstra = Dtr_graph.Dijkstra
+module Matrix = Dtr_traffic.Matrix
+module Prng = Dtr_util.Prng
+module Dist = Dtr_util.Dist
+module Pqueue = Dtr_util.Pqueue
+module Weights = Dtr_routing.Weights
+
+type config = {
+  duration : float;
+  warmup : float;
+  mean_packet_bits : float;
+  seed : int;
+  discipline : Link_queue.discipline;
+  buffer_packets : int option;
+}
+
+let default_config =
+  {
+    duration = 2000.;
+    warmup = 200.;
+    mean_packet_bits = 8000.;
+    seed = 0;
+    discipline = Link_queue.Priority;
+    buffer_packets = None;
+  }
+
+type class_stats = {
+  injected : int;
+  delivered : int;
+  dropped : int;
+  mean_delay : float;
+  p95_delay : float;
+  max_delay : float;
+  mean_hops : float;
+}
+
+type result = {
+  high : class_stats;
+  low : class_stats;
+  link_utilization : float array;
+  clock : float;
+  pair_delays : (int * int * Packet.klass, float * int) Hashtbl.t;
+}
+
+type flow = {
+  f_src : int;
+  f_dst : int;
+  f_klass : Packet.klass;
+  rate_per_ms : float;  (* packet arrival rate *)
+}
+
+type event =
+  | Inject of int  (* flow index *)
+  | Service_done of int  (* arc id *)
+  | Arrive of Packet.t * int  (* packet reaches a node *)
+
+(* Growable float accumulator for delay samples. *)
+type samples = { mutable data : float array; mutable len : int }
+
+let samples_create () = { data = Array.make 1024 0.; len = 0 }
+
+let samples_add s x =
+  if s.len = Array.length s.data then begin
+    let nd = Array.make (2 * s.len) 0. in
+    Array.blit s.data 0 nd 0 s.len;
+    s.data <- nd
+  end;
+  s.data.(s.len) <- x;
+  s.len <- s.len + 1
+
+let samples_array s = Array.sub s.data 0 s.len
+
+let class_stats_of ~injected ~dropped ~hops samples =
+  let a = samples_array samples in
+  let delivered = Array.length a in
+  if delivered = 0 then
+    {
+      injected;
+      delivered = 0;
+      dropped;
+      mean_delay = 0.;
+      p95_delay = 0.;
+      max_delay = 0.;
+      mean_hops = 0.;
+    }
+  else
+    {
+      injected;
+      delivered;
+      dropped;
+      mean_delay = Dtr_util.Stats.mean a;
+      p95_delay = Dtr_util.Stats.percentile a 95.;
+      max_delay = snd (Dtr_util.Stats.min_max a);
+      mean_hops = float_of_int hops /. float_of_int delivered;
+    }
+
+let run g ~wh ~wl ~th ~tl config =
+  Weights.validate g wh;
+  Weights.validate g wl;
+  if config.duration <= 0. then invalid_arg "Sim.run: non-positive duration";
+  if config.warmup < 0. || config.warmup >= config.duration then
+    invalid_arg "Sim.run: warmup must lie in [0, duration)";
+  if config.mean_packet_bits <= 0. then
+    invalid_arg "Sim.run: non-positive packet size";
+  let n = Graph.node_count g in
+  if Matrix.size th <> n || Matrix.size tl <> n then
+    invalid_arg "Sim.run: matrix size mismatch";
+  let rng = Prng.create config.seed in
+  let dags_h = Spf.all_destinations g ~weights:wh in
+  let dags_l = if wh == wl then dags_h else Spf.all_destinations g ~weights:wl in
+  (* Flows: one Poisson source per positive matrix entry. *)
+  let flows = ref [] in
+  let add_flows matrix klass dags =
+    Matrix.iter matrix (fun s t demand ->
+        if dags.(t).Spf.dist.(s) = Dijkstra.unreachable then
+          invalid_arg (Printf.sprintf "Sim.run: no path %d -> %d" s t);
+        (* demand in Mbps = demand * 1000 bits per ms. *)
+        let rate = demand *. 1000. /. config.mean_packet_bits in
+        flows := { f_src = s; f_dst = t; f_klass = klass; rate_per_ms = rate }
+                 :: !flows)
+  in
+  add_flows th Packet.High dags_h;
+  add_flows tl Packet.Low dags_l;
+  let flows = Array.of_list !flows in
+  let queues =
+    Array.init (Graph.arc_count g) (fun id ->
+        Link_queue.create ~discipline:config.discipline
+          ?buffer_packets:config.buffer_packets
+          ~capacity_mbps:(Graph.arc g id).Graph.capacity ())
+  in
+  let in_service = Array.make (Graph.arc_count g) None in
+  let events = Pqueue.create () in
+  let next_packet_id = ref 0 in
+  let injected_high = ref 0 and injected_low = ref 0 in
+  let hops_high = ref 0 and hops_low = ref 0 in
+  let delays_high = samples_create () and delays_low = samples_create () in
+  let pair_delays = Hashtbl.create 64 in
+  let clock = ref 0. in
+  let schedule t ev = if t <= config.duration then Pqueue.add events t ev else () in
+  let schedule_injection fi =
+    let f = flows.(fi) in
+    if f.rate_per_ms > 0. then begin
+      let dt = Dist.exponential rng ~rate:f.rate_per_ms in
+      schedule (!clock +. dt) (Inject fi)
+    end
+  in
+  let record_delivery (p : Packet.t) =
+    if !clock >= config.warmup then begin
+      let delay = !clock -. p.Packet.created in
+      (match p.Packet.klass with
+      | Packet.High ->
+          samples_add delays_high delay;
+          hops_high := !hops_high + p.Packet.hops
+      | Packet.Low ->
+          samples_add delays_low delay;
+          hops_low := !hops_low + p.Packet.hops);
+      let key = (p.Packet.src, p.Packet.dst, p.Packet.klass) in
+      let sum, count =
+        match Hashtbl.find_opt pair_delays key with
+        | Some (s, c) -> (s, c)
+        | None -> (0., 0)
+      in
+      Hashtbl.replace pair_delays key (sum +. delay, count + 1)
+    end
+  in
+  let start_service arc (p : Packet.t) =
+    let q = queues.(arc) in
+    Link_queue.set_busy q true;
+    in_service.(arc) <- Some p;
+    let st = Link_queue.service_time q p in
+    Link_queue.add_busy_time q st;
+    schedule (!clock +. st) (Service_done arc)
+  in
+  let rec handle_at_node (p : Packet.t) v =
+    if v = p.Packet.dst then record_delivery p
+    else begin
+      let dags = match p.Packet.klass with
+        | Packet.High -> dags_h
+        | Packet.Low -> dags_l
+      in
+      let next = dags.(p.Packet.dst).Spf.next_arcs.(v) in
+      assert (Array.length next > 0);
+      let arc = next.(Prng.int rng (Array.length next)) in
+      p.Packet.hops <- p.Packet.hops + 1;
+      let q = queues.(arc) in
+      if Link_queue.busy q then
+        match Link_queue.enqueue q p with
+        | Link_queue.Accepted | Link_queue.Dropped -> ()
+      else start_service arc p
+    end
+  and handle_event = function
+    | Inject fi ->
+        let f = flows.(fi) in
+        let size = Dist.exponential rng ~rate:(1. /. config.mean_packet_bits) in
+        (* Guard against pathological zero-size draws. *)
+        let size = Float.max size 1. in
+        let p =
+          Packet.create ~id:!next_packet_id ~klass:f.f_klass ~src:f.f_src
+            ~dst:f.f_dst ~size_bits:size ~created:!clock
+        in
+        incr next_packet_id;
+        (match f.f_klass with
+        | Packet.High -> incr injected_high
+        | Packet.Low -> incr injected_low);
+        schedule_injection fi;
+        handle_at_node p f.f_src
+    | Service_done arc -> (
+        let q = queues.(arc) in
+        match in_service.(arc) with
+        | None -> assert false
+        | Some p ->
+            in_service.(arc) <- None;
+            Link_queue.note_transmitted q p.Packet.klass;
+            let a = Graph.arc g arc in
+            schedule (!clock +. a.Graph.delay) (Arrive (p, a.Graph.dst));
+            (match Link_queue.take_next q with
+            | Some nxt -> start_service arc nxt
+            | None -> Link_queue.set_busy q false))
+    | Arrive (p, v) -> handle_at_node p v
+  in
+  Array.iteri (fun fi _ -> schedule_injection fi) flows;
+  let running = ref true in
+  while !running do
+    match Pqueue.pop_min events with
+    | None -> running := false
+    | Some (t, ev) ->
+        clock := t;
+        handle_event ev
+  done;
+  let link_utilization =
+    Array.map (fun q -> Link_queue.busy_time q /. config.duration) queues
+  in
+  let dropped klass =
+    Array.fold_left (fun acc q -> acc + Link_queue.dropped q klass) 0 queues
+  in
+  {
+    high =
+      class_stats_of ~injected:!injected_high
+        ~dropped:(dropped Packet.High) ~hops:!hops_high delays_high;
+    low =
+      class_stats_of ~injected:!injected_low ~dropped:(dropped Packet.Low)
+        ~hops:!hops_low delays_low;
+    link_utilization;
+    clock = !clock;
+    pair_delays;
+  }
+
+let pair_mean_delay r ~src ~dst ~klass =
+  match Hashtbl.find_opt r.pair_delays (src, dst, klass) with
+  | None -> None
+  | Some (sum, count) ->
+      if count = 0 then None else Some (sum /. float_of_int count)

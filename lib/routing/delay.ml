@@ -1,0 +1,53 @@
+module Graph = Dtr_graph.Graph
+module Spf = Dtr_graph.Spf
+module Dijkstra = Dtr_graph.Dijkstra
+module Sla = Dtr_cost.Sla
+
+let arc_delays params g ~phi_h_per_arc =
+  let m = Graph.arc_count g in
+  if Array.length phi_h_per_arc <> m then
+    invalid_arg "Delay.arc_delays: length mismatch";
+  Array.init m (fun id ->
+      let a = Graph.arc g id in
+      Sla.link_delay params ~capacity:a.capacity ~phi_h:phi_h_per_arc.(id)
+        ~prop_delay:a.delay)
+
+let expected_to_destination g ~dag ~arc_delay =
+  let n = Graph.node_count g in
+  let xi = Array.make n Float.nan in
+  xi.(dag.Spf.dst) <- 0.;
+  (* Walk order_desc backwards: nearest nodes first, so every ECMP
+     next hop already has its expectation. *)
+  for i = Array.length dag.Spf.order_desc - 1 downto 0 do
+    let v = dag.Spf.order_desc.(i) in
+    let out = dag.Spf.next_arcs.(v) in
+    let deg = Array.length out in
+    assert (deg > 0);
+    let acc = ref 0. in
+    Array.iter
+      (fun id ->
+        let u = (Graph.arc g id).dst in
+        acc := !acc +. arc_delay.(id) +. xi.(u))
+      out;
+    xi.(v) <- !acc /. float_of_int deg
+  done;
+  xi
+
+let pair_delays g ~dags ~arc_delay ~pairs =
+  (* Compute expectations lazily, one destination at a time. *)
+  let n = Graph.node_count g in
+  let cache = Array.make n None in
+  let xi_for t =
+    match cache.(t) with
+    | Some xi -> xi
+    | None ->
+        let xi = expected_to_destination g ~dag:dags.(t) ~arc_delay in
+        cache.(t) <- Some xi;
+        xi
+  in
+  List.map
+    (fun (s, t) ->
+      if dags.(t).Spf.dist.(s) = Dijkstra.unreachable then
+        invalid_arg (Printf.sprintf "Delay.pair_delays: no path %d -> %d" s t);
+      (s, t, (xi_for t).(s)))
+    pairs

@@ -1,0 +1,92 @@
+module Graph = Dtr_graph.Graph
+module Spf = Dtr_graph.Spf
+module Matrix = Dtr_traffic.Matrix
+module Fortz = Dtr_cost.Fortz
+module Sla = Dtr_cost.Sla
+
+type t = {
+  graph : Graph.t;
+  dags_h : Spf.dag array;
+  dags_l : Spf.dag array;
+  h_loads : float array;
+  l_loads : float array;
+  residual : float array;
+  phi_h_per_arc : float array;
+  phi_l_per_arc : float array;
+  phi_h : float;
+  phi_l : float;
+}
+
+let assemble g ~dags_h ~h_loads ~dags_l ~l_loads =
+  let caps = Graph.capacities g in
+  let m = Graph.arc_count g in
+  let residual = Array.init m (fun i -> Float.max (caps.(i) -. h_loads.(i)) 0.) in
+  let phi_h_per_arc =
+    Array.init m (fun i -> Fortz.phi ~load:h_loads.(i) ~capacity:caps.(i))
+  in
+  let phi_l_per_arc =
+    Array.init m (fun i -> Fortz.phi ~load:l_loads.(i) ~capacity:residual.(i))
+  in
+  {
+    graph = g;
+    dags_h;
+    dags_l;
+    h_loads;
+    l_loads;
+    residual;
+    phi_h_per_arc;
+    phi_l_per_arc;
+    phi_h = Array.fold_left ( +. ) 0. phi_h_per_arc;
+    phi_l = Array.fold_left ( +. ) 0. phi_l_per_arc;
+  }
+
+let evaluate g ~wh ~wl ~th ~tl =
+  Weights.validate g wh;
+  Weights.validate g wl;
+  let dags_h = Spf.all_destinations g ~weights:wh in
+  let dags_l = if wh == wl then dags_h else Spf.all_destinations g ~weights:wl in
+  let h_loads = Loads.of_matrix g ~dags:dags_h th in
+  let l_loads = Loads.of_matrix g ~dags:dags_l tl in
+  assemble g ~dags_h ~h_loads ~dags_l ~l_loads
+
+let utilization t =
+  let caps = Graph.capacities t.graph in
+  Array.init (Array.length caps) (fun i ->
+      (t.h_loads.(i) +. t.l_loads.(i)) /. caps.(i))
+
+let h_utilization t =
+  let caps = Graph.capacities t.graph in
+  Array.init (Array.length caps) (fun i -> t.h_loads.(i) /. caps.(i))
+
+let avg_utilization t = Dtr_util.Stats.mean (utilization t)
+
+let max_utilization t =
+  Array.fold_left Float.max 0. (utilization t)
+
+type sla = {
+  arc_delay : float array;
+  pair_delays : (int * int * float) list;
+  lambda : float;
+  violations : int;
+  worst_delay : float;
+}
+
+let evaluate_sla params t ~th =
+  let arc_delay = Delay.arc_delays params t.graph ~phi_h_per_arc:t.phi_h_per_arc in
+  let pairs = List.map (fun (s, d, _) -> (s, d)) (Matrix.pairs th) in
+  let pair_delays = Delay.pair_delays t.graph ~dags:t.dags_h ~arc_delay ~pairs in
+  let lambda = ref 0. and violations = ref 0 and worst = ref 0. in
+  List.iter
+    (fun (_, _, d) ->
+      let p = Sla.penalty params ~delay:d in
+      lambda := !lambda +. p;
+      if Sla.violated params ~delay:d then incr violations;
+      if d > !worst then worst := d)
+    pair_delays;
+  {
+    arc_delay;
+    pair_delays;
+    lambda = !lambda;
+    violations = !violations;
+    worst_delay = !worst;
+  }

@@ -1,0 +1,67 @@
+(** Two-class network evaluation under strict priority queueing.
+
+    High-priority traffic is routed on weights [wh] and sees full link
+    capacities; low-priority traffic is routed on weights [wl] and sees
+    only the residual capacity [max(C_l − H_l, 0)] (paper §3).  STR is
+    the special case [wh == wl] (detected physically, computing the
+    shortest-path DAGs only once). *)
+
+type t = {
+  graph : Dtr_graph.Graph.t;
+  dags_h : Dtr_graph.Spf.dag array;  (** per-destination DAGs for [wh] *)
+  dags_l : Dtr_graph.Spf.dag array;  (** per-destination DAGs for [wl] *)
+  h_loads : float array;  (** per-arc high-priority load [H_l] *)
+  l_loads : float array;  (** per-arc low-priority load [L_l] *)
+  residual : float array;  (** [max(C_l − H_l, 0)] *)
+  phi_h_per_arc : float array;  (** [Φ_{H,l}(H_l, C_l)] *)
+  phi_l_per_arc : float array;  (** [Φ_{L,l}(L_l, C̃_l)] *)
+  phi_h : float;  (** [Φ_H = Σ_l Φ_{H,l}] *)
+  phi_l : float;  (** [Φ_L = Σ_l Φ_{L,l}] *)
+}
+
+val evaluate :
+  Dtr_graph.Graph.t ->
+  wh:int array ->
+  wl:int array ->
+  th:Dtr_traffic.Matrix.t ->
+  tl:Dtr_traffic.Matrix.t ->
+  t
+(** @raise Invalid_argument on invalid weights, size mismatches, or
+    unroutable positive demand. *)
+
+val assemble :
+  Dtr_graph.Graph.t ->
+  dags_h:Dtr_graph.Spf.dag array ->
+  h_loads:float array ->
+  dags_l:Dtr_graph.Spf.dag array ->
+  l_loads:float array ->
+  t
+(** Build the evaluation from precomputed per-class routings; lets a
+    local-search pass that mutates only one class reuse the other
+    class's shortest-path DAGs and loads.  The load arrays are not
+    copied. *)
+
+val utilization : t -> float array
+(** Per-arc [(H_l + L_l) / C_l]. *)
+
+val h_utilization : t -> float array
+(** Per-arc [H_l / C_l]. *)
+
+val avg_utilization : t -> float
+(** Mean over arcs of {!utilization} — the paper's network-load
+    x-axis. *)
+
+val max_utilization : t -> float
+
+type sla = {
+  arc_delay : float array;  (** Eq. (3) per-arc mean delay, ms *)
+  pair_delays : (int * int * float) list;
+      (** expected end-to-end delays of all high-priority SD pairs *)
+  lambda : float;  (** [Λ = Σ penalties] *)
+  violations : int;  (** number of pairs exceeding the bound *)
+  worst_delay : float;  (** max pair delay; 0. with no pairs *)
+}
+
+val evaluate_sla : Dtr_cost.Sla.params -> t -> th:Dtr_traffic.Matrix.t -> sla
+(** SLA view over high-priority pairs (entries of [th] with positive
+    demand), using the high-priority DAGs and loads from [t]. *)

@@ -1,0 +1,75 @@
+module Graph = Dtr_graph.Graph
+module Spf = Dtr_graph.Spf
+module Dijkstra = Dtr_graph.Dijkstra
+module Matrix = Dtr_traffic.Matrix
+
+let node_throughflow g ~dag ~demand_to_dst =
+  let n = Graph.node_count g in
+  if Array.length demand_to_dst <> n then
+    invalid_arg "Loads.node_throughflow: demand length mismatch";
+  let flow = Array.copy demand_to_dst in
+  flow.(dag.Spf.dst) <- 0.;
+  (* order_desc: upstream (far) nodes first, so by the time we reach a
+     node all its transit inflow has arrived. *)
+  Array.iter
+    (fun v ->
+      let out = dag.Spf.next_arcs.(v) in
+      let deg = Array.length out in
+      if flow.(v) > 0. && deg > 0 then begin
+        let share = flow.(v) /. float_of_int deg in
+        Array.iter
+          (fun id ->
+            let u = (Graph.arc g id).dst in
+            if u <> dag.Spf.dst then flow.(u) <- flow.(u) +. share)
+          out
+      end)
+    dag.Spf.order_desc;
+  flow
+
+let of_matrix ?(drop_unroutable = false) g ~dags tm =
+  let n = Graph.node_count g in
+  if Matrix.size tm <> n then invalid_arg "Loads.of_matrix: size mismatch";
+  if Array.length dags <> n then invalid_arg "Loads.of_matrix: dags length mismatch";
+  let loads = Array.make (Graph.arc_count g) 0. in
+  for t = 0 to n - 1 do
+    let dag = dags.(t) in
+    if dag.Spf.dst <> t then invalid_arg "Loads.of_matrix: dag/destination mismatch";
+    (* Gather demand towards t; detect unroutable pairs. *)
+    let demand = Array.make n 0. in
+    let any = ref false in
+    for s = 0 to n - 1 do
+      if s <> t then begin
+        let r = Matrix.get tm s t in
+        if r > 0. then begin
+          if dag.Spf.dist.(s) = Dijkstra.unreachable then begin
+            if not drop_unroutable then
+              invalid_arg
+                (Printf.sprintf "Loads.of_matrix: no path %d -> %d" s t)
+          end
+          else begin
+            demand.(s) <- r;
+            any := true
+          end
+        end
+      end
+    done;
+    if !any then begin
+      let flow = Array.copy demand in
+      flow.(t) <- 0.;
+      Array.iter
+        (fun v ->
+          let out = dag.Spf.next_arcs.(v) in
+          let deg = Array.length out in
+          if flow.(v) > 0. && deg > 0 then begin
+            let share = flow.(v) /. float_of_int deg in
+            Array.iter
+              (fun id ->
+                loads.(id) <- loads.(id) +. share;
+                let u = (Graph.arc g id).dst in
+                if u <> t then flow.(u) <- flow.(u) +. share)
+              out
+          end)
+        dag.Spf.order_desc
+    end
+  done;
+  loads

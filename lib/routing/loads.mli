@@ -1,0 +1,27 @@
+(** ECMP load distribution: project a traffic matrix onto per-arc
+    loads under the OSPF forwarding model (even splitting across all
+    shortest-path next hops, per destination). *)
+
+val of_matrix :
+  ?drop_unroutable:bool ->
+  Dtr_graph.Graph.t ->
+  dags:Dtr_graph.Spf.dag array ->
+  Dtr_traffic.Matrix.t ->
+  float array
+(** [of_matrix g ~dags tm] returns per-arc loads (indexed by arc id).
+    [dags.(t)] must be the shortest-path DAG for destination [t] (as
+    from {!Dtr_graph.Spf.all_destinations}).
+
+    Demand between a pair with no path raises [Invalid_argument]
+    unless [drop_unroutable] is set (default [false]), in which case
+    it is silently discarded.
+    @raise Invalid_argument on a matrix/graph size mismatch. *)
+
+val node_throughflow :
+  Dtr_graph.Graph.t ->
+  dag:Dtr_graph.Spf.dag ->
+  demand_to_dst:float array ->
+  float array
+(** Per-node total flow towards [dag.dst] (own demand plus transit),
+    the intermediate quantity of the even-split recursion.  Exposed for
+    tests (flow conservation checks). *)

@@ -1,0 +1,47 @@
+(** The paper's two optimization objectives as a single entry point:
+    evaluate a (dual) weight setting into a lexicographic cost, and
+    produce the per-link lexicographic costs Algorithm 2 sorts on. *)
+
+type model =
+  | Load  (** [A = ⟨Φ_H, Φ_L⟩] — Eq. (2) *)
+  | Sla of Dtr_cost.Sla.params  (** [S = ⟨Λ, Φ_L⟩] — Eq. (5) *)
+
+type result = {
+  objective : Dtr_cost.Lexico.t;
+      (** [⟨Φ_H, Φ_L⟩] or [⟨Λ, Φ_L⟩] depending on the model *)
+  eval : Evaluate.t;
+  sla : Evaluate.sla option;  (** present iff the model is [Sla _] *)
+}
+
+val evaluate :
+  model ->
+  Dtr_graph.Graph.t ->
+  wh:int array ->
+  wl:int array ->
+  th:Dtr_traffic.Matrix.t ->
+  tl:Dtr_traffic.Matrix.t ->
+  result
+(** Full evaluation of a weight setting; [wh == wl] (physical equality)
+    is the STR case. *)
+
+val of_eval :
+  model ->
+  Evaluate.t ->
+  th:Dtr_traffic.Matrix.t ->
+  ?sla:Evaluate.sla ->
+  unit ->
+  result
+(** Assemble the objective from an existing two-class evaluation.
+    Passing [?sla] (when the high-priority routing is unchanged from a
+    previous evaluation) skips recomputing delays and penalties. *)
+
+val link_costs_h : model -> result -> Dtr_cost.Lexico.t array
+(** Per-arc lexicographic link costs for FindH:
+    [⟨Φ_{H,l}, Φ_{L,l}⟩] under [Load], [⟨D_l, Φ_{L,l}⟩] under
+    [Sla] (paper §4). *)
+
+val link_costs_l : result -> float array
+(** Per-arc costs for FindL: [Φ_{L,l}] (low-priority weights cannot
+    affect the high-priority class). *)
+
+val model_name : model -> string

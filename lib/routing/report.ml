@@ -1,0 +1,76 @@
+module Graph = Dtr_graph.Graph
+module Table = Dtr_util.Table
+module Sla = Dtr_cost.Sla
+
+let per_link_table ?top (e : Evaluate.t) =
+  let g = e.Evaluate.graph in
+  let util = Evaluate.utilization e in
+  let ids = Array.init (Graph.arc_count g) (fun i -> i) in
+  Array.sort (fun a b -> Float.compare util.(b) util.(a)) ids;
+  let limit = match top with Some t -> min t (Array.length ids) | None -> Array.length ids in
+  let table =
+    Table.create ~title:"Per-link report (sorted by total utilization)"
+      ~columns:
+        [ "arc"; "link"; "cap"; "H load"; "L load"; "residual"; "util"; "PhiH"; "PhiL" ]
+  in
+  for i = 0 to limit - 1 do
+    let id = ids.(i) in
+    let a = Graph.arc g id in
+    Table.add_row table
+      [
+        string_of_int id;
+        Printf.sprintf "%d->%d" a.Graph.src a.Graph.dst;
+        Printf.sprintf "%.0f" a.Graph.capacity;
+        Printf.sprintf "%.1f" e.Evaluate.h_loads.(id);
+        Printf.sprintf "%.1f" e.Evaluate.l_loads.(id);
+        Printf.sprintf "%.1f" e.Evaluate.residual.(id);
+        Printf.sprintf "%.3f" util.(id);
+        Printf.sprintf "%.1f" e.Evaluate.phi_h_per_arc.(id);
+        Printf.sprintf "%.1f" e.Evaluate.phi_l_per_arc.(id);
+      ]
+  done;
+  table
+
+let per_pair_delay_table ?top ?(node_name = string_of_int) (sla : Evaluate.sla)
+    params =
+  let pairs =
+    List.sort
+      (fun (_, _, a) (_, _, b) -> Float.compare b a)
+      sla.Evaluate.pair_delays
+  in
+  let limit =
+    match top with Some t -> min t (List.length pairs) | None -> List.length pairs
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "High-priority pair delays (SLA bound %.1f ms)"
+           params.Sla.theta)
+      ~columns:[ "src"; "dst"; "delay (ms)"; "verdict"; "penalty" ]
+  in
+  List.iteri
+    (fun i (s, t, d) ->
+      if i < limit then
+        Table.add_row table
+          [
+            node_name s;
+            node_name t;
+            Printf.sprintf "%.2f" d;
+            (if Sla.violated params ~delay:d then "VIOLATED" else "ok");
+            Printf.sprintf "%.1f" (Sla.penalty params ~delay:d);
+          ])
+    pairs;
+  table
+
+let summary_table (e : Evaluate.t) =
+  let util = Evaluate.utilization e in
+  let overloaded = Array.fold_left (fun acc u -> if u > 1. then acc + 1 else acc) 0 util in
+  let table = Table.create ~title:"Evaluation summary" ~columns:[ "metric"; "value" ] in
+  Table.add_row table [ "Phi_H"; Printf.sprintf "%.4g" e.Evaluate.phi_h ];
+  Table.add_row table [ "Phi_L"; Printf.sprintf "%.4g" e.Evaluate.phi_l ];
+  Table.add_row table
+    [ "avg utilization"; Printf.sprintf "%.3f" (Evaluate.avg_utilization e) ];
+  Table.add_row table
+    [ "max utilization"; Printf.sprintf "%.3f" (Evaluate.max_utilization e) ];
+  Table.add_row table [ "overloaded arcs (>1.0)"; string_of_int overloaded ];
+  table

@@ -1,0 +1,22 @@
+(** Human-readable inspection of a two-class evaluation: per-link and
+    per-pair tables for operators (and the CLI's [inspect] command). *)
+
+val per_link_table :
+  ?top:int -> Evaluate.t -> Dtr_util.Table.t
+(** One row per arc — endpoints, capacity, per-class load, residual,
+    total utilization, per-class Fortz cost — sorted by decreasing
+    utilization.  [top] limits the row count (default: all). *)
+
+val per_pair_delay_table :
+  ?top:int ->
+  ?node_name:(int -> string) ->
+  Evaluate.sla ->
+  Dtr_cost.Sla.params ->
+  Dtr_util.Table.t
+(** High-priority SD pairs sorted by decreasing expected delay, with
+    their SLA verdicts.  [node_name] renders endpoints (default: the
+    node id). *)
+
+val summary_table : Evaluate.t -> Dtr_util.Table.t
+(** Aggregates: Φ_H, Φ_L, average/max utilization, overloaded-arc
+    count (utilization > 1). *)

@@ -1,0 +1,23 @@
+(** Serialization of (dual) weight settings, so optimized weights can
+    be saved, diffed and deployed.
+
+    Format (line oriented, [#] comments allowed):
+    {v
+    arcs <m> topologies <t>
+    w <arc-id> <w_topo0> [<w_topo1> ...]
+    ...
+    v}
+    Every arc id in [0, m) must appear exactly once. *)
+
+val to_string : int array array -> string
+(** [to_string sets] serializes one or more weight vectors (all the
+    same length).  @raise Invalid_argument on an empty set list or
+    mismatched lengths. *)
+
+val of_string : string -> (int array array, string) result
+
+val save : int array array -> string -> unit
+(** @raise Sys_error on I/O failure, [Invalid_argument] as
+    {!to_string}. *)
+
+val load : string -> (int array array, string) result

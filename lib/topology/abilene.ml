@@ -1,0 +1,58 @@
+module Graph = Dtr_graph.Graph
+
+let cities =
+  [|
+    ("Seattle", 47.6, -122.3);
+    ("Sunnyvale", 37.4, -122.0);
+    ("LosAngeles", 34.0, -118.2);
+    ("Denver", 39.7, -105.0);
+    ("KansasCity", 39.1, -94.6);
+    ("Houston", 29.8, -95.4);
+    ("Indianapolis", 39.8, -86.2);
+    ("Atlanta", 33.7, -84.4);
+    ("Chicago", 41.9, -87.6);
+    ("NewYork", 40.7, -74.0);
+    ("WashingtonDC", 38.9, -77.0);
+  |]
+
+let node_count = Array.length cities
+
+(* The published Abilene map. *)
+let links =
+  [
+    (0, 1); (0, 3);            (* Seattle - Sunnyvale, Denver *)
+    (1, 2); (1, 3);            (* Sunnyvale - LA, Denver *)
+    (2, 5);                    (* LA - Houston *)
+    (3, 4);                    (* Denver - Kansas City *)
+    (4, 5); (4, 6);            (* KC - Houston, Indianapolis *)
+    (5, 7);                    (* Houston - Atlanta *)
+    (6, 8); (6, 7);            (* Indianapolis - Chicago, Atlanta *)
+    (7, 10);                   (* Atlanta - DC *)
+    (8, 9);                    (* Chicago - New York *)
+    (9, 10);                   (* New York - DC *)
+  ]
+
+let link_count = List.length links
+
+let city_name i =
+  if i < 0 || i >= node_count then invalid_arg "Abilene.city_name: out of range";
+  let name, _, _ = cities.(i) in
+  name
+
+let city_position i =
+  if i < 0 || i >= node_count then
+    invalid_arg "Abilene.city_position: out of range";
+  let _, lat, lon = cities.(i) in
+  (lat, lon)
+
+let generate ?(capacity = 9920.) () =
+  let arcs =
+    List.fold_left
+      (fun acc (u, v) ->
+        let km = Isp.great_circle_km (city_position u) (city_position v) in
+        (* Fiber path at 2/3 c: 1 ms per ~200 km. *)
+        let delay = km /. 200. in
+        Graph.add_symmetric ~capacity ~delay u v acc)
+      [] links
+  in
+  Graph.build ~n:node_count arcs

@@ -1,0 +1,21 @@
+(** The Abilene research backbone (Internet2, ca. 2004): 11 POPs and 14
+    OC-192 links — the most widely used real reference topology in the
+    traffic-engineering literature.
+
+    Node ids map to cities ({!city_name}); propagation delays derive
+    from great-circle distances at 2/3 the speed of light. *)
+
+val node_count : int
+(** 11. *)
+
+val link_count : int
+(** 14 undirected links (28 arcs). *)
+
+val city_name : int -> string
+(** @raise Invalid_argument if out of range. *)
+
+val city_position : int -> float * float
+(** (latitude, longitude) in degrees. *)
+
+val generate : ?capacity:float -> unit -> Dtr_graph.Graph.t
+(** Deterministic.  Default capacity 9920 Mbps (OC-192). *)

@@ -1,0 +1,61 @@
+module Graph = Dtr_graph.Graph
+
+let sym = Graph.add_symmetric
+
+let triangle ?(capacity = 1.0) ?(delay = 1.0) () =
+  let arcs =
+    [] |> sym ~capacity ~delay 0 1 |> sym ~capacity ~delay 1 2
+    |> sym ~capacity ~delay 0 2
+  in
+  Graph.build ~n:3 arcs
+
+let ring ?(capacity = 1.0) ?(delay = 1.0) n =
+  if n < 3 then invalid_arg "Classic.ring: need at least 3 nodes";
+  let arcs = ref [] in
+  for v = 0 to n - 1 do
+    arcs := sym ~capacity ~delay v ((v + 1) mod n) !arcs
+  done;
+  Graph.build ~n !arcs
+
+let full_mesh ?(capacity = 1.0) ?(delay = 1.0) n =
+  if n < 2 then invalid_arg "Classic.full_mesh: need at least 2 nodes";
+  let arcs = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      arcs := sym ~capacity ~delay u v !arcs
+    done
+  done;
+  Graph.build ~n !arcs
+
+let grid ?(capacity = 1.0) ?(delay = 1.0) ~rows ~cols () =
+  if rows < 1 || cols < 1 || rows * cols < 2 then
+    invalid_arg "Classic.grid: need at least 2 nodes";
+  let id r c = (r * cols) + c in
+  let arcs = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then arcs := sym ~capacity ~delay (id r c) (id r (c + 1)) !arcs;
+      if r + 1 < rows then arcs := sym ~capacity ~delay (id r c) (id (r + 1) c) !arcs
+    done
+  done;
+  Graph.build ~n:(rows * cols) !arcs
+
+let line ?(capacity = 1.0) ?(delay = 1.0) n =
+  if n < 2 then invalid_arg "Classic.line: need at least 2 nodes";
+  let arcs = ref [] in
+  for v = 0 to n - 2 do
+    arcs := sym ~capacity ~delay v (v + 1) !arcs
+  done;
+  Graph.build ~n !arcs
+
+let dumbbell ?(capacity = 1.0) ?bottleneck ?(delay = 1.0) k =
+  if k < 1 then invalid_arg "Classic.dumbbell: need at least 1 leaf per side";
+  let bottleneck = Option.value bottleneck ~default:capacity in
+  let left_hub = k and right_hub = k + 1 in
+  let arcs = ref [] in
+  for leaf = 0 to k - 1 do
+    arcs := sym ~capacity ~delay leaf left_hub !arcs;
+    arcs := sym ~capacity ~delay (k + 2 + leaf) right_hub !arcs
+  done;
+  arcs := sym ~capacity:bottleneck ~delay left_hub right_hub !arcs;
+  Graph.build ~n:((2 * k) + 2) !arcs

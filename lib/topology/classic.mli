@@ -1,0 +1,27 @@
+(** Small fixed topologies used by examples and tests.
+
+    All links are bidirectional (two arcs). *)
+
+val triangle : ?capacity:float -> ?delay:float -> unit -> Dtr_graph.Graph.t
+(** The 3-node network of the paper's Fig. 1 (nodes A=0, B=1, C=2),
+    default capacity 1.0 and delay 1.0. *)
+
+val ring : ?capacity:float -> ?delay:float -> int -> Dtr_graph.Graph.t
+(** Cycle over [n >= 3] nodes.  @raise Invalid_argument otherwise. *)
+
+val full_mesh : ?capacity:float -> ?delay:float -> int -> Dtr_graph.Graph.t
+(** Complete graph over [n >= 2] nodes. *)
+
+val grid : ?capacity:float -> ?delay:float -> rows:int -> cols:int -> unit
+  -> Dtr_graph.Graph.t
+(** [rows × cols] grid, [rows, cols >= 1], at least 2 nodes. *)
+
+val line : ?capacity:float -> ?delay:float -> int -> Dtr_graph.Graph.t
+(** Path graph over [n >= 2] nodes. *)
+
+val dumbbell :
+  ?capacity:float -> ?bottleneck:float -> ?delay:float -> int
+  -> Dtr_graph.Graph.t
+(** Two stars of [k >= 1] leaves joined by a single (possibly smaller
+    capacity) bottleneck link; nodes [0..k-1] left leaves, [k] left hub,
+    [k+1] right hub, [k+2..2k+1] right leaves. *)

@@ -1,0 +1,84 @@
+module Graph = Dtr_graph.Graph
+
+let cities =
+  [|
+    ("Seattle", 47.6, -122.3);
+    ("SanFrancisco", 37.8, -122.4);
+    ("LosAngeles", 34.0, -118.2);
+    ("Phoenix", 33.4, -112.1);
+    ("SaltLakeCity", 40.8, -111.9);
+    ("Denver", 39.7, -105.0);
+    ("Dallas", 32.8, -96.8);
+    ("Houston", 29.8, -95.4);
+    ("KansasCity", 39.1, -94.6);
+    ("Chicago", 41.9, -87.6);
+    ("StLouis", 38.6, -90.2);
+    ("Atlanta", 33.7, -84.4);
+    ("Miami", 25.8, -80.2);
+    ("WashingtonDC", 38.9, -77.0);
+    ("NewYork", 40.7, -74.0);
+    ("Boston", 42.4, -71.1);
+  |]
+
+let node_count = Array.length cities
+
+(* 35 undirected links: a plausible Tier-1 mesh over the 16 POPs with
+   average degree 4.375, matching the paper's 16-node / 70-link count. *)
+let links =
+  [
+    (0, 1); (0, 4); (0, 5); (0, 9);
+    (1, 2); (1, 4);
+    (2, 3); (2, 4); (2, 6); (2, 7);
+    (3, 4); (3, 6);
+    (4, 5); (4, 8);
+    (5, 6); (5, 8);
+    (6, 7); (6, 8); (6, 10); (6, 11);
+    (7, 11); (7, 12);
+    (8, 9); (8, 10);
+    (9, 10); (9, 14); (9, 15);
+    (10, 11); (10, 13);
+    (11, 12); (11, 13);
+    (12, 13);
+    (13, 14); (13, 15);
+    (14, 15);
+  ]
+
+let link_count = List.length links
+
+let city_name i =
+  if i < 0 || i >= node_count then invalid_arg "Isp.city_name: out of range";
+  let name, _, _ = cities.(i) in
+  name
+
+let city_position i =
+  if i < 0 || i >= node_count then invalid_arg "Isp.city_position: out of range";
+  let _, lat, lon = cities.(i) in
+  (lat, lon)
+
+let great_circle_km (lat1, lon1) (lat2, lon2) =
+  let rad d = d *. Float.pi /. 180. in
+  let dlat = rad (lat2 -. lat1) and dlon = rad (lon2 -. lon1) in
+  let a =
+    (sin (dlat /. 2.) ** 2.)
+    +. (cos (rad lat1) *. cos (rad lat2) *. (sin (dlon /. 2.) ** 2.))
+  in
+  let c = 2. *. atan2 (sqrt a) (sqrt (1. -. a)) in
+  6371. *. c
+
+let generate ?(capacity = 500.) () =
+  let dists =
+    List.map
+      (fun (u, v) -> great_circle_km (city_position u) (city_position v))
+      links
+  in
+  let dmin = List.fold_left min infinity dists in
+  let dmax = List.fold_left max neg_infinity dists in
+  let span = if dmax > dmin then dmax -. dmin else 1. in
+  let arcs =
+    List.fold_left2
+      (fun acc (u, v) d ->
+        let delay = 8. +. (7. *. (d -. dmin) /. span) in
+        Graph.add_symmetric ~capacity ~delay u v acc)
+      [] links dists
+  in
+  Graph.build ~n:node_count arcs

@@ -1,0 +1,26 @@
+(** A 16-node, 70-arc (35 bidirectional link) North-American ISP
+    backbone, emulating the topology used in the paper's evaluation.
+
+    Node ids map to cities ({!city_name}); per-link propagation delays
+    are derived from great-circle distances between the cities and
+    mapped linearly onto the paper's 8–15 ms range.  All capacities
+    default to 500 Mbps. *)
+
+val node_count : int
+(** 16. *)
+
+val link_count : int
+(** 35 undirected links (70 arcs). *)
+
+val city_name : int -> string
+(** @raise Invalid_argument if out of range. *)
+
+val city_position : int -> float * float
+(** (latitude, longitude) in degrees. *)
+
+val generate : ?capacity:float -> unit -> Dtr_graph.Graph.t
+(** Build the backbone graph.  Deterministic (no randomness). *)
+
+val great_circle_km : float * float -> float * float -> float
+(** Haversine distance between two (lat, lon) points, km.  Exposed for
+    tests. *)

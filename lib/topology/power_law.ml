@@ -1,0 +1,78 @@
+module Graph = Dtr_graph.Graph
+module Prng = Dtr_util.Prng
+module Dist = Dtr_util.Dist
+
+type params = {
+  nodes : int;
+  m0 : int;
+  m : int;
+  capacity : float;
+  delay_range : float * float;
+}
+
+let default =
+  { nodes = 30; m0 = 9; m = 6; capacity = 500.; delay_range = (1.2, 15.) }
+
+let link_count p = (p.m0 * (p.m0 - 1) / 2) + ((p.nodes - p.m0) * p.m)
+
+let generate rng p =
+  if p.m0 < 2 then invalid_arg "Power_law.generate: m0 must be >= 2";
+  if p.nodes <= p.m0 then invalid_arg "Power_law.generate: nodes must exceed m0";
+  if p.m < 1 || p.m > p.m0 then
+    invalid_arg "Power_law.generate: need 1 <= m <= m0";
+  let dlo, dhi = p.delay_range in
+  if dhi < dlo || dlo < 0. then invalid_arg "Power_law.generate: bad delay range";
+  let n = p.nodes in
+  let degree = Array.make n 0 in
+  let adj = Array.make_matrix n n false in
+  let links = ref [] in
+  let add_link u v =
+    adj.(u).(v) <- true;
+    adj.(v).(u) <- true;
+    degree.(u) <- degree.(u) + 1;
+    degree.(v) <- degree.(v) + 1;
+    links := (u, v) :: !links
+  in
+  (* Seed clique. *)
+  for u = 0 to p.m0 - 1 do
+    for v = u + 1 to p.m0 - 1 do
+      add_link u v
+    done
+  done;
+  (* Preferential attachment. *)
+  for v = p.m0 to n - 1 do
+    let attached = ref 0 in
+    while !attached < p.m do
+      (* Draw an existing node with probability proportional to its
+         degree, rejecting duplicates. *)
+      let w = Array.init v (fun u -> float_of_int degree.(u)) in
+      Array.iteri (fun u _ -> if adj.(u).(v) then w.(u) <- 0.) w;
+      let u = Dist.weighted_choice rng w in
+      if not adj.(u).(v) then begin
+        add_link u v;
+        incr attached
+      end
+    done
+  done;
+  let arcs =
+    List.fold_left
+      (fun acc (u, v) ->
+        let delay = Prng.uniform rng dlo dhi in
+        Graph.add_symmetric ~capacity:p.capacity ~delay u v acc)
+      [] !links
+  in
+  Graph.build ~n arcs
+
+let degrees g = Array.init (Graph.node_count g) (fun v -> Graph.out_degree g v)
+
+let top_degree_nodes g k =
+  let n = Graph.node_count g in
+  if k < 0 || k > n then invalid_arg "Power_law.top_degree_nodes: bad k";
+  let ids = Array.init n (fun i -> i) in
+  let deg = degrees g in
+  Array.sort
+    (fun a b ->
+      let c = compare deg.(b) deg.(a) in
+      if c <> 0 then c else compare a b)
+    ids;
+  Array.sub ids 0 k

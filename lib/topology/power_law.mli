@@ -1,0 +1,36 @@
+(** Power-law topologies via Barabási–Albert preferential attachment
+    (the paper cites [21]); node degrees follow a heavy-tailed
+    distribution like the observed AS-level Internet.
+
+    Construction: a seed clique of [m0] nodes, then each arriving node
+    attaches [m] links to distinct existing nodes chosen with
+    probability proportional to their current degree. *)
+
+type params = {
+  nodes : int;  (** total number of nodes; must be > [m0] *)
+  m0 : int;  (** seed clique size, >= 2 *)
+  m : int;  (** links added per arriving node, [1 <= m <= m0] *)
+  capacity : float;
+  delay_range : float * float;
+}
+
+val default : params
+(** The paper's instance: 30 nodes / 162 links — an [m0 = 9] seed
+    clique (36 links) plus 21 arrivals × [m = 6] links = 162
+    undirected links. *)
+
+val link_count : params -> int
+(** Number of undirected links the construction yields:
+    [m0*(m0-1)/2 + (nodes-m0)*m]. *)
+
+val generate : Dtr_util.Prng.t -> params -> Dtr_graph.Graph.t
+(** @raise Invalid_argument on inconsistent parameters. *)
+
+val degrees : Dtr_graph.Graph.t -> int array
+(** Undirected degree of each node (out-degree, which equals in-degree
+    for symmetric graphs). *)
+
+val top_degree_nodes : Dtr_graph.Graph.t -> int -> int array
+(** [top_degree_nodes g k] returns the [k] highest-degree nodes
+    (ties by node id); used to pick the sink nodes of §5.2.3.
+    @raise Invalid_argument if [k] exceeds the node count. *)

@@ -1,0 +1,77 @@
+module Graph = Dtr_graph.Graph
+module Prng = Dtr_util.Prng
+
+type params = {
+  nodes : int;
+  links : int;
+  capacity : float;
+  delay_range : float * float;
+}
+
+let default =
+  { nodes = 30; links = 150; capacity = 500.; delay_range = (1.2, 15.) }
+
+let generate rng p =
+  if p.nodes < 2 then invalid_arg "Random_topo.generate: need >= 2 nodes";
+  if p.links < p.nodes - 1 then
+    invalid_arg "Random_topo.generate: too few links to connect";
+  if p.links > p.nodes * (p.nodes - 1) / 2 then
+    invalid_arg "Random_topo.generate: more links than node pairs";
+  let dlo, dhi = p.delay_range in
+  if dhi < dlo || dlo < 0. then
+    invalid_arg "Random_topo.generate: bad delay range";
+  let n = p.nodes in
+  let adj = Array.make_matrix n n false in
+  let degree = Array.make n 0 in
+  let link_list = ref [] in
+  let add_link u v =
+    adj.(u).(v) <- true;
+    adj.(v).(u) <- true;
+    degree.(u) <- degree.(u) + 1;
+    degree.(v) <- degree.(v) + 1;
+    link_list := (u, v) :: !link_list
+  in
+  (* Random spanning tree: attach each node (in random order) to a
+     uniformly random, already-attached node. *)
+  let order = Array.init n (fun i -> i) in
+  Prng.shuffle rng order;
+  for i = 1 to n - 1 do
+    let v = order.(i) in
+    let u = order.(Prng.int rng i) in
+    add_link u v
+  done;
+  (* Degree-balanced extra links: candidate endpoints are nodes of
+     minimum degree; pick uniformly among valid (non-adjacent) pairs. *)
+  let remaining = ref (p.links - (n - 1)) in
+  while !remaining > 0 do
+    (* Collect all non-adjacent pairs with the minimal degree sum. *)
+    let best = ref max_int in
+    let cands = ref [] in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if not adj.(u).(v) then begin
+          let s = degree.(u) + degree.(v) in
+          if s < !best then begin
+            best := s;
+            cands := [ (u, v) ]
+          end
+          else if s = !best then cands := (u, v) :: !cands
+        end
+      done
+    done;
+    (match !cands with
+    | [] -> invalid_arg "Random_topo.generate: graph saturated"
+    | l ->
+        let a = Array.of_list l in
+        let u, v = Prng.choose rng a in
+        add_link u v);
+    decr remaining
+  done;
+  let arcs =
+    List.fold_left
+      (fun acc (u, v) ->
+        let delay = Prng.uniform rng dlo dhi in
+        Graph.add_symmetric ~capacity:p.capacity ~delay u v acc)
+      [] !link_list
+  in
+  Graph.build ~n arcs

@@ -1,0 +1,26 @@
+(** Random degree-balanced topologies (the paper's “random topology”:
+    links added between random nodes, all nodes end with similar
+    degrees).
+
+    The generator first draws a random spanning tree (guaranteeing
+    strong connectivity, since every link is bidirectional), then adds
+    the remaining links between the currently lowest-degree node pairs
+    with random tie-breaking, which keeps the degree distribution
+    nearly uniform. *)
+
+type params = {
+  nodes : int;  (** number of nodes, >= 2 *)
+  links : int;  (** number of undirected links, >= nodes - 1 *)
+  capacity : float;  (** capacity of every link (Mbps); paper: 500 *)
+  delay_range : float * float;
+      (** propagation delays drawn uniformly from this range (ms);
+          paper: 1.2 – 15 ms *)
+}
+
+val default : params
+(** The paper's evaluation instance: 30 nodes, 150 links, 500 Mbps,
+    1.2–15 ms. *)
+
+val generate : Dtr_util.Prng.t -> params -> Dtr_graph.Graph.t
+(** @raise Invalid_argument if [links < nodes - 1], [nodes < 2], or
+    [links] exceeds the complete-graph bound [nodes*(nodes-1)/2]. *)

@@ -1,0 +1,66 @@
+module Graph = Dtr_graph.Graph
+
+let to_string g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "nodes %d\n" (Graph.node_count g));
+  Array.iter
+    (fun (a : Graph.arc) ->
+      Buffer.add_string buf
+        (Printf.sprintf "arc %d %d %.17g %.17g\n" a.src a.dst a.capacity a.delay))
+    (Graph.arcs g);
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let nodes = ref None in
+  let arcs = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun lineno line ->
+      if !error = None then begin
+        let line = String.trim line in
+        if line <> "" && not (String.length line > 0 && line.[0] = '#') then begin
+          let parts =
+            List.filter (fun p -> p <> "") (String.split_on_char ' ' line)
+          in
+          match parts with
+          | [ "nodes"; n ] -> (
+              match int_of_string_opt n with
+              | Some n when n > 0 -> nodes := Some n
+              | _ -> error := Some (Printf.sprintf "line %d: bad node count" (lineno + 1)))
+          | [ "arc"; src; dst; cap; delay ] -> (
+              match
+                ( int_of_string_opt src,
+                  int_of_string_opt dst,
+                  float_of_string_opt cap,
+                  float_of_string_opt delay )
+              with
+              | Some src, Some dst, Some capacity, Some delay ->
+                  arcs := { Graph.src; dst; capacity; delay } :: !arcs
+              | _ -> error := Some (Printf.sprintf "line %d: bad arc" (lineno + 1)))
+          | _ -> error := Some (Printf.sprintf "line %d: unknown directive" (lineno + 1))
+        end
+      end)
+    lines;
+  match (!error, !nodes) with
+  | Some e, _ -> Error e
+  | None, None -> Error "missing 'nodes' directive"
+  | None, Some n -> (
+      match Graph.build ~n (List.rev !arcs) with
+      | g -> Ok g
+      | exception Invalid_argument msg -> Error msg)
+
+let save g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      of_string s

@@ -1,0 +1,18 @@
+(** Plain-text serialization of graphs.
+
+    Format (line oriented, [#] comments allowed):
+    {v
+    nodes <n>
+    arc <src> <dst> <capacity> <delay>
+    ...
+    v} *)
+
+val to_string : Dtr_graph.Graph.t -> string
+
+val of_string : string -> (Dtr_graph.Graph.t, string) result
+(** Parse errors are returned as [Error message] with a line number. *)
+
+val save : Dtr_graph.Graph.t -> string -> unit
+(** Write to a file path.  @raise Sys_error on I/O failure. *)
+
+val load : string -> (Dtr_graph.Graph.t, string) result

@@ -1,0 +1,64 @@
+module Graph = Dtr_graph.Graph
+module Prng = Dtr_util.Prng
+
+type params = {
+  transit : int;
+  stubs_per_transit : int;
+  stub_size : int;
+  core_capacity : float;
+  edge_capacity : float;
+  delay_range : float * float;
+}
+
+let default =
+  {
+    transit = 4;
+    stubs_per_transit = 2;
+    stub_size = 3;
+    core_capacity = 1000.;
+    edge_capacity = 500.;
+    delay_range = (1.2, 15.);
+  }
+
+let node_count p = p.transit * (1 + (p.stubs_per_transit * p.stub_size))
+
+let is_transit p v = v >= 0 && v < p.transit
+
+let generate rng p =
+  if p.transit < 2 then invalid_arg "Transit_stub.generate: need >= 2 transit";
+  if p.stubs_per_transit < 0 then
+    invalid_arg "Transit_stub.generate: negative stub count";
+  if p.stub_size < 1 then invalid_arg "Transit_stub.generate: empty stub";
+  let dlo, dhi = p.delay_range in
+  if dlo < 0. || dhi < dlo then
+    invalid_arg "Transit_stub.generate: bad delay range";
+  let delay () = Prng.uniform rng dlo dhi in
+  let arcs = ref [] in
+  let add ~capacity u v =
+    arcs := Graph.add_symmetric ~capacity ~delay:(delay ()) u v !arcs
+  in
+  (* Full-mesh transit core. *)
+  for u = 0 to p.transit - 1 do
+    for v = u + 1 to p.transit - 1 do
+      add ~capacity:p.core_capacity u v
+    done
+  done;
+  (* Stub domains: contiguous id blocks after the core. *)
+  let next_id = ref p.transit in
+  for t = 0 to p.transit - 1 do
+    for _ = 1 to p.stubs_per_transit do
+      let base = !next_id in
+      next_id := !next_id + p.stub_size;
+      (* Ring inside the stub (single node: just the uplink). *)
+      if p.stub_size >= 3 then
+        for i = 0 to p.stub_size - 1 do
+          add ~capacity:p.edge_capacity (base + i)
+            (base + ((i + 1) mod p.stub_size))
+        done
+      else if p.stub_size = 2 then add ~capacity:p.edge_capacity base (base + 1);
+      (* Uplink from a random stub router to the transit router. *)
+      let gw = base + Prng.int rng p.stub_size in
+      add ~capacity:p.edge_capacity t gw
+    done
+  done;
+  Graph.build ~n:(node_count p) !arcs

@@ -1,0 +1,32 @@
+(** Two-level transit–stub topologies (in the spirit of GT-ITM):
+    a well-connected transit core of [transit] routers, each with
+    [stubs_per_transit] stub domains of [stub_size] routers hanging off
+    it.  Stub domains are small rings (every router 2-connected inside
+    its domain) attached to their transit router by one uplink.
+
+    The shape stresses the routing heuristics differently from flat
+    random graphs: all inter-domain traffic funnels through the core,
+    so core links are the contended resource. *)
+
+type params = {
+  transit : int;  (** core routers, >= 2 *)
+  stubs_per_transit : int;  (** >= 0 *)
+  stub_size : int;  (** routers per stub domain, >= 1 *)
+  core_capacity : float;  (** transit–transit links *)
+  edge_capacity : float;  (** uplinks and intra-stub links *)
+  delay_range : float * float;
+}
+
+val default : params
+(** 4 transit routers (full mesh), 2 stubs each, 3 routers per stub:
+    28 nodes; core at 1000 Mbps, edges at 500 Mbps, 1.2–15 ms. *)
+
+val node_count : params -> int
+(** [transit * (1 + stubs_per_transit * stub_size)]. *)
+
+val generate : Dtr_util.Prng.t -> params -> Dtr_graph.Graph.t
+(** The transit core is a full mesh.  @raise Invalid_argument on
+    out-of-range parameters. *)
+
+val is_transit : params -> int -> bool
+(** Whether a node id is a core router (ids [0 .. transit-1]). *)

@@ -1,0 +1,76 @@
+module Graph = Dtr_graph.Graph
+module Prng = Dtr_util.Prng
+
+type params = {
+  nodes : int;
+  alpha : float;
+  beta : float;
+  capacity : float;
+  delay_range : float * float;
+}
+
+let default =
+  {
+    nodes = 30;
+    alpha = 0.25;
+    beta = 0.4;
+    capacity = 500.;
+    delay_range = (1.2, 15.);
+  }
+
+let validate p =
+  if p.nodes < 2 then invalid_arg "Waxman.generate: need >= 2 nodes";
+  if p.alpha <= 0. || p.alpha > 1. then
+    invalid_arg "Waxman.generate: alpha must be in (0, 1]";
+  if p.beta <= 0. || p.beta > 1. then
+    invalid_arg "Waxman.generate: beta must be in (0, 1]";
+  let lo, hi = p.delay_range in
+  if lo < 0. || hi < lo then invalid_arg "Waxman.generate: bad delay range"
+
+let positions rng p =
+  validate p;
+  let n = p.nodes in
+  let pos = Array.init n (fun _ -> (Prng.float rng 1.0, Prng.float rng 1.0)) in
+  let dist u v =
+    let xu, yu = pos.(u) and xv, yv = pos.(v) in
+    sqrt (((xu -. xv) ** 2.) +. ((yu -. yv) ** 2.))
+  in
+  let diagonal = sqrt 2. in
+  let adj = Array.make_matrix n n false in
+  let links = ref [] in
+  let add u v =
+    adj.(u).(v) <- true;
+    adj.(v).(u) <- true;
+    links := (u, v) :: !links
+  in
+  (* Spanning tree for connectivity. *)
+  let order = Array.init n (fun i -> i) in
+  Prng.shuffle rng order;
+  for i = 1 to n - 1 do
+    add order.(Prng.int rng i) order.(i)
+  done;
+  (* Waxman links. *)
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if not adj.(u).(v) then begin
+        let prob = p.alpha *. exp (-.dist u v /. (p.beta *. diagonal)) in
+        if Prng.float rng 1.0 < prob then add u v
+      end
+    done
+  done;
+  (* Delays: map Euclidean distances onto the requested range. *)
+  let dlo, dhi = p.delay_range in
+  let dists = List.map (fun (u, v) -> dist u v) !links in
+  let dmin = List.fold_left Float.min Float.infinity dists in
+  let dmax = List.fold_left Float.max Float.neg_infinity dists in
+  let span = if dmax > dmin then dmax -. dmin else 1. in
+  let arcs =
+    List.fold_left2
+      (fun acc (u, v) d ->
+        let delay = dlo +. ((dhi -. dlo) *. (d -. dmin) /. span) in
+        Graph.add_symmetric ~capacity:p.capacity ~delay u v acc)
+      [] !links dists
+  in
+  (Graph.build ~n arcs, pos)
+
+let generate rng p = fst (positions rng p)

@@ -1,0 +1,29 @@
+(** Waxman random topologies (Waxman 1988): nodes placed uniformly in
+    the unit square, a link between [u] and [v] added with probability
+    [alpha * exp (-d(u,v) / (beta * L))] where [L] is the diagonal —
+    nearby nodes connect more often, giving geographically plausible
+    graphs.  A random spanning tree is overlaid first so the result is
+    always strongly connected.
+
+    Propagation delays derive from the Euclidean distances, scaled into
+    a configurable range, so Waxman graphs plug directly into the
+    SLA-based experiments. *)
+
+type params = {
+  nodes : int;  (** >= 2 *)
+  alpha : float;  (** overall link density, in (0, 1] *)
+  beta : float;  (** locality: small beta = only short links, in (0, 1] *)
+  capacity : float;
+  delay_range : float * float;  (** delays mapped onto this range (ms) *)
+}
+
+val default : params
+(** 30 nodes, [alpha = 0.25], [beta = 0.4], 500 Mbps, 1.2–15 ms. *)
+
+val generate : Dtr_util.Prng.t -> params -> Dtr_graph.Graph.t
+(** @raise Invalid_argument on out-of-range parameters. *)
+
+val positions :
+  Dtr_util.Prng.t -> params -> Dtr_graph.Graph.t * (float * float) array
+(** Like {!generate} but also returns the node coordinates (for
+    plotting or locality checks). *)

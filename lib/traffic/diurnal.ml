@@ -1,0 +1,27 @@
+type profile = {
+  trough : float;
+  peak : float;
+  peak_hour : float;
+}
+
+let default = { trough = 0.35; peak = 1.0; peak_hour = 20. }
+
+let validate p =
+  if p.trough <= 0. then invalid_arg "Diurnal: trough must be positive";
+  if p.peak < p.trough then invalid_arg "Diurnal: peak must be >= trough";
+  if p.peak_hour < 0. || p.peak_hour >= 24. then
+    invalid_arg "Diurnal: peak_hour must be in [0, 24)"
+
+let multiplier p ~hour =
+  validate p;
+  let phase = (hour -. p.peak_hour) /. 24. *. 2. *. Float.pi in
+  let mid = (p.peak +. p.trough) /. 2. in
+  let amp = (p.peak -. p.trough) /. 2. in
+  mid +. (amp *. cos phase)
+
+let snapshots p ~hours ~th ~tl =
+  List.map
+    (fun hour ->
+      let m = multiplier p ~hour in
+      (hour, Matrix.scale th m, Matrix.scale tl m))
+    hours

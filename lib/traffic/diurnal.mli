@@ -1,0 +1,30 @@
+(** Diurnal (time-of-day) demand profiles.
+
+    Operators re-engineer weights rarely; traffic swings daily.  This
+    module turns one base matrix pair into a sequence of scaled
+    snapshots following a smooth day curve, so experiments can measure
+    how stale a weight setting becomes off-peak and what re-optimizing
+    per period would cost in reconfiguration churn. *)
+
+type profile = {
+  trough : float;  (** demand multiplier at the quietest hour, > 0 *)
+  peak : float;  (** multiplier at the busiest hour, >= trough *)
+  peak_hour : float;  (** hour in [0, 24) of the maximum *)
+}
+
+val default : profile
+(** trough 0.35 at ~4am, peak 1.0 at 20:00 — a typical eyeball-ISP
+    shape. *)
+
+val multiplier : profile -> hour:float -> float
+(** Sinusoidal interpolation between trough and peak; periodic in 24 h.
+    @raise Invalid_argument on a malformed profile. *)
+
+val snapshots :
+  profile ->
+  hours:float list ->
+  th:Matrix.t ->
+  tl:Matrix.t ->
+  (float * Matrix.t * Matrix.t) list
+(** Scaled copies [(hour, th_h, tl_h)] of the base matrices (which
+    represent the peak-hour demand). *)

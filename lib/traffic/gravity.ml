@@ -1,0 +1,31 @@
+module Prng = Dtr_util.Prng
+module Dist = Dtr_util.Dist
+
+type params = {
+  demand_levels : (float * float * float) array;
+  mass_range : float * float;
+}
+
+let default =
+  {
+    demand_levels = [| (0.6, 10., 50.); (0.35, 80., 130.); (0.05, 150., 200.) |];
+    mass_range = (1.0, 1.5);
+  }
+
+let generate rng ~n p =
+  if n < 2 then invalid_arg "Gravity.generate: need at least 2 nodes";
+  let mlo, mhi = p.mass_range in
+  if mhi < mlo then invalid_arg "Gravity.generate: bad mass range";
+  let mass = Array.init n (fun _ -> Prng.uniform rng mlo mhi) in
+  let attraction = Array.map exp mass in
+  let d = Array.init n (fun _ -> Dist.three_level rng p.demand_levels) in
+  let m = Matrix.create n in
+  let total_attraction = Array.fold_left ( +. ) 0. attraction in
+  for s = 0 to n - 1 do
+    (* Eq. (6): the denominator excludes the source's own mass. *)
+    let denom = total_attraction -. attraction.(s) in
+    for t = 0 to n - 1 do
+      if t <> s then Matrix.set m s t (d.(s) *. attraction.(t) /. denom)
+    done
+  done;
+  m

@@ -1,0 +1,73 @@
+type t = { n : int; data : float array }
+
+let create n =
+  if n <= 0 then invalid_arg "Matrix.create: size must be positive";
+  { n; data = Array.make (n * n) 0. }
+
+let size m = m.n
+
+let check m s t =
+  if s < 0 || s >= m.n || t < 0 || t >= m.n then
+    invalid_arg "Matrix: index out of range"
+
+let get m s t =
+  check m s t;
+  m.data.((s * m.n) + t)
+
+let set m s t v =
+  check m s t;
+  if s = t then invalid_arg "Matrix.set: diagonal must stay zero";
+  if v < 0. then invalid_arg "Matrix.set: negative demand";
+  m.data.((s * m.n) + t) <- v
+
+let add m s t v = set m s t (get m s t +. v)
+
+let total m = Array.fold_left ( +. ) 0. m.data
+
+let scale m f =
+  if f < 0. then invalid_arg "Matrix.scale: negative factor";
+  { n = m.n; data = Array.map (fun x -> x *. f) m.data }
+
+let copy m = { n = m.n; data = Array.copy m.data }
+
+let iter m f =
+  for s = 0 to m.n - 1 do
+    for t = 0 to m.n - 1 do
+      let v = m.data.((s * m.n) + t) in
+      if v > 0. then f s t v
+    done
+  done
+
+let pairs m =
+  let acc = ref [] in
+  iter m (fun s t v -> acc := (s, t, v) :: !acc);
+  List.rev !acc
+
+let pair_count m =
+  let c = ref 0 in
+  iter m (fun _ _ _ -> incr c);
+  !c
+
+let map2 a b f =
+  if a.n <> b.n then invalid_arg "Matrix.map2: size mismatch";
+  let r = create a.n in
+  for s = 0 to a.n - 1 do
+    for t = 0 to a.n - 1 do
+      if s <> t then begin
+        let v = f a.data.((s * a.n) + t) b.data.((s * a.n) + t) in
+        if v < 0. then invalid_arg "Matrix.map2: negative result";
+        r.data.((s * a.n) + t) <- v
+      end
+    done
+  done;
+  r
+
+let equal ?(eps = 1e-9) a b =
+  a.n = b.n
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun i x -> if Float.abs (x -. b.data.(i)) > eps then ok := false)
+         a.data;
+       !ok
+     end

@@ -1,0 +1,43 @@
+(** Traffic matrices: [get m s t] is the demand (Mbps) from node [s]
+    to node [t].  The diagonal is always zero. *)
+
+type t
+
+val create : int -> t
+(** All-zero [n × n] matrix.  @raise Invalid_argument if [n <= 0]. *)
+
+val size : t -> int
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+(** @raise Invalid_argument on the diagonal, a negative demand, or an
+    index out of range. *)
+
+val add : t -> int -> int -> float -> unit
+(** Accumulate onto an entry (same constraints as {!set}). *)
+
+val total : t -> float
+(** Sum of all demands. *)
+
+val scale : t -> float -> t
+(** Fresh matrix with every entry multiplied by a non-negative factor.
+    @raise Invalid_argument on a negative factor. *)
+
+val copy : t -> t
+
+val pairs : t -> (int * int * float) list
+(** All [(s, t, demand)] with positive demand, in row-major order. *)
+
+val pair_count : t -> int
+(** Number of positive entries. *)
+
+val iter : t -> (int -> int -> float -> unit) -> unit
+(** Iterate positive entries in row-major order. *)
+
+val map2 : t -> t -> (float -> float -> float) -> t
+(** Pointwise combination; @raise Invalid_argument on size mismatch or
+    if the result would be negative anywhere. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Pointwise comparison with tolerance (default [1e-9]). *)

@@ -1,0 +1,84 @@
+type heavy_tail = { cdf : float array; pmf : float array }
+
+let heavy_tail ~tau ~n =
+  if n <= 0 then invalid_arg "Dist.heavy_tail: n must be positive";
+  if tau < 0. then invalid_arg "Dist.heavy_tail: tau must be non-negative";
+  let raw = Array.init n (fun i -> Float.pow (float_of_int (i + 1)) (-.tau)) in
+  let total = Array.fold_left ( +. ) 0. raw in
+  let pmf = Array.map (fun x -> x /. total) raw in
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i p ->
+      acc := !acc +. p;
+      cdf.(i) <- !acc)
+    pmf;
+  cdf.(n - 1) <- 1.0;
+  { cdf; pmf }
+
+let heavy_tail_sample d g =
+  let u = Prng.float g 1.0 in
+  (* Binary search for the first index with cdf >= u. *)
+  let n = Array.length d.cdf in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if d.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo + 1
+
+let heavy_tail_mass d k =
+  if k < 1 || k > Array.length d.pmf then
+    invalid_arg "Dist.heavy_tail_mass: rank out of range";
+  d.pmf.(k - 1)
+
+let weighted_choice g w =
+  let n = Array.length w in
+  if n = 0 then invalid_arg "Dist.weighted_choice: empty weights";
+  let total = ref 0. in
+  Array.iter
+    (fun x ->
+      if x < 0. || Float.is_nan x then
+        invalid_arg "Dist.weighted_choice: negative or NaN weight";
+      total := !total +. x)
+    w;
+  if !total <= 0. then invalid_arg "Dist.weighted_choice: zero total weight";
+  let u = Prng.float g !total in
+  let acc = ref 0. and chosen = ref (n - 1) and stop = ref false in
+  for i = 0 to n - 1 do
+    if not !stop then begin
+      acc := !acc +. w.(i);
+      if u < !acc then begin
+        chosen := i;
+        stop := true
+      end
+    end
+  done;
+  !chosen
+
+let exponential g ~rate =
+  if rate <= 0. then invalid_arg "Dist.exponential: rate must be positive";
+  let u = 1.0 -. Prng.float g 1.0 in
+  -.Float.log u /. rate
+
+let three_level g levels =
+  if Array.length levels = 0 then invalid_arg "Dist.three_level: empty spec";
+  let psum = Array.fold_left (fun acc (p, _, _) -> acc +. p) 0. levels in
+  if Float.abs (psum -. 1.0) > 1e-9 then
+    invalid_arg "Dist.three_level: probabilities must sum to 1";
+  let u = Prng.float g 1.0 in
+  let acc = ref 0. in
+  let result = ref None in
+  Array.iter
+    (fun (p, lo, hi) ->
+      if !result = None then begin
+        acc := !acc +. p;
+        if u < !acc then result := Some (Prng.uniform g lo hi)
+      end)
+    levels;
+  match !result with
+  | Some v -> v
+  | None ->
+      (* Rounding left us past the last band; use it. *)
+      let _, lo, hi = levels.(Array.length levels - 1) in
+      Prng.uniform g lo hi

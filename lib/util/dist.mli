@@ -1,0 +1,39 @@
+(** Random distributions used by the paper's models.
+
+    Includes the heavy-tailed discrete rank distribution
+    [P(k) ∝ k^(−τ)] that Algorithm 2 uses to pick which high/low cost
+    links enter the candidate sets (Boettcher & Percus,
+    "Nature's way of optimizing"). *)
+
+type heavy_tail
+(** Precomputed inverse-CDF sampler for [P(k) ∝ k^(−τ)] on
+    [{1, …, n}]. *)
+
+val heavy_tail : tau:float -> n:int -> heavy_tail
+(** [heavy_tail ~tau ~n] precomputes the distribution.  [tau >= 0.];
+    [tau = 0.] is uniform; large [tau] concentrates mass on rank 1.
+    @raise Invalid_argument if [n <= 0] or [tau < 0.]. *)
+
+val heavy_tail_sample : heavy_tail -> Prng.t -> int
+(** Draw a rank in [{1, …, n}] (1-based, matching the paper). *)
+
+val heavy_tail_mass : heavy_tail -> int -> float
+(** [heavy_tail_mass d k] is [P(k)]; ranks are 1-based.
+    @raise Invalid_argument if [k] is out of range. *)
+
+val weighted_choice : Prng.t -> float array -> int
+(** [weighted_choice g w] draws index [i] with probability proportional
+    to [w.(i)].  All weights must be non-negative with positive sum.
+    @raise Invalid_argument otherwise. *)
+
+val exponential : Prng.t -> rate:float -> float
+(** Exponential variate with the given rate (mean [1/rate]); used by the
+    packet-level simulator for Poisson arrivals.
+    @raise Invalid_argument if [rate <= 0.]. *)
+
+val three_level : Prng.t -> (float * float * float) array -> float
+(** [three_level g levels] picks a band [(p, lo, hi)] with probability
+    [p] and returns a uniform draw in [\[lo, hi\]].  The probabilities
+    must sum to 1 (within 1e-9).  Implements the paper's Eq. (7) style
+    mixed demand model.
+    @raise Invalid_argument on a malformed specification. *)

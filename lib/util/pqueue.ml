@@ -1,0 +1,77 @@
+type 'a entry = { key : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length q = q.size
+
+let is_empty q = q.size = 0
+
+let before a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow q filler =
+  let cap = Array.length q.data in
+  if q.size = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let nd = Array.make ncap filler in
+    Array.blit q.data 0 nd 0 q.size;
+    q.data <- nd
+  end
+
+let add q key value =
+  let e = { key; seq = q.next_seq; value } in
+  grow q e;
+  q.next_seq <- q.next_seq + 1;
+  (* Sift up. *)
+  let i = ref q.size in
+  q.size <- q.size + 1;
+  q.data.(!i) <- e;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before e q.data.(parent) then begin
+      q.data.(!i) <- q.data.(parent);
+      q.data.(parent) <- e;
+      i := parent
+    end
+    else continue := false
+  done
+
+let peek_min q = if q.size = 0 then None else Some (q.data.(0).key, q.data.(0).value)
+
+let pop_min q =
+  if q.size = 0 then None
+  else begin
+    let top = q.data.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      let last = q.data.(q.size) in
+      q.data.(0) <- last;
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < q.size && before q.data.(l) q.data.(!smallest) then smallest := l;
+        if r < q.size && before q.data.(r) q.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = q.data.(!i) in
+          q.data.(!i) <- q.data.(!smallest);
+          q.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.key, top.value)
+  end
+
+let clear q =
+  q.size <- 0;
+  q.next_seq <- 0

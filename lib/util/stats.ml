@@ -1,0 +1,102 @@
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0. else Array.fold_left ( +. ) 0. a /. float_of_int n
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.
+  else begin
+    let m = mean a in
+    let acc = ref 0. in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) a;
+    !acc /. float_of_int n
+  end
+
+let stddev a = sqrt (variance a)
+
+let min_max a =
+  if Array.length a = 0 then invalid_arg "Stats.min_max: empty array";
+  let lo = ref a.(0) and hi = ref a.(0) in
+  Array.iter
+    (fun x ->
+      if x < !lo then lo := x;
+      if x > !hi then hi := x)
+    a;
+  (!lo, !hi)
+
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median a = percentile a 50.
+
+type histogram = {
+  lo : float;
+  width : float;
+  counts : int array;
+  overflow : int;
+}
+
+let histogram ~lo ~hi ~bins samples =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  if hi <= lo then invalid_arg "Stats.histogram: empty range";
+  let width = (hi -. lo) /. float_of_int bins in
+  let counts = Array.make bins 0 in
+  let overflow = ref 0 in
+  Array.iter
+    (fun x ->
+      if x >= hi then incr overflow
+      else begin
+        let i = int_of_float ((x -. lo) /. width) in
+        let i = if i < 0 then 0 else if i >= bins then bins - 1 else i in
+        counts.(i) <- counts.(i) + 1
+      end)
+    samples;
+  { lo; width; counts; overflow = !overflow }
+
+let histogram_bin_center h i = h.lo +. ((float_of_int i +. 0.5) *. h.width)
+
+let gini a =
+  Array.iter
+    (fun x -> if x < 0. then invalid_arg "Stats.gini: negative value")
+    a;
+  let n = Array.length a in
+  if n = 0 then 0.
+  else begin
+    let total = Array.fold_left ( +. ) 0. a in
+    if total <= 0. then 0.
+    else begin
+      let sorted = Array.copy a in
+      Array.sort compare sorted;
+      (* G = (2 * sum_i i*x_(i) / (n * total)) - (n + 1) / n, 1-based. *)
+      let weighted = ref 0. in
+      Array.iteri
+        (fun i x -> weighted := !weighted +. (float_of_int (i + 1) *. x))
+        sorted;
+      (2. *. !weighted /. (float_of_int n *. total))
+      -. ((float_of_int n +. 1.) /. float_of_int n)
+    end
+  end
+
+let weighted_mean ~values ~weights =
+  if Array.length values <> Array.length weights then
+    invalid_arg "Stats.weighted_mean: length mismatch";
+  let num = ref 0. and den = ref 0. in
+  Array.iteri
+    (fun i v ->
+      num := !num +. (v *. weights.(i));
+      den := !den +. weights.(i))
+    values;
+  if !den <= 0. then invalid_arg "Stats.weighted_mean: non-positive total weight";
+  !num /. !den

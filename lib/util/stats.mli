@@ -1,0 +1,46 @@
+(** Descriptive statistics and histogram helpers for experiment output. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0. on an empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0. on arrays with fewer than 2 elements. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val min_max : float array -> float * float
+(** @raise Invalid_argument on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] for [p] in [\[0, 100\]], linear interpolation
+    between order statistics (the array is not modified).
+    @raise Invalid_argument on empty input or [p] out of range. *)
+
+val median : float array -> float
+(** 50th percentile. *)
+
+type histogram = {
+  lo : float;  (** left edge of the first bin *)
+  width : float;  (** bin width *)
+  counts : int array;  (** per-bin counts *)
+  overflow : int;  (** samples above the last bin edge *)
+}
+
+val histogram : lo:float -> hi:float -> bins:int -> float array -> histogram
+(** Fixed-width histogram of samples in [\[lo, hi)]; samples [>= hi] are
+    counted in [overflow], samples [< lo] clamp into the first bin.
+    @raise Invalid_argument if [bins <= 0] or [hi <= lo]. *)
+
+val histogram_bin_center : histogram -> int -> float
+(** Center of bin [i]. *)
+
+val weighted_mean : values:float array -> weights:float array -> float
+(** Weighted mean; @raise Invalid_argument on length mismatch or
+    non-positive total weight. *)
+
+val gini : float array -> float
+(** Gini coefficient of a non-negative sample: 0 = perfectly even,
+    → 1 = concentrated on one element.  Used to quantify how evenly a
+    routing spreads load over links.  0. for empty or all-zero input.
+    @raise Invalid_argument on a negative value. *)

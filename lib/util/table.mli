@@ -1,0 +1,32 @@
+(** Plain-text table rendering for experiment reports.
+
+    Every experiment runner produces a [t]; the bench harness and the
+    CLI print them with {!to_string} and dump them with {!to_csv}. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** A table with a title row and named columns. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  @raise Invalid_argument if the arity differs from
+    the number of columns. *)
+
+val add_float_row : t -> ?fmt:(float -> string) -> float list -> unit
+(** Convenience: format every cell with [fmt] (default ["%.4g"]). *)
+
+val title : t -> string
+
+val columns : t -> string list
+
+val rows : t -> string list list
+(** Rows in insertion order. *)
+
+val to_string : t -> string
+(** Aligned ASCII rendering with a header rule. *)
+
+val to_csv : t -> string
+(** RFC-4180-ish CSV (cells containing commas or quotes are quoted). *)
+
+val float_cell : float -> string
+(** The default float formatting used across experiment output. *)

@@ -1,0 +1,406 @@
+(* Tests for Dtr_graph: Graph construction, Dijkstra (with a
+   Bellman–Ford oracle property), and the ECMP SPF DAG. *)
+
+module Graph = Dtr_graph.Graph
+module Dijkstra = Dtr_graph.Dijkstra
+module Spf = Dtr_graph.Spf
+module Prng = Dtr_util.Prng
+module Classic = Dtr_topology.Classic
+
+let arc src dst = { Graph.src; dst; capacity = 1.; delay = 1. }
+
+let diamond () =
+  (* 0 -> 1 -> 3 and 0 -> 2 -> 3, plus direct 0 -> 3. *)
+  Graph.build ~n:4 [ arc 0 1; arc 1 3; arc 0 2; arc 2 3; arc 0 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Graph *)
+
+let test_build_counts () =
+  let g = diamond () in
+  Alcotest.(check int) "nodes" 4 (Graph.node_count g);
+  Alcotest.(check int) "arcs" 5 (Graph.arc_count g)
+
+let test_build_rejects_self_loop () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.build: self-loop")
+    (fun () -> ignore (Graph.build ~n:2 [ arc 1 1 ]))
+
+let test_build_rejects_out_of_range () =
+  Alcotest.check_raises "bad dst"
+    (Invalid_argument "Graph.build: dst out of range") (fun () ->
+      ignore (Graph.build ~n:2 [ arc 0 5 ]))
+
+let test_build_rejects_bad_capacity () =
+  Alcotest.check_raises "capacity"
+    (Invalid_argument "Graph.build: non-positive capacity") (fun () ->
+      ignore
+        (Graph.build ~n:2 [ { Graph.src = 0; dst = 1; capacity = 0.; delay = 1. } ]))
+
+let test_adjacency () =
+  let g = diamond () in
+  Alcotest.(check int) "out degree of 0" 3 (Graph.out_degree g 0);
+  Alcotest.(check int) "in degree of 3" 3 (Graph.in_degree g 3);
+  Alcotest.(check int) "out degree of 3" 0 (Graph.out_degree g 3);
+  let out0 = Graph.out_arcs g 0 in
+  Alcotest.(check bool) "arc ids valid" true
+    (Array.for_all (fun id -> (Graph.arc g id).Graph.src = 0) out0)
+
+let test_find_arc () =
+  let g = diamond () in
+  (match Graph.find_arc g ~src:0 ~dst:3 with
+  | Some id ->
+      let a = Graph.arc g id in
+      Alcotest.(check int) "src" 0 a.Graph.src;
+      Alcotest.(check int) "dst" 3 a.Graph.dst
+  | None -> Alcotest.fail "expected arc 0 -> 3");
+  Alcotest.(check bool) "absent arc" true (Graph.find_arc g ~src:3 ~dst:0 = None)
+
+let test_strongly_connected () =
+  Alcotest.(check bool) "diamond is not" false
+    (Graph.is_strongly_connected (diamond ()));
+  Alcotest.(check bool) "triangle is" true
+    (Graph.is_strongly_connected (Classic.triangle ()))
+
+let test_reverse () =
+  let g = diamond () in
+  let r = Graph.reverse g in
+  Alcotest.(check int) "same arc count" (Graph.arc_count g) (Graph.arc_count r);
+  let a = Graph.arc g 0 and b = Graph.arc r 0 in
+  Alcotest.(check int) "flipped src" a.Graph.dst b.Graph.src;
+  Alcotest.(check int) "flipped dst" a.Graph.src b.Graph.dst
+
+let test_add_symmetric () =
+  let arcs = Graph.add_symmetric ~capacity:2. ~delay:3. 0 1 [] in
+  Alcotest.(check int) "two arcs" 2 (List.length arcs);
+  let g = Graph.build ~n:2 arcs in
+  Alcotest.(check bool) "connected" true (Graph.is_strongly_connected g)
+
+let test_undirected_link_pairs () =
+  let g = Classic.triangle () in
+  let pairs = Graph.undirected_link_pairs g in
+  Alcotest.(check int) "three physical links" 3 (Array.length pairs);
+  Array.iter
+    (fun (a, b) ->
+      let x = Graph.arc g a and y = Graph.arc g b in
+      Alcotest.(check bool) "twins" true
+        (x.Graph.src = y.Graph.dst && x.Graph.dst = y.Graph.src))
+    pairs
+
+let test_undirected_link_pairs_lone_arc () =
+  let g = Graph.build ~n:2 [ arc 0 1 ] in
+  Alcotest.(check (array (pair int int))) "lone arc pairs with itself"
+    [| (0, 0) |]
+    (Graph.undirected_link_pairs g)
+
+let test_capacities_delays () =
+  let g = Graph.build ~n:2 [ { Graph.src = 0; dst = 1; capacity = 7.; delay = 9. } ] in
+  Alcotest.(check (array (float 0.))) "capacities" [| 7. |] (Graph.capacities g);
+  Alcotest.(check (array (float 0.))) "delays" [| 9. |] (Graph.delays g)
+
+let test_to_dot_mentions_arcs () =
+  let g = Classic.triangle () in
+  let dot = Graph.to_dot g in
+  Alcotest.(check bool) "digraph" true
+    (String.length dot > 8 && String.sub dot 0 8 = "digraph ")
+
+(* ------------------------------------------------------------------ *)
+(* Dijkstra *)
+
+let test_dijkstra_line () =
+  let g = Classic.line 4 in
+  let w = Array.make (Graph.arc_count g) 1 in
+  let d = Dijkstra.distances_to g ~weights:w ~dst:3 in
+  Alcotest.(check (array int)) "distances" [| 3; 2; 1; 0 |] d
+
+let test_dijkstra_weighted () =
+  let g = diamond () in
+  (* weights: 0->1:1, 1->3:1, 0->2:5, 2->3:5, 0->3:3 *)
+  let w = [| 1; 1; 5; 5; 3 |] in
+  let d = Dijkstra.distances_to g ~weights:w ~dst:3 in
+  Alcotest.(check int) "via 1" 2 d.(0);
+  Alcotest.(check int) "node 1" 1 d.(1);
+  Alcotest.(check int) "node 2" 5 d.(2)
+
+let test_dijkstra_unreachable () =
+  let g = Graph.build ~n:3 [ arc 0 1 ] in
+  let d = Dijkstra.distances_to g ~weights:[| 1 |] ~dst:1 in
+  Alcotest.(check int) "reachable" 1 d.(0);
+  Alcotest.(check int) "unreachable" Dijkstra.unreachable d.(2)
+
+let test_dijkstra_from () =
+  let g = Classic.line 4 in
+  let w = Array.make (Graph.arc_count g) 2 in
+  let d = Dijkstra.distances_from g ~weights:w ~src:0 in
+  Alcotest.(check (array int)) "from 0" [| 0; 2; 4; 6 |] d
+
+let test_dijkstra_rejects_bad_weights () =
+  let g = Classic.line 2 in
+  Alcotest.check_raises "zero weight"
+    (Invalid_argument "Dijkstra: weights must be positive") (fun () ->
+      ignore (Dijkstra.distances_to g ~weights:[| 0; 1 |] ~dst:0));
+  Alcotest.check_raises "length"
+    (Invalid_argument "Dijkstra: weights length mismatch") (fun () ->
+      ignore (Dijkstra.distances_to g ~weights:[| 1 |] ~dst:0))
+
+(* Random graph generator for property tests. *)
+let random_graph_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 12 in
+    let* extra = int_range 0 30 in
+    let* seed = int_range 0 1_000_000 in
+    return (n, extra, seed))
+
+let build_random (n, extra, seed) =
+  let rng = Prng.create seed in
+  let arcs = ref [] in
+  (* random tree then random extra arcs; weights random in [1, 30] *)
+  for v = 1 to n - 1 do
+    let u = Prng.int rng v in
+    arcs := arc u v :: arc v u :: !arcs
+  done;
+  for _ = 1 to extra do
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if u <> v then arcs := arc u v :: !arcs
+  done;
+  let g = Graph.build ~n !arcs in
+  let w = Array.init (Graph.arc_count g) (fun _ -> 1 + Prng.int rng 30) in
+  (g, w)
+
+let prop_dijkstra_matches_bellman_ford =
+  QCheck.Test.make ~name:"dijkstra = bellman-ford on random graphs" ~count:150
+    (QCheck.make random_graph_gen) (fun params ->
+      let g, w = build_random params in
+      let ok = ref true in
+      for dst = 0 to Graph.node_count g - 1 do
+        let a = Dijkstra.distances_to g ~weights:w ~dst in
+        let b = Dijkstra.bellman_ford_to g ~weights:w ~dst in
+        if a <> b then ok := false
+      done;
+      !ok)
+
+let prop_dijkstra_triangle_inequality =
+  QCheck.Test.make ~name:"distance never exceeds any arc relaxation" ~count:100
+    (QCheck.make random_graph_gen) (fun params ->
+      let g, w = build_random params in
+      let ok = ref true in
+      for dst = 0 to Graph.node_count g - 1 do
+        let d = Dijkstra.distances_to g ~weights:w ~dst in
+        for id = 0 to Graph.arc_count g - 1 do
+          let a = Graph.arc g id in
+          if d.(a.Graph.dst) <> Dijkstra.unreachable then
+            if d.(a.Graph.src) > w.(id) + d.(a.Graph.dst) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_undirected_pairs_on_symmetric_graphs =
+  QCheck.Test.make
+    ~name:"symmetric graphs pair every arc with its reverse twin" ~count:80
+    QCheck.(pair (int_range 3 12) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Prng.create seed in
+      let arcs = ref [] in
+      for v = 1 to n - 1 do
+        let u = Prng.int rng v in
+        arcs := Graph.add_symmetric ~capacity:1. ~delay:1. u v !arcs
+      done;
+      let g = Graph.build ~n !arcs in
+      let pairs = Graph.undirected_link_pairs g in
+      Array.length pairs = Graph.arc_count g / 2
+      && Array.for_all (fun (a, b) -> a <> b) pairs)
+
+(* ------------------------------------------------------------------ *)
+(* Spf *)
+
+let test_spf_ecmp_next_arcs () =
+  let g = diamond () in
+  (* Make both two-hop paths and the direct path equal cost 2. *)
+  let w = [| 1; 1; 1; 1; 2 |] in
+  let dag = Spf.to_destination g ~weights:w ~dst:3 in
+  Alcotest.(check int) "dist from 0" 2 dag.Spf.dist.(0);
+  Alcotest.(check int) "three ECMP next hops at 0" 3
+    (Array.length dag.Spf.next_arcs.(0))
+
+let test_spf_no_next_at_dst () =
+  let g = Classic.triangle () in
+  let w = Array.make (Graph.arc_count g) 1 in
+  let dag = Spf.to_destination g ~weights:w ~dst:1 in
+  Alcotest.(check int) "dst has no next arcs" 0
+    (Array.length dag.Spf.next_arcs.(1))
+
+let test_spf_order_desc_properties () =
+  let g = Classic.ring 6 in
+  let w = Array.make (Graph.arc_count g) 1 in
+  let dag = Spf.to_destination g ~weights:w ~dst:0 in
+  Alcotest.(check int) "order excludes dst" 5 (Array.length dag.Spf.order_desc);
+  let prev = ref max_int in
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "non-increasing distance" true
+        (dag.Spf.dist.(v) <= !prev);
+      prev := dag.Spf.dist.(v))
+    dag.Spf.order_desc
+
+let test_spf_unreachable_empty () =
+  let g = Graph.build ~n:3 [ arc 0 1 ] in
+  let dag = Spf.to_destination g ~weights:[| 1 |] ~dst:1 in
+  Alcotest.(check int) "unreachable node has no next arcs" 0
+    (Array.length dag.Spf.next_arcs.(2));
+  Alcotest.(check int) "order only includes reachable" 1
+    (Array.length dag.Spf.order_desc)
+
+let test_spf_all_destinations () =
+  let g = Classic.triangle () in
+  let w = Array.make (Graph.arc_count g) 1 in
+  let dags = Spf.all_destinations g ~weights:w in
+  Alcotest.(check int) "one dag per node" 3 (Array.length dags);
+  Array.iteri (fun i dag -> Alcotest.(check int) "dst" i dag.Spf.dst) dags
+
+let test_spf_path_count_diamond () =
+  let g = diamond () in
+  let w = [| 1; 1; 1; 1; 2 |] in
+  let dag = Spf.to_destination g ~weights:w ~dst:3 in
+  Alcotest.(check (float 0.)) "three shortest paths" 3.
+    (Spf.path_count g dag ~src:0)
+
+let test_spf_first_path () =
+  let g = Classic.line 4 in
+  let w = Array.make (Graph.arc_count g) 1 in
+  let dag = Spf.to_destination g ~weights:w ~dst:3 in
+  let path = Spf.first_path g dag ~src:0 in
+  Alcotest.(check int) "three hops" 3 (List.length path);
+  let last = List.nth path 2 in
+  Alcotest.(check int) "ends at dst" 3 (Graph.arc g last).Graph.dst
+
+(* Brute-force path enumeration over the DAG, as an oracle for
+   path_count. *)
+let count_paths_brute g dag src =
+  let rec go v =
+    if v = dag.Spf.dst then 1.
+    else
+      Array.fold_left
+        (fun acc id -> acc +. go (Graph.arc g id).Graph.dst)
+        0. dag.Spf.next_arcs.(v)
+  in
+  if dag.Spf.dist.(src) = Dijkstra.unreachable then 0. else go src
+
+let prop_spf_path_count_matches_enumeration =
+  QCheck.Test.make ~name:"path_count equals brute-force enumeration" ~count:60
+    (QCheck.make random_graph_gen) (fun params ->
+      let g, w = build_random params in
+      let ok = ref true in
+      for dst = 0 to Graph.node_count g - 1 do
+        let dag = Spf.to_destination g ~weights:w ~dst in
+        for src = 0 to Graph.node_count g - 1 do
+          if
+            Float.abs
+              (Spf.path_count g dag ~src -. count_paths_brute g dag src)
+            > 1e-9
+          then ok := false
+        done
+      done;
+      !ok)
+
+let test_spf_first_path_unreachable () =
+  let g = Graph.build ~n:3 [ arc 0 1 ] in
+  let dag = Spf.to_destination g ~weights:[| 1 |] ~dst:1 in
+  Alcotest.check_raises "unreachable"
+    (Invalid_argument "Spf.first_path: unreachable") (fun () ->
+      ignore (Spf.first_path g dag ~src:2))
+
+let prop_spf_next_arcs_decrease_distance =
+  QCheck.Test.make
+    ~name:"every ECMP next hop strictly decreases remaining distance" ~count:100
+    (QCheck.make random_graph_gen) (fun params ->
+      let g, w = build_random params in
+      let ok = ref true in
+      for dst = 0 to Graph.node_count g - 1 do
+        let dag = Spf.to_destination g ~weights:w ~dst in
+        Array.iteri
+          (fun v arcs ->
+            Array.iter
+              (fun id ->
+                let a = Graph.arc g id in
+                if
+                  not
+                    (dag.Spf.dist.(a.Graph.dst) < dag.Spf.dist.(v)
+                    && dag.Spf.dist.(v) = w.(id) + dag.Spf.dist.(a.Graph.dst))
+                then ok := false)
+              arcs)
+          dag.Spf.next_arcs
+      done;
+      !ok)
+
+let prop_spf_reachable_nodes_have_next_arcs =
+  QCheck.Test.make ~name:"reachable non-destination nodes have a next hop"
+    ~count:100 (QCheck.make random_graph_gen) (fun params ->
+      let g, w = build_random params in
+      let ok = ref true in
+      for dst = 0 to Graph.node_count g - 1 do
+        let dag = Spf.to_destination g ~weights:w ~dst in
+        for v = 0 to Graph.node_count g - 1 do
+          if v <> dst && dag.Spf.dist.(v) <> Dijkstra.unreachable then
+            if Array.length dag.Spf.next_arcs.(v) = 0 then ok := false
+        done
+      done;
+      !ok)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "dtr_graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "build counts" `Quick test_build_counts;
+          Alcotest.test_case "rejects self-loop" `Quick
+            test_build_rejects_self_loop;
+          Alcotest.test_case "rejects out of range" `Quick
+            test_build_rejects_out_of_range;
+          Alcotest.test_case "rejects bad capacity" `Quick
+            test_build_rejects_bad_capacity;
+          Alcotest.test_case "adjacency" `Quick test_adjacency;
+          Alcotest.test_case "find_arc" `Quick test_find_arc;
+          Alcotest.test_case "strong connectivity" `Quick test_strongly_connected;
+          Alcotest.test_case "reverse" `Quick test_reverse;
+          Alcotest.test_case "add_symmetric" `Quick test_add_symmetric;
+          Alcotest.test_case "undirected link pairs" `Quick
+            test_undirected_link_pairs;
+          Alcotest.test_case "lone arc pairs with itself" `Quick
+            test_undirected_link_pairs_lone_arc;
+          Alcotest.test_case "capacities and delays" `Quick
+            test_capacities_delays;
+          Alcotest.test_case "to_dot" `Quick test_to_dot_mentions_arcs;
+          qc prop_undirected_pairs_on_symmetric_graphs;
+        ] );
+      ( "dijkstra",
+        [
+          Alcotest.test_case "line distances" `Quick test_dijkstra_line;
+          Alcotest.test_case "weighted shortest path" `Quick
+            test_dijkstra_weighted;
+          Alcotest.test_case "unreachable" `Quick test_dijkstra_unreachable;
+          Alcotest.test_case "distances from source" `Quick test_dijkstra_from;
+          Alcotest.test_case "rejects bad weights" `Quick
+            test_dijkstra_rejects_bad_weights;
+          qc prop_dijkstra_matches_bellman_ford;
+          qc prop_dijkstra_triangle_inequality;
+        ] );
+      ( "spf",
+        [
+          Alcotest.test_case "ECMP next arcs" `Quick test_spf_ecmp_next_arcs;
+          Alcotest.test_case "no next arcs at destination" `Quick
+            test_spf_no_next_at_dst;
+          Alcotest.test_case "order_desc properties" `Quick
+            test_spf_order_desc_properties;
+          Alcotest.test_case "unreachable handling" `Quick
+            test_spf_unreachable_empty;
+          Alcotest.test_case "all destinations" `Quick test_spf_all_destinations;
+          Alcotest.test_case "path count on diamond" `Quick
+            test_spf_path_count_diamond;
+          Alcotest.test_case "first path" `Quick test_spf_first_path;
+          Alcotest.test_case "first path unreachable" `Quick
+            test_spf_first_path_unreachable;
+          qc prop_spf_next_arcs_decrease_distance;
+          qc prop_spf_reachable_nodes_have_next_arcs;
+          qc prop_spf_path_count_matches_enumeration;
+        ] );
+    ]

@@ -1,0 +1,319 @@
+(* Tests for Dtr_mtospf: LSAs, the LSDB, flooding convergence, and
+   agreement of per-topology routing tables with the global SPF. *)
+
+module Graph = Dtr_graph.Graph
+module Spf = Dtr_graph.Spf
+module Lsa = Dtr_mtospf.Lsa
+module Lsdb = Dtr_mtospf.Lsdb
+module Network = Dtr_mtospf.Network
+module Classic = Dtr_topology.Classic
+module Weights = Dtr_routing.Weights
+module Prng = Dtr_util.Prng
+
+let link ?(arc_id = 0) ?(neighbor = 1) weights =
+  {
+    Lsa.arc_id;
+    neighbor;
+    capacity = 100.;
+    delay = 1.;
+    weights = Array.map (fun w -> Some w) weights;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Lsa *)
+
+let test_lsa_make () =
+  let l = Lsa.make ~origin:0 ~seq:3 ~links:[ link [| 1; 2 |] ] in
+  Alcotest.(check int) "origin" 0 l.Lsa.origin;
+  Alcotest.(check int) "two topologies" 2 (Lsa.topology_count l)
+
+let test_lsa_rejects () =
+  Alcotest.check_raises "negative seq"
+    (Invalid_argument "Lsa.make: negative sequence number") (fun () ->
+      ignore (Lsa.make ~origin:0 ~seq:(-1) ~links:[]));
+  Alcotest.check_raises "inconsistent topologies"
+    (Invalid_argument "Lsa.make: inconsistent topology counts") (fun () ->
+      ignore
+        (Lsa.make ~origin:0 ~seq:0
+           ~links:[ link [| 1; 2 |]; link ~arc_id:1 [| 1 |] ]))
+
+let test_lsa_newer () =
+  let a = Lsa.make ~origin:0 ~seq:2 ~links:[ link [| 1 |] ] in
+  let b = Lsa.make ~origin:0 ~seq:1 ~links:[ link [| 1 |] ] in
+  Alcotest.(check bool) "a newer" true (Lsa.newer a b);
+  Alcotest.(check bool) "b not newer" false (Lsa.newer b a);
+  let c = Lsa.make ~origin:1 ~seq:5 ~links:[ link [| 1 |] ] in
+  Alcotest.check_raises "different origins"
+    (Invalid_argument "Lsa.newer: different origins") (fun () ->
+      ignore (Lsa.newer a c))
+
+(* ------------------------------------------------------------------ *)
+(* Lsdb *)
+
+let test_lsdb_install_order () =
+  let db = Lsdb.create () in
+  let old_lsa = Lsa.make ~origin:0 ~seq:1 ~links:[ link [| 1 |] ] in
+  let new_lsa = Lsa.make ~origin:0 ~seq:2 ~links:[ link [| 2 |] ] in
+  Alcotest.(check bool) "first install" true (Lsdb.install db old_lsa = Lsdb.Installed);
+  Alcotest.(check bool) "newer replaces" true (Lsdb.install db new_lsa = Lsdb.Installed);
+  Alcotest.(check bool) "older ignored" true (Lsdb.install db old_lsa = Lsdb.Ignored);
+  Alcotest.(check bool) "same seq ignored" true (Lsdb.install db new_lsa = Lsdb.Ignored);
+  match Lsdb.find db 0 with
+  | Some l -> Alcotest.(check int) "kept newest" 2 l.Lsa.seq
+  | None -> Alcotest.fail "missing LSA"
+
+let test_lsdb_origins_and_equal () =
+  let a = Lsdb.create () and b = Lsdb.create () in
+  let l0 = Lsa.make ~origin:0 ~seq:1 ~links:[ link [| 1 |] ] in
+  let l1 = Lsa.make ~origin:1 ~seq:1 ~links:[ link [| 1 |] ] in
+  ignore (Lsdb.install a l0);
+  ignore (Lsdb.install a l1);
+  ignore (Lsdb.install b l0);
+  Alcotest.(check (list int)) "origins sorted" [ 0; 1 ] (Lsdb.origins a);
+  Alcotest.(check bool) "different dbs" false (Lsdb.equal a b);
+  ignore (Lsdb.install b l1);
+  Alcotest.(check bool) "equal now" true (Lsdb.equal a b);
+  Alcotest.(check int) "size" 2 (Lsdb.size a)
+
+(* ------------------------------------------------------------------ *)
+(* Network *)
+
+let ring_net ?(n = 6) ?(topos = 2) () =
+  let g = Classic.ring ~capacity:100. ~delay:1. n in
+  let rng = Prng.create 7 in
+  let weight_sets =
+    Array.init topos (fun _ -> Weights.random rng g)
+  in
+  (g, weight_sets, Network.create g ~weight_sets)
+
+let test_network_flood_converges () =
+  let _, _, net = ring_net () in
+  Alcotest.(check bool) "not converged before flood" false (Network.converged net);
+  let stats = Network.flood net in
+  Alcotest.(check bool) "converged" true (Network.converged net);
+  Alcotest.(check bool) "messages flowed" true (stats.Network.messages > 0);
+  (* On a 6-ring, news must travel ~n/2 hops. *)
+  Alcotest.(check bool) "multiple rounds" true (stats.Network.rounds >= 3)
+
+let test_network_lsdb_sizes () =
+  let _, _, net = ring_net () in
+  ignore (Network.flood net);
+  Array.iter
+    (fun s -> Alcotest.(check int) "every router knows every origin" 6 s)
+    (Network.lsdb_sizes net)
+
+let test_network_tables_match_global_spf () =
+  let g, weight_sets, net = ring_net () in
+  ignore (Network.flood net);
+  for topo = 0 to 1 do
+    let reference = Spf.all_destinations g ~weights:weight_sets.(topo) in
+    for router = 0 to Graph.node_count g - 1 do
+      let local = Network.routing_table net ~router ~topology:topo in
+      Array.iteri
+        (fun dst (dag : Spf.dag) ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "router %d topo %d dst %d distances" router topo dst)
+            reference.(dst).Spf.dist dag.Spf.dist;
+          Array.iteri
+            (fun v arcs ->
+              let sort a =
+                let a = Array.copy a in
+                Array.sort compare a;
+                a
+              in
+              Alcotest.(check (array int)) "next hops"
+                (sort reference.(dst).Spf.next_arcs.(v))
+                (sort arcs))
+            dag.Spf.next_arcs)
+        local
+    done
+  done
+
+let test_network_set_weight_refloods () =
+  let g, weight_sets, net = ring_net () in
+  ignore (Network.flood net);
+  let stats = Network.set_weight net ~topology:0 ~arc:0 ~weight:30 in
+  Alcotest.(check bool) "messages" true (stats.Network.messages > 0);
+  Alcotest.(check bool) "converged" true (Network.converged net);
+  (* The new weight shows up in the recomputed tables. *)
+  let w' = Array.copy weight_sets.(0) in
+  w'.(0) <- 30;
+  let reference = Spf.all_destinations g ~weights:w' in
+  let local = Network.routing_table net ~router:3 ~topology:0 in
+  Array.iteri
+    (fun dst (dag : Spf.dag) ->
+      Alcotest.(check (array int)) "updated distances"
+        reference.(dst).Spf.dist dag.Spf.dist)
+    local
+
+let test_network_weight_change_isolated_to_topology () =
+  let g, weight_sets, net = ring_net () in
+  ignore (Network.flood net);
+  ignore (Network.set_weight net ~topology:0 ~arc:0 ~weight:30);
+  (* Topology 1 still matches its original weights. *)
+  let reference = Spf.all_destinations g ~weights:weight_sets.(1) in
+  let local = Network.routing_table net ~router:2 ~topology:1 in
+  Array.iteri
+    (fun dst (dag : Spf.dag) ->
+      Alcotest.(check (array int)) "other topology untouched"
+        reference.(dst).Spf.dist dag.Spf.dist)
+    local
+
+let test_network_exclude_arc () =
+  let g, weight_sets, net = ring_net () in
+  ignore (Network.flood net);
+  let stats = Network.exclude_arc net ~topology:0 ~arc:0 in
+  Alcotest.(check bool) "reflooded" true (stats.Network.messages > 0);
+  (* Arc 0 never appears as a next hop in topology 0... *)
+  let local = Network.routing_table net ~router:0 ~topology:0 in
+  Array.iter
+    (fun (dag : Spf.dag) ->
+      Array.iter
+        (fun arcs ->
+          Alcotest.(check bool) "excluded arc unused" false (Array.mem 0 arcs))
+        dag.Spf.next_arcs)
+    local;
+  (* ... but can still appear in topology 1. *)
+  let w1 = weight_sets.(1) in
+  let reference = Spf.all_destinations g ~weights:w1 in
+  let local1 = Network.routing_table net ~router:0 ~topology:1 in
+  Array.iteri
+    (fun dst (dag : Spf.dag) ->
+      Alcotest.(check (array int)) "topology 1 intact"
+        reference.(dst).Spf.dist dag.Spf.dist)
+    local1
+
+let test_network_fail_arc_reconverges () =
+  let g, _, net = ring_net ~n:6 () in
+  ignore (Network.flood net);
+  (* Fail both directions of the link 0 - 1. *)
+  let fwd =
+    match Graph.find_arc g ~src:0 ~dst:1 with Some id -> id | None -> -1
+  in
+  let bwd =
+    match Graph.find_arc g ~src:1 ~dst:0 with Some id -> id | None -> -1
+  in
+  ignore (Network.fail_arc net ~arc:fwd);
+  ignore (Network.fail_arc net ~arc:bwd);
+  Alcotest.(check bool) "converged after failure" true (Network.converged net);
+  (* Still a ring minus one link: all destinations reachable the long
+     way around. *)
+  let local = Network.routing_table net ~router:0 ~topology:0 in
+  Array.iteri
+    (fun dst (dag : Spf.dag) ->
+      if dst <> 0 then
+        Alcotest.(check bool) "reachable" true
+          (dag.Spf.dist.(0) <> Dtr_graph.Dijkstra.unreachable))
+    local;
+  (* And the failed arc is not used. *)
+  Array.iter
+    (fun (dag : Spf.dag) ->
+      Array.iter
+        (fun arcs ->
+          Alcotest.(check bool) "failed arc unused" false (Array.mem fwd arcs))
+        dag.Spf.next_arcs)
+    local
+
+let test_network_rejects () =
+  let _, _, net = ring_net () in
+  Alcotest.check_raises "bad topology"
+    (Invalid_argument "Mtospf: topology id out of range") (fun () ->
+      ignore (Network.set_weight net ~topology:5 ~arc:0 ~weight:1));
+  Alcotest.check_raises "bad arc" (Invalid_argument "Mtospf: arc id out of range")
+    (fun () -> ignore (Network.fail_arc net ~arc:999));
+  Alcotest.check_raises "bad weight"
+    (Invalid_argument "Mtospf: weight out of bounds") (fun () ->
+      ignore (Network.set_weight net ~topology:0 ~arc:0 ~weight:99))
+
+let test_network_create_rejects () =
+  let g = Classic.ring 4 in
+  Alcotest.check_raises "no topologies"
+    (Invalid_argument "Mtospf.create: need at least one topology") (fun () ->
+      ignore (Network.create g ~weight_sets:[||]));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Mtospf.create: weight vector length mismatch") (fun () ->
+      ignore (Network.create g ~weight_sets:[| [| 1; 2 |] |]))
+
+let test_network_topology_count () =
+  let _, _, net = ring_net ~topos:3 () in
+  Alcotest.(check int) "three topologies" 3 (Network.topology_count net)
+
+let test_network_routing_table_rejects () =
+  let _, _, net = ring_net () in
+  ignore (Network.flood net);
+  Alcotest.check_raises "bad router"
+    (Invalid_argument "Mtospf.routing_table: router out of range") (fun () ->
+      ignore (Network.routing_table net ~router:99 ~topology:0));
+  Alcotest.check_raises "bad topology"
+    (Invalid_argument "Mtospf: topology id out of range") (fun () ->
+      ignore (Network.routing_table net ~router:0 ~topology:7))
+
+let test_lsdb_copy_independent () =
+  let db = Lsdb.create () in
+  ignore (Lsdb.install db (Lsa.make ~origin:0 ~seq:1 ~links:[ link [| 1 |] ]));
+  let c = Lsdb.copy db in
+  ignore (Lsdb.install db (Lsa.make ~origin:1 ~seq:1 ~links:[ link [| 1 |] ]));
+  Alcotest.(check int) "copy unaffected" 1 (Lsdb.size c);
+  Alcotest.(check int) "original grew" 2 (Lsdb.size db)
+
+let test_network_set_weight_rejects_failed_arc () =
+  let g = Classic.ring ~capacity:100. ~delay:1. 4 in
+  let w = Weights.uniform g 10 in
+  let net = Network.create g ~weight_sets:[| w |] in
+  ignore (Network.flood net);
+  ignore (Network.fail_arc net ~arc:0);
+  Alcotest.check_raises "failed arc"
+    (Invalid_argument "Mtospf.set_weight: arc is down") (fun () ->
+      ignore (Network.set_weight net ~topology:0 ~arc:0 ~weight:5))
+
+let test_network_message_complexity_reasonable () =
+  (* Flooding cost should be O(n * links): every LSA crosses each
+     adjacency a bounded number of times. *)
+  let g = Classic.ring ~capacity:100. ~delay:1. 8 in
+  let w = Weights.uniform g 10 in
+  let net = Network.create g ~weight_sets:[| w |] in
+  let stats = Network.flood net in
+  let bound = Graph.node_count g * Graph.arc_count g in
+  Alcotest.(check bool) "message bound" true (stats.Network.messages <= bound)
+
+let () =
+  Alcotest.run "dtr_mtospf"
+    [
+      ( "lsa",
+        [
+          Alcotest.test_case "make" `Quick test_lsa_make;
+          Alcotest.test_case "rejects" `Quick test_lsa_rejects;
+          Alcotest.test_case "newer" `Quick test_lsa_newer;
+        ] );
+      ( "lsdb",
+        [
+          Alcotest.test_case "install ordering" `Quick test_lsdb_install_order;
+          Alcotest.test_case "origins and equality" `Quick
+            test_lsdb_origins_and_equal;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "flood converges" `Quick test_network_flood_converges;
+          Alcotest.test_case "lsdb sizes" `Quick test_network_lsdb_sizes;
+          Alcotest.test_case "tables match global SPF" `Quick
+            test_network_tables_match_global_spf;
+          Alcotest.test_case "set_weight refloods" `Quick
+            test_network_set_weight_refloods;
+          Alcotest.test_case "weight change isolated to topology" `Quick
+            test_network_weight_change_isolated_to_topology;
+          Alcotest.test_case "exclude arc" `Quick test_network_exclude_arc;
+          Alcotest.test_case "fail arc reconverges" `Quick
+            test_network_fail_arc_reconverges;
+          Alcotest.test_case "rejects bad operations" `Quick test_network_rejects;
+          Alcotest.test_case "create rejects" `Quick test_network_create_rejects;
+          Alcotest.test_case "topology count" `Quick test_network_topology_count;
+          Alcotest.test_case "message complexity" `Quick
+            test_network_message_complexity_reasonable;
+          Alcotest.test_case "routing table rejects" `Quick
+            test_network_routing_table_rejects;
+          Alcotest.test_case "lsdb copy independence" `Quick
+            test_lsdb_copy_independent;
+          Alcotest.test_case "set_weight rejects failed arc" `Quick
+            test_network_set_weight_rejects_failed_arc;
+        ] );
+    ]
