@@ -12,10 +12,17 @@
       two-class evaluation, FindH/FindL passes, a packet-level
       simulation slice, MT-OSPF flooding).
 
+   The micro section also runs the delta-vs-full pair: the median cost
+   of re-evaluating a single weight change from scratch vs through the
+   incremental engine (Problem.eval_delta) on the 50-node benchmark
+   topology; [--json] writes the pair and the speedup to
+   BENCH_eval.json.
+
    Usage:
      dune exec bench/main.exe                 # both sections, quick preset
      dune exec bench/main.exe -- --micro      # micro-benchmarks only
      dune exec bench/main.exe -- --experiments  # experiments only
+     dune exec bench/main.exe -- --micro --json # also write BENCH_eval.json
      dune exec bench/main.exe -- --only fig2a --only fig9
      dune exec bench/main.exe -- --preset default --seed 7 *)
 
@@ -46,11 +53,16 @@ let seed = ref 1
 
 let only : string list ref = ref []
 
+let json = ref false
+
 let parse_args () =
   let rec go = function
     | [] -> ()
     | "--micro" :: rest ->
         mode := Micro_only;
+        go rest
+    | "--json" :: rest ->
+        json := true;
         go rest
     | "--experiments" :: rest ->
         mode := Experiments_only;
@@ -201,12 +213,111 @@ let run_micro () =
     (List.sort compare rows);
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+(* Delta-vs-full single-change re-evaluation (the incremental engine's
+   headline number).  Measured by hand rather than through bechamel so
+   the JSON artifact carries plain medians. *)
+
+let median a =
+  let s = Array.copy a in
+  Array.sort compare s;
+  s.(Array.length s / 2)
+
+let time_per_call f ~batch =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to batch do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int batch
+
+let run_eval_bench () =
+  (* Measured on a quiet heap: the bechamel section leaves a large
+     major heap behind, which triples the minor-allocation cost the
+     probes are dominated by. *)
+  Gc.compact ();
+  (* 50-node random topology, built with the Scenario seed discipline. *)
+  let root = Prng.create !seed in
+  let topo_rng = Prng.split root in
+  let traffic_rng = Prng.split root in
+  let g =
+    Dtr_topology.Random_topo.generate topo_rng
+      { Dtr_topology.Random_topo.default with nodes = 50; links = 250 }
+  in
+  let n = Graph.node_count g in
+  let tl = Dtr_traffic.Gravity.generate traffic_rng ~n Dtr_traffic.Gravity.default in
+  let pairs = Dtr_traffic.Highpri.random_pairs traffic_rng ~n ~density:0.10 in
+  let th = Dtr_traffic.Highpri.volumes traffic_rng ~low:tl ~fraction:0.30 ~pairs in
+  let problem = Problem.create ~graph:g ~th ~tl ~model:Objective.Load in
+  let w = Weights.uniform g 15 in
+  let sol = Problem.eval_str problem ~w in
+  let m = Graph.arc_count g in
+  (* Both sides replay the same rotating single-weight change. *)
+  let next_change counter =
+    let arc = !counter mod m in
+    incr counter;
+    let v = if w.(arc) >= Weights.max_weight then w.(arc) - 1 else w.(arc) + 1 in
+    (arc, v)
+  in
+  let full_counter = ref 0 in
+  let full_once () =
+    let arc, v = next_change full_counter in
+    let w' = Array.copy w in
+    w'.(arc) <- v;
+    ignore (Problem.eval_str problem ~w:w')
+  in
+  let ctx = Problem.ctx_of_solution problem sol in
+  let delta_counter = ref 0 in
+  let delta_once () =
+    let arc, v = next_change delta_counter in
+    let d = Problem.eval_delta problem ctx ~cls:`H ~changes:[ (arc, v) ] in
+    Problem.abort_delta ctx d
+  in
+  for _ = 1 to 3 do
+    full_once ()
+  done;
+  for _ = 1 to 50 do
+    delta_once ()
+  done;
+  let reps = 9 in
+  let full_ns = Array.init reps (fun _ -> time_per_call full_once ~batch:10) in
+  let delta_ns = Array.init reps (fun _ -> time_per_call delta_once ~batch:100) in
+  let full_med = median full_ns and delta_med = median delta_ns in
+  let speedup = full_med /. delta_med in
+  Printf.printf
+    "=== delta-vs-full: single-weight-change re-evaluation (%d nodes, %d arcs) \
+     ===\n"
+    n m;
+  Printf.printf "%-36s %14.1f ns/eval (median of %d)\n" "eval-1change-full"
+    full_med reps;
+  Printf.printf "%-36s %14.1f ns/eval (median of %d)\n" "eval-1change-delta"
+    delta_med reps;
+  Printf.printf "%-36s %14.1fx\n\n%!" "speedup" speedup;
+  if !json then begin
+    let oc = open_out "BENCH_eval.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"benchmark\": \"eval-1change\",\n\
+      \  \"topology\": { \"nodes\": %d, \"arcs\": %d },\n\
+      \  \"seed\": %d,\n\
+      \  \"reps\": %d,\n\
+      \  \"full_ns_per_eval_median\": %.1f,\n\
+      \  \"delta_ns_per_eval_median\": %.1f,\n\
+      \  \"speedup_median\": %.2f\n\
+       }\n"
+      n m !seed reps full_med delta_med speedup;
+    close_out oc;
+    Printf.printf "wrote BENCH_eval.json\n\n%!"
+  end
+
 let () =
   parse_args ();
   (match !mode with
   | Both ->
       run_experiments ();
+      run_eval_bench ();
       run_micro ()
-  | Micro_only -> run_micro ()
+  | Micro_only ->
+      run_eval_bench ();
+      run_micro ()
   | Experiments_only -> run_experiments ());
   print_endline "bench: done"

@@ -28,12 +28,27 @@ type report = {
   phase_objectives : (phase * Lexico.t) list;
 }
 
-let best_of_candidates current candidates =
-  List.fold_left
-    (fun acc cand ->
-      if lex_lt (Problem.objective cand) (Problem.objective acc) then cand
-      else acc)
-    current candidates
+(* Scan the neighborhood as delta probes against [ctx] (which must be
+   synchronized with [sol]) and commit the best strict improvement —
+   the incremental analogue of folding [best_of_candidates] over fully
+   evaluated neighbors, with identical comparison order. *)
+let best_delta_of problem ctx sol ~cls ~base_w ~vectors =
+  let best_obj = ref (Problem.objective sol) in
+  let best = ref None in
+  List.iter
+    (fun w' ->
+      let changes = Problem.weight_changes base_w w' in
+      let d = Problem.eval_delta problem ctx ~cls ~changes in
+      if lex_lt (Problem.delta_objective d) !best_obj then begin
+        (match !best with Some b -> Problem.abort_delta ctx b | None -> ());
+        best_obj := Problem.delta_objective d;
+        best := Some d
+      end
+      else Problem.abort_delta ctx d)
+    vectors;
+  match !best with
+  | Some d -> Problem.commit_delta problem ctx d
+  | None -> sol
 
 (* Weight vectors for a full value scan of one heavy-tail-ranked arc
    (the Fortz–Thorup move; used with probability scan_probability). *)
@@ -70,35 +85,33 @@ let neighbor_vectors rng cfg ~ranking w =
     scan_vectors rng cfg ~ranking w
   else move_vectors rng cfg ~ranking w
 
-let find_h rng cfg problem sol =
+let find_h_ctx rng cfg problem ctx sol =
   let costs = Objective.link_costs_h problem.Problem.model sol.Problem.result in
   let ranking =
     Neighborhood.rank_by_cost
       ~cmp:(fun a b -> Lexico.compare costs.(a) costs.(b))
       (Array.length costs)
   in
-  let l = Problem.l_routing_of sol in
-  let candidates =
-    List.map
-      (fun wh -> Problem.combine problem ~h:(Problem.route_h problem wh) ~l)
-      (neighbor_vectors rng cfg ~ranking sol.Problem.wh)
-  in
-  best_of_candidates sol candidates
+  let vectors = neighbor_vectors rng cfg ~ranking sol.Problem.wh in
+  best_delta_of problem ctx sol ~cls:`H ~base_w:sol.Problem.wh ~vectors
 
-let find_l rng cfg problem sol =
+let find_l_ctx rng cfg problem ctx sol =
   let costs = Objective.link_costs_l sol.Problem.result in
   let ranking =
     Neighborhood.rank_by_cost
       ~cmp:(fun a b -> Float.compare costs.(a) costs.(b))
       (Array.length costs)
   in
-  let h = Problem.h_routing_of sol in
-  let candidates =
-    List.map
-      (fun wl -> Problem.combine problem ~h ~l:(Problem.route_l problem wl))
-      (neighbor_vectors rng cfg ~ranking sol.Problem.wl)
-  in
-  best_of_candidates sol candidates
+  let vectors = neighbor_vectors rng cfg ~ranking sol.Problem.wl in
+  best_delta_of problem ctx sol ~cls:`L ~base_w:sol.Problem.wl ~vectors
+
+(* One-shot wrappers for callers holding just a solution (the full
+   search threads a long-lived context through the passes instead). *)
+let find_h rng cfg problem sol =
+  find_h_ctx rng cfg problem (Problem.ctx_of_solution problem sol) sol
+
+let find_l rng cfg problem sol =
+  find_l_ctx rng cfg problem (Problem.ctx_of_solution problem sol) sol
 
 let default_w0 problem =
   let mid = (Weights.min_weight + Weights.max_weight) / 2 in
@@ -111,6 +124,10 @@ let run ?w0 ?on_progress rng cfg problem =
   let improvements = ref 0 in
   let wh0, wl0 = match w0 with Some w -> w | None -> default_w0 problem in
   let current = ref (Problem.eval_dtr problem ~wh:wh0 ~wl:wl0) in
+  (* Long-lived incremental context, kept synchronized with [current];
+     rebuilt (cheaply, reusing the solution's DAGs) whenever [current]
+     is replaced by a full evaluation instead of a committed delta. *)
+  let ctx = ref (Problem.ctx_of_solution problem !current) in
   let best = ref !current in
   let notify phase iteration =
     match on_progress with
@@ -123,7 +140,7 @@ let run ?w0 ?on_progress rng cfg problem =
   (* Routine 1: optimize W_H with W_L frozen. *)
   let stall = ref 0 in
   for iteration = 1 to cfg.Search_config.n_iters do
-    current := find_h rng cfg problem !current;
+    current := find_h_ctx rng cfg problem !ctx !current;
     if lex_lt (Problem.objective !current) (Problem.objective !best) then begin
       best := !current;
       incr improvements;
@@ -134,10 +151,9 @@ let run ?w0 ?on_progress rng cfg problem =
       let wh =
         Weights.perturb rng ~fraction:cfg.Search_config.g1 !current.Problem.wh
       in
-      current :=
-        Problem.combine problem
-          ~h:(Problem.route_h problem wh)
-          ~l:(Problem.l_routing_of !current);
+      let changes = Problem.weight_changes !current.Problem.wh wh in
+      let d = Problem.eval_delta problem !ctx ~cls:`H ~changes in
+      current := Problem.commit_delta problem !ctx d;
       stall := 0
     end;
     notify Optimize_h iteration
@@ -149,11 +165,12 @@ let run ?w0 ?on_progress rng cfg problem =
     Problem.combine problem
       ~h:(Problem.h_routing_of !best)
       ~l:(Problem.l_routing_of !current);
+  ctx := Problem.ctx_of_solution problem !current;
   if lex_lt (Problem.objective !current) (Problem.objective !best) then
     best := !current;
   stall := 0;
   for iteration = 1 to cfg.Search_config.n_iters do
-    current := find_l rng cfg problem !current;
+    current := find_l_ctx rng cfg problem !ctx !current;
     if lex_lt (Problem.objective !current) (Problem.objective !best) then begin
       best := !current;
       incr improvements;
@@ -164,10 +181,9 @@ let run ?w0 ?on_progress rng cfg problem =
       let wl =
         Weights.perturb rng ~fraction:cfg.Search_config.g2 !current.Problem.wl
       in
-      current :=
-        Problem.combine problem
-          ~h:(Problem.h_routing_of !current)
-          ~l:(Problem.route_l problem wl);
+      let changes = Problem.weight_changes !current.Problem.wl wl in
+      let d = Problem.eval_delta problem !ctx ~cls:`L ~changes in
+      current := Problem.commit_delta problem !ctx d;
       stall := 0
     end;
     notify Optimize_l iteration
@@ -176,10 +192,11 @@ let run ?w0 ?on_progress rng cfg problem =
 
   (* Routine 3: joint refinement around the incumbent. *)
   current := !best;
+  ctx := Problem.ctx_of_solution problem !current;
   stall := 0;
   for iteration = 1 to cfg.Search_config.k_iters do
-    current := find_h rng cfg problem !current;
-    current := find_l rng cfg problem !current;
+    current := find_h_ctx rng cfg problem !ctx !current;
+    current := find_l_ctx rng cfg problem !ctx !current;
     if lex_lt (Problem.objective !current) (Problem.objective !best) then begin
       best := !current;
       incr improvements;
@@ -195,6 +212,7 @@ let run ?w0 ?on_progress rng cfg problem =
         Weights.perturb rng ~fraction:cfg.Search_config.g3 !best.Problem.wl
       in
       current := Problem.eval_dtr problem ~wh ~wl;
+      ctx := Problem.ctx_of_solution problem !current;
       stall := 0
     end;
     notify Refine iteration

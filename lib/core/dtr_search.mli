@@ -32,7 +32,10 @@ val find_h :
 (** One FindH pass: build the Algorithm-2 neighborhood on the
     high-priority weights and return the best neighbor if it strictly
     improves the lexicographic objective, the input solution
-    otherwise.  The low-priority routing is reused, not recomputed. *)
+    otherwise.  Neighbors are evaluated incrementally
+    ({!Problem.eval_delta}) against a context built from the input
+    solution; the full search threads one long-lived context through
+    its passes instead of rebuilding it here. *)
 
 val find_l :
   Dtr_util.Prng.t ->
@@ -43,7 +46,7 @@ val find_l :
 (** Symmetric pass on the low-priority weights (ranking links by
     [Φ_{L,l}] only, since [W_L] cannot affect the high-priority
     class); the high-priority routing — including the SLA delay
-    computation — is reused. *)
+    computation, whose cached [Λ] prices every probe — is reused. *)
 
 val run :
   ?w0:int array * int array ->

@@ -2,6 +2,7 @@ module Prng = Dtr_util.Prng
 module Graph = Dtr_graph.Graph
 module Matrix = Dtr_traffic.Matrix
 module Multi = Dtr_routing.Multi
+module Eval_ctx = Dtr_routing.Eval_ctx
 module Weights = Dtr_routing.Weights
 
 type problem = {
@@ -33,6 +34,7 @@ type report = {
 type state = {
   mutable current_w : int array array;
   mutable current : Multi.t;
+  mutable ctx : Eval_ctx.t;  (* incremental view of [current] *)
   mutable best_w : int array array;
   mutable best : Multi.t;
   mutable evaluations : int;
@@ -42,9 +44,12 @@ type state = {
 
 let copy_weights w = Array.map Array.copy w
 
+(* Full (re-)evaluation through the incremental context, so later
+   probes start from it: bitwise identical to Multi.evaluate. *)
 let eval_state st problem w =
   st.evaluations <- st.evaluations + 1;
-  Multi.evaluate problem.graph ~weights:w ~matrices:problem.matrices
+  st.ctx <- Eval_ctx.create problem.graph ~weights:w ~matrices:problem.matrices;
+  Eval_ctx.to_multi st.ctx
 
 let better a b = Multi.compare_objective (Multi.objective a) (Multi.objective b) < 0
 
@@ -89,15 +94,27 @@ let pass rng cfg problem st ~klass =
         (Neighborhood.moves rng ~a ~b)
     end
   in
+  (* Probe each candidate against the context; only accepted moves are
+     committed (first-improvement, exactly as the full-evaluation loop:
+     identical comparison operands, bitwise). *)
   List.iter
     (fun w_k ->
-      let cand_w = Array.copy w in
-      cand_w.(klass) <- w_k;
-      let cand = eval_state st problem cand_w in
-      if better cand st.current then begin
+      st.evaluations <- st.evaluations + 1;
+      let changes = ref [] in
+      for a = m - 1 downto 0 do
+        if st.current_w.(klass).(a) <> w_k.(a) then
+          changes := (a, w_k.(a)) :: !changes
+      done;
+      let d = Eval_ctx.probe st.ctx ~klass ~changes:!changes in
+      if Multi.compare_objective (Eval_ctx.probe_phi d) (Multi.objective st.current) < 0
+      then begin
+        Eval_ctx.commit st.ctx d;
+        let cand_w = Array.copy w in
+        cand_w.(klass) <- w_k;
         st.current_w <- cand_w;
-        st.current <- cand
-      end)
+        st.current <- Eval_ctx.to_multi st.ctx
+      end
+      else Eval_ctx.abort st.ctx d)
     vectors
 
 let record_best st =
@@ -126,18 +143,28 @@ let finish st =
   }
 
 let init_state problem w0 =
-  let st =
-    {
-      current_w = w0;
-      current = Multi.evaluate problem.graph ~weights:w0 ~matrices:problem.matrices;
-      best_w = copy_weights w0;
-      best = Multi.evaluate problem.graph ~weights:w0 ~matrices:problem.matrices;
-      evaluations = 2;
-      improvements = 0;
-      stall = 0;
-    }
+  let ctx =
+    Eval_ctx.create problem.graph ~weights:w0 ~matrices:problem.matrices
   in
-  st
+  let current = Eval_ctx.to_multi ctx in
+  {
+    current_w = w0;
+    current;
+    ctx;
+    best_w = copy_weights w0;
+    best = current;
+    evaluations = 1;
+    improvements = 0;
+    stall = 0;
+  }
+
+(* Re-point the context at the incumbent after a phase transition
+   ([current_w] is a fresh copy of [best_w], so the incumbent's DAGs
+   are still the right ones and the SPF is skipped). *)
+let resync st problem =
+  st.ctx <-
+    Eval_ctx.create ~dags:st.best.Multi.dags problem.graph
+      ~weights:st.current_w ~matrices:problem.matrices
 
 let run ?w0 rng cfg problem =
   Search_config.validate cfg;
@@ -159,6 +186,7 @@ let run ?w0 rng cfg problem =
     (* Continue each routine from the incumbent. *)
     st.current_w <- copy_weights st.best_w;
     st.current <- st.best;
+    resync st problem;
     for _ = 1 to cfg.Search_config.n_iters do
       pass rng cfg problem st ~klass;
       record_best st;
@@ -169,6 +197,7 @@ let run ?w0 rng cfg problem =
   (* Joint refinement cycling over classes. *)
   st.current_w <- copy_weights st.best_w;
   st.current <- st.best;
+  resync st problem;
   st.stall <- 0;
   let all_classes = List.init classes Fun.id in
   for _ = 1 to cfg.Search_config.k_iters do
@@ -215,12 +244,24 @@ let run_single_topology ?w0 rng cfg problem =
       (fun move ->
         let step = Prng.int_incl rng 1 cfg.Search_config.max_step in
         let w' = Neighborhood.apply move ~step w in
-        let cand_w = make_w w' in
-        let cand = eval_state st problem cand_w in
-        if better cand st.current then begin
-          st.current_w <- cand_w;
-          st.current <- cand
-        end)
+        st.evaluations <- st.evaluations + 1;
+        (* The context groups all aliased classes, so one probe on
+           class 0 re-routes every class. *)
+        let changes = ref [] in
+        for a = m - 1 downto 0 do
+          if st.current_w.(0).(a) <> w'.(a) then changes := (a, w'.(a)) :: !changes
+        done;
+        let d = Eval_ctx.probe st.ctx ~klass:0 ~changes:!changes in
+        if
+          Multi.compare_objective (Eval_ctx.probe_phi d)
+            (Multi.objective st.current)
+          < 0
+        then begin
+          Eval_ctx.commit st.ctx d;
+          st.current_w <- make_w w';
+          st.current <- Eval_ctx.to_multi st.ctx
+        end
+        else Eval_ctx.abort st.ctx d)
       (Neighborhood.moves rng ~a ~b);
     record_best st;
     if st.stall >= cfg.Search_config.diversify_after then begin

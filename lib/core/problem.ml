@@ -3,8 +3,10 @@ module Spf = Dtr_graph.Spf
 module Matrix = Dtr_traffic.Matrix
 module Objective = Dtr_routing.Objective
 module Evaluate = Dtr_routing.Evaluate
+module Eval_ctx = Dtr_routing.Eval_ctx
 module Loads = Dtr_routing.Loads
 module Weights = Dtr_routing.Weights
+module Lexico = Dtr_cost.Lexico
 
 type t = {
   graph : Graph.t;
@@ -37,10 +39,19 @@ type class_routing = {
 let objective s = s.result.Objective.objective
 
 let eval_count = ref 0
+let full_count = ref 0
+let delta_count = ref 0
 
 let evaluations () = !eval_count
 
-let reset_evaluations () = eval_count := 0
+let full_evaluations () = !full_count
+
+let delta_evaluations () = !delta_count
+
+let reset_evaluations () =
+  eval_count := 0;
+  full_count := 0;
+  delta_count := 0
 
 let route_with t matrix w =
   Weights.validate t.graph w;
@@ -57,6 +68,7 @@ let routing_weights r = Array.copy r.w
 
 let combine t ~h ~l =
   incr eval_count;
+  incr full_count;
   let eval =
     Evaluate.assemble t.graph ~dags_h:h.dags ~h_loads:h.loads ~dags_l:l.dags
       ~l_loads:l.loads
@@ -78,6 +90,7 @@ let eval_dtr t ~wh ~wl = combine t ~h:(route_h t wh) ~l:(route_l t wl)
 
 let eval_str t ~w =
   incr eval_count;
+  incr full_count;
   Weights.validate t.graph w;
   let w = Array.copy w in
   let dags = Spf.all_destinations t.graph ~weights:w in
@@ -106,3 +119,151 @@ let l_routing_of s =
     loads = s.result.Objective.eval.Evaluate.l_loads;
     sla_cache = None;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Incremental evaluation.
+
+   A [ctx] wraps an {!Eval_ctx.t} with class 0 = H, class 1 = L (for
+   STR both classes alias one weight vector, so one probe moves both).
+   [eval_delta] evaluates single candidates as probes whenever the
+   objective is reachable incrementally, and falls back to a full
+   evaluation when it is not: under the SLA model a high-priority
+   weight change moves the delay of every H path, so Λ cannot be
+   patched from per-arc Φ deltas — the per-pair delays must be
+   re-walked, which is what the full evaluation does anyway. *)
+
+type cls = [ `H | `L ]
+
+type ctx = {
+  mutable ec : Eval_ctx.t;
+  c_str : bool;
+  mutable c_sla : Evaluate.sla option;
+      (* delay/penalty evaluation of the context's CURRENT high-priority
+         routing; invalidated whenever a commit moves W_H *)
+}
+
+let ec_of_solution t s =
+  let eval = s.result.Objective.eval in
+  let weights = if is_str s then [| s.wh; s.wh |] else [| s.wh; s.wl |] in
+  let dags = [| eval.Evaluate.dags_h; eval.Evaluate.dags_l |] in
+  Eval_ctx.create ~dags t.graph ~weights ~matrices:[| t.th; t.tl |]
+
+let ctx_of_solution t s =
+  { ec = ec_of_solution t s; c_str = is_str s; c_sla = s.result.Objective.sla }
+
+let ctx_sla params t ctx =
+  match ctx.c_sla with
+  | Some sla -> sla
+  | None ->
+      let sla =
+        Evaluate.evaluate_sla params (Eval_ctx.to_evaluate ctx.ec) ~th:t.th
+      in
+      ctx.c_sla <- Some sla;
+      sla
+
+let ctx_solution t ctx =
+  let ev = Eval_ctx.to_evaluate ctx.ec in
+  let wh = Eval_ctx.weights ctx.ec 0 in
+  let wl = if ctx.c_str then wh else Eval_ctx.weights ctx.ec 1 in
+  let result =
+    match t.model with
+    | Objective.Load -> Objective.of_eval t.model ev ~th:t.th ()
+    | Objective.Sla params ->
+        Objective.of_eval t.model ev ~th:t.th ~sla:(ctx_sla params t ctx) ()
+  in
+  { wh; wl; result }
+
+let weight_changes base w' =
+  if Array.length base <> Array.length w' then
+    invalid_arg "Problem.weight_changes: length mismatch";
+  let acc = ref [] in
+  for i = Array.length base - 1 downto 0 do
+    if base.(i) <> w'.(i) then acc := (i, w'.(i)) :: !acc
+  done;
+  !acc
+
+type delta = {
+  d_cls : cls;
+  d_probe : Eval_ctx.probe option;  (* incremental path *)
+  d_full : solution option;  (* fallback path *)
+  d_objective : Lexico.t;
+  d_phi_h : float;
+  d_phi_l : float;
+}
+
+let delta_objective d = d.d_objective
+
+let delta_phi_h d = d.d_phi_h
+
+let delta_phi_l d = d.d_phi_l
+
+let apply_changes w changes =
+  let w' = Array.copy w in
+  List.iter (fun (a, v) -> w'.(a) <- v) changes;
+  w'
+
+let eval_delta t ctx ~cls ~changes =
+  let probe_path ~lambda =
+    incr eval_count;
+    incr delta_count;
+    let klass = match cls with `H -> 0 | `L -> 1 in
+    let p = Eval_ctx.probe ctx.ec ~klass ~changes in
+    let phi = Eval_ctx.probe_phi p in
+    let primary = match lambda with None -> phi.(0) | Some l -> l in
+    {
+      d_cls = cls;
+      d_probe = Some p;
+      d_full = None;
+      d_objective = Lexico.make ~primary ~secondary:phi.(1);
+      d_phi_h = phi.(0);
+      d_phi_l = phi.(1);
+    }
+  in
+  let full sol =
+    let ev = sol.result.Objective.eval in
+    {
+      d_cls = cls;
+      d_probe = None;
+      d_full = Some sol;
+      d_objective = sol.result.Objective.objective;
+      d_phi_h = ev.Evaluate.phi_h;
+      d_phi_l = ev.Evaluate.phi_l;
+    }
+  in
+  match t.model with
+  | Objective.Load -> probe_path ~lambda:None
+  | Objective.Sla params ->
+      if ctx.c_str then
+        (* Any STR change moves the high-priority routing. *)
+        full (eval_str t ~w:(apply_changes (Eval_ctx.weights ctx.ec 0) changes))
+      else if cls = `L then
+        (* W_L cannot affect the H routing, so Λ is the cached value and
+           only the secondary Φ_L needs the probe. *)
+        probe_path ~lambda:(Some (ctx_sla params t ctx).Evaluate.lambda)
+      else
+        (* FindH under SLA: fall back (see the module comment above). *)
+        let wh = apply_changes (Eval_ctx.weights ctx.ec 0) changes in
+        let l =
+          {
+            w = Eval_ctx.weights ctx.ec 1;
+            dags = Eval_ctx.dags ctx.ec 1;
+            loads = Eval_ctx.loads ctx.ec 1;
+            sla_cache = None;
+          }
+        in
+        full (combine t ~h:(route_h t wh) ~l)
+
+let commit_delta t ctx d =
+  match (d.d_probe, d.d_full) with
+  | Some p, _ ->
+      Eval_ctx.commit ctx.ec p;
+      if ctx.c_str || d.d_cls = `H then ctx.c_sla <- None;
+      ctx_solution t ctx
+  | None, Some sol ->
+      ctx.ec <- ec_of_solution t sol;
+      ctx.c_sla <- sol.result.Objective.sla;
+      sol
+  | None, None -> assert false
+
+let abort_delta ctx d =
+  match d.d_probe with Some p -> Eval_ctx.abort ctx.ec p | None -> ()

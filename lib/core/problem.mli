@@ -60,8 +60,80 @@ val h_routing_of : solution -> class_routing
 
 val l_routing_of : solution -> class_routing
 
+(** {2 Incremental evaluation}
+
+    The search inner loops scan many candidates that differ from the
+    incumbent in one or two arc weights.  A {!ctx} keeps the incumbent's
+    full evaluation state live (per-destination DAGs, per-destination
+    load contributions, the residual cascade, per-arc Fortz costs, via
+    {!Dtr_routing.Eval_ctx}), so each candidate costs a {!eval_delta}
+    probe — recompute only the destinations the changed arc can affect —
+    instead of a from-scratch SPF + load projection.  Probes are
+    numerically {e bitwise} identical to {!eval_str} / {!eval_dtr}, so
+    switching a search loop to the delta engine preserves its exact
+    trajectory for a fixed seed.
+
+    Protocol: take any number of probes from the same context state
+    (apply/undo — probes never modify the context), then
+    {!commit_delta} the winner (advancing the context) or
+    {!abort_delta} the rest.  Under the SLA model a high-priority
+    change re-prices every H path delay, which per-arc deltas cannot
+    express, so those probes transparently fall back to a full
+    evaluation (and committing one resynchronizes the context). *)
+
+type ctx
+(** Live evaluation state of an incumbent solution. *)
+
+type cls = [ `H | `L ]
+(** Which class's weight vector a change targets.  For an STR context
+    the classes share one vector, so either value moves both. *)
+
+val ctx_of_solution : t -> solution -> ctx
+(** Build a context from an evaluated solution, reusing its DAGs. *)
+
+val ctx_solution : t -> ctx -> solution
+(** Materialize the context's current state as a solution.  O(arcs):
+    the solution snapshots the context's arrays, which later commits
+    replace rather than mutate. *)
+
+val weight_changes : int array -> int array -> (int * int) list
+(** [weight_changes base w'] lists the [(arc, new_value)] pairs where
+    [w'] differs from [base], ascending by arc. *)
+
+type delta
+(** An evaluated candidate: objective plus whatever is needed to
+    install it. *)
+
+val eval_delta : t -> ctx -> cls:cls -> changes:(int * int) list -> delta
+(** Evaluate the candidate obtained by applying [changes] to [cls]'s
+    current weight vector.  Counted under {!delta_evaluations} when the
+    incremental path is taken, under {!full_evaluations} otherwise. *)
+
+val delta_objective : delta -> Dtr_cost.Lexico.t
+
+val delta_phi_h : delta -> float
+(** The candidate's Φ_H (for archive bookkeeping under the load model). *)
+
+val delta_phi_l : delta -> float
+
+val commit_delta : t -> ctx -> delta -> solution
+(** Install a candidate and return it as a full solution.  Only deltas
+    evaluated against the context's current state may be committed.
+    @raise Invalid_argument on a stale delta. *)
+
+val abort_delta : ctx -> delta -> unit
+(** Discard a candidate (no-op; closes the apply/undo protocol). *)
+
 val evaluations : unit -> int
 (** Process-wide count of objective evaluations performed through this
-    module (monotonic; used to report search effort). *)
+    module (monotonic; used to report search effort).  Total: every
+    full and every delta evaluation counts once. *)
+
+val full_evaluations : unit -> int
+(** The subset of {!evaluations} performed from scratch
+    ({!eval_str}, {!eval_dtr}, {!combine}, and delta fallbacks). *)
+
+val delta_evaluations : unit -> int
+(** The subset of {!evaluations} performed incrementally. *)
 
 val reset_evaluations : unit -> unit

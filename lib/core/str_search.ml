@@ -98,7 +98,21 @@ let run ?w0 ?iters ?on_progress rng cfg problem =
           }
     end
   in
+  (* Candidates are evaluated as delta probes, so the archive point is
+     built from the delta (the weight copy is only made when the
+     archive is live). *)
+  let observe_delta w' d =
+    if track_archive then
+      archive :=
+        archive_insert !archive
+          {
+            phi_h = Problem.delta_phi_h d;
+            phi_l = Problem.delta_phi_l d;
+            w = w';
+          }
+  in
   let current = ref (Problem.eval_str problem ~w:w0) in
+  let ctx = Problem.ctx_of_solution problem !current in
   observe !current;
   let best = ref !current in
   let improvements = ref 0 in
@@ -109,21 +123,29 @@ let run ?w0 ?iters ?on_progress rng cfg problem =
     let best_neighbor = ref None in
     for v = Weights.min_weight to Weights.max_weight do
       if v <> w.(arc) then begin
-        let w' = Array.copy w in
-        w'.(arc) <- v;
-        let cand = Problem.eval_str problem ~w:w' in
-        observe cand;
+        let cand = Problem.eval_delta problem ctx ~cls:`H ~changes:[ (arc, v) ] in
+        (if track_archive then begin
+           let w' = Array.copy w in
+           w'.(arc) <- v;
+           observe_delta w' cand
+         end);
         match !best_neighbor with
         | None -> best_neighbor := Some cand
         | Some bn ->
-            if lex_lt (Problem.objective cand) (Problem.objective bn) then
+            if lex_lt (Problem.delta_objective cand) (Problem.delta_objective bn)
+            then begin
+              Problem.abort_delta ctx bn;
               best_neighbor := Some cand
+            end
+            else Problem.abort_delta ctx cand
       end
     done;
     (match !best_neighbor with
-    | Some bn when lex_lt (Problem.objective bn) (Problem.objective !current) ->
-        current := bn
-    | Some _ | None -> ());
+    | Some bn
+      when lex_lt (Problem.delta_objective bn) (Problem.objective !current) ->
+        current := Problem.commit_delta problem ctx bn
+    | Some bn -> Problem.abort_delta ctx bn
+    | None -> ());
     if lex_lt (Problem.objective !current) (Problem.objective !best) then begin
       best := !current;
       incr improvements;
@@ -134,7 +156,9 @@ let run ?w0 ?iters ?on_progress rng cfg problem =
       let w =
         Weights.perturb rng ~fraction:cfg.Search_config.g1 !current.Problem.wh
       in
-      current := Problem.eval_str problem ~w;
+      let changes = Problem.weight_changes !current.Problem.wh w in
+      let d = Problem.eval_delta problem ctx ~cls:`H ~changes in
+      current := Problem.commit_delta problem ctx d;
       observe !current;
       stall := 0
     end;

@@ -5,35 +5,35 @@ type dag = {
   order_desc : int array;
 }
 
-let to_destination g ~weights ~dst =
-  let dist = Dijkstra.distances_to g ~weights ~dst in
+let node_next_arcs g ~weights ~dist v =
+  (* Two passes over the out-arcs: count, then fill — avoids building
+     an intermediate list on this very hot path. *)
+  let out = Graph.out_arcs g v in
+  let count = ref 0 in
+  Array.iter
+    (fun id ->
+      let d = dist.((Graph.arc g id).dst) in
+      if d <> Dijkstra.unreachable && weights.(id) + d = dist.(v) then
+        incr count)
+    out;
+  let keep = Array.make !count 0 in
+  let pos = ref 0 in
+  Array.iter
+    (fun id ->
+      let d = dist.((Graph.arc g id).dst) in
+      if d <> Dijkstra.unreachable && weights.(id) + d = dist.(v) then begin
+        keep.(!pos) <- id;
+        incr pos
+      end)
+    out;
+  keep
+
+let of_dist g ~weights ~dst ~dist =
   let n = Graph.node_count g in
   let next_arcs =
     Array.init n (fun v ->
         if v = dst || dist.(v) = Dijkstra.unreachable then [||]
-        else begin
-          (* Two passes over the out-arcs: count, then fill — avoids
-             building an intermediate list on this very hot path. *)
-          let out = Graph.out_arcs g v in
-          let count = ref 0 in
-          Array.iter
-            (fun id ->
-              let d = dist.((Graph.arc g id).dst) in
-              if d <> Dijkstra.unreachable && weights.(id) + d = dist.(v) then
-                incr count)
-            out;
-          let keep = Array.make !count 0 in
-          let pos = ref 0 in
-          Array.iter
-            (fun id ->
-              let d = dist.((Graph.arc g id).dst) in
-              if d <> Dijkstra.unreachable && weights.(id) + d = dist.(v) then begin
-                keep.(!pos) <- id;
-                incr pos
-              end)
-            out;
-          keep
-        end)
+        else node_next_arcs g ~weights ~dist v)
   in
   let reachable_count = ref 0 in
   for v = 0 to n - 1 do
@@ -54,6 +54,10 @@ let to_destination g ~weights ~dst =
       if c <> 0 then c else compare a b)
     order_desc;
   { dst; dist; next_arcs; order_desc }
+
+let to_destination g ~weights ~dst =
+  let dist = Dijkstra.distances_to g ~weights ~dst in
+  of_dist g ~weights ~dst ~dist
 
 let all_destinations g ~weights =
   Array.init (Graph.node_count g) (fun dst -> to_destination g ~weights ~dst)

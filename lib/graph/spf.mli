@@ -24,6 +24,21 @@ val to_destination : Graph.t -> weights:int array -> dst:int -> dag
 (** Build the DAG for one destination.
     @raise Invalid_argument as {!Dijkstra.distances_to}. *)
 
+val of_dist : Graph.t -> weights:int array -> dst:int -> dist:int array -> dag
+(** Build the DAG from an already-computed distance array (as from
+    {!Dijkstra.distances_to}); the array is owned by the returned dag.
+    Exposed so {!Spf_delta} can rebuild single destinations with its
+    own (buffer-reusing) Dijkstra while sharing this exact
+    construction, keeping incremental results structurally identical
+    to {!to_destination}. *)
+
+val node_next_arcs :
+  Graph.t -> weights:int array -> dist:int array -> int -> int array
+(** The ECMP next-hop arc set of one node, filtered from its out-arcs
+    in arc-id order: all arcs [(v, u)] with [w(v,u) + dist(u) =
+    dist(v)].  The per-node step of {!of_dist}, exposed for
+    {!Spf_delta}'s membership-only patches. *)
+
 val all_destinations : Graph.t -> weights:int array -> dag array
 (** One DAG per destination node, indexed by node id. *)
 

@@ -1,0 +1,150 @@
+type change = { arc : int; before : int; after : int }
+
+(* What a weight change does to one destination's DAG, decided from
+   the previous distance labels alone (the screening step). *)
+type effect =
+  | Clean  (* neither distances nor any next-hop set can move *)
+  | Patch  (* distances provably unchanged; only the changed arc's
+              tail node gains or loses that arc in its next-hop set *)
+  | Rebuild  (* distances may move: full per-destination recompute *)
+
+let classify dag ~u ~v ~before ~after =
+  let dv = dag.Spf.dist.(v) in
+  if dv = Dijkstra.unreachable then Clean
+  else begin
+    (* [u] reaches the destination whenever [v] does (through this very
+       arc), so [du] is finite and [before + dv >= du]. *)
+    let du = dag.Spf.dist.(u) in
+    if after < before then begin
+      let c = after + dv in
+      if c < du then Rebuild
+      else if c = du then Patch (* arc becomes tight; no distance moves *)
+      else Clean
+    end
+    else if after > before then begin
+      if before + dv = du then
+        (* The arc was on a shortest path.  If [u] keeps another tight
+           arc, every node retains a shortest path avoiding this arc
+           (induction on distance), so only [u]'s next-hop set shrinks;
+           otherwise distances upstream of [u] may grow. *)
+        if Array.length dag.Spf.next_arcs.(u) >= 2 then Patch else Rebuild
+      else Clean
+    end
+    else Clean
+  end
+
+type workspace = {
+  mutable settled : bool array;
+  queue : int Dtr_util.Pqueue.t;
+}
+
+let workspace () = { settled = [||]; queue = Dtr_util.Pqueue.create () }
+
+(* Dijkstra toward [dst] over reversed arcs, writing a fresh distance
+   array (owned by the rebuilt dag) but reusing the workspace's settled
+   buffer and heap across destinations.  Distance labels are the unique
+   shortest-path distances, so they match Dijkstra.distances_to
+   exactly. *)
+let distances_into ws g ~weights ~dst =
+  let n = Graph.node_count g in
+  if Array.length ws.settled < n then ws.settled <- Array.make n false
+  else Array.fill ws.settled 0 n false;
+  let settled = ws.settled in
+  let q = ws.queue in
+  Dtr_util.Pqueue.clear q;
+  let dist = Array.make n Dijkstra.unreachable in
+  dist.(dst) <- 0;
+  Dtr_util.Pqueue.add q 0. dst;
+  let continue = ref true in
+  while !continue do
+    match Dtr_util.Pqueue.pop_min q with
+    | None -> continue := false
+    | Some (_, v) ->
+        if not settled.(v) then begin
+          settled.(v) <- true;
+          Array.iter
+            (fun id ->
+              let u = (Graph.arc g id).src in
+              if not settled.(u) then begin
+                let cand = dist.(v) + weights.(id) in
+                if cand < dist.(u) then begin
+                  dist.(u) <- cand;
+                  Dtr_util.Pqueue.add q (float_of_int cand) u
+                end
+              end)
+            (Graph.in_arcs g v)
+        end
+  done;
+  dist
+
+let rebuild ws g ~weights ~dst =
+  let dist = distances_into ws g ~weights ~dst in
+  Spf.of_dist g ~weights ~dst ~dist
+
+(* Membership-only patch: distances (and hence order_desc) are shared
+   with the previous dag; only node [u]'s next-hop set is re-filtered
+   under the new weights. *)
+let patch_node g ~weights dag ~u =
+  let next_arcs = Array.copy dag.Spf.next_arcs in
+  next_arcs.(u) <- Spf.node_next_arcs g ~weights ~dist:dag.Spf.dist u;
+  { dag with Spf.next_arcs }
+
+let validate g ~weights ~prev ~changes =
+  if Array.length weights <> Graph.arc_count g then
+    invalid_arg "Spf_delta.update: weights length mismatch";
+  if Array.length prev <> Graph.node_count g then
+    invalid_arg "Spf_delta.update: prev dags length mismatch";
+  List.iter
+    (fun c ->
+      if c.arc < 0 || c.arc >= Graph.arc_count g then
+        invalid_arg "Spf_delta.update: arc id out of range";
+      if c.before <= 0 || c.after <= 0 then
+        invalid_arg "Spf_delta.update: weights must be positive";
+      if weights.(c.arc) <> c.after then
+        invalid_arg "Spf_delta.update: weights/changes disagree")
+    changes
+
+let update ?ws g ~weights ~prev ~changes =
+  validate g ~weights ~prev ~changes;
+  let ws = match ws with Some w -> w | None -> workspace () in
+  let changes = List.filter (fun c -> c.before <> c.after) changes in
+  if changes = [] then (prev, [])
+  else begin
+    let endpoints =
+      List.map
+        (fun c ->
+          let a = Graph.arc g c.arc in
+          (c, a.Graph.src, a.Graph.dst))
+        changes
+    in
+    let n = Graph.node_count g in
+    let dags = Array.copy prev in
+    let dirty = ref [] in
+    for t = n - 1 downto 0 do
+      let dag = prev.(t) in
+      (* The Patch classification is only sound in isolation: two
+         simultaneous changes can each look membership-only yet move
+         distances together (e.g. both tight arcs of one node raised at
+         once), so any destination flagged by more than one change is
+         rebuilt. *)
+      let patches = ref 0 and rebuilds = ref 0 and patch_u = ref (-1) in
+      List.iter
+        (fun (c, u, v) ->
+          match classify dag ~u ~v ~before:c.before ~after:c.after with
+          | Clean -> ()
+          | Patch ->
+              incr patches;
+              patch_u := u
+          | Rebuild -> incr rebuilds)
+        endpoints;
+      if !rebuilds > 0 || !patches > 1 then begin
+        dags.(t) <- rebuild ws g ~weights ~dst:t;
+        dirty := t :: !dirty
+      end
+      else if !patches = 1 then begin
+        dags.(t) <- patch_node g ~weights dag ~u:!patch_u;
+        dirty := t :: !dirty
+      end
+    done;
+    (dags, !dirty)
+  end

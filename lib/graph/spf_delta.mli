@@ -1,0 +1,52 @@
+(** Incremental shortest-path recomputation after arc-weight changes.
+
+    Local search probes thousands of single-weight changes per
+    iteration; rebuilding all [N] destination DAGs
+    ({!Spf.all_destinations}) for each probe wastes almost all of that
+    work, because a change to arc [(u, v)] can only affect destinations
+    whose distance labels actually move.  {!update} screens every
+    destination in O(1) against the previous labels and then either
+
+    - keeps the previous dag (physically shared) when provably
+      unaffected,
+    - patches only node [u]'s ECMP next-hop set when distances are
+      provably unchanged (a weight drop landing exactly on the current
+      shortest distance, or a raise of one of several tight arcs), or
+    - reruns a single-destination Dijkstra (with buffers reused from
+      the {!workspace}) when distances may move.
+
+    Results are structurally identical to a from-scratch
+    {!Spf.all_destinations} under the new weights: distance labels are
+    the unique shortest distances, and next-hop sets and traversal
+    orders are built by the very same {!Spf.of_dist} /
+    {!Spf.node_next_arcs} code. *)
+
+type change = {
+  arc : int;  (** arc id whose weight changed *)
+  before : int;  (** weight the [prev] dags were built with *)
+  after : int;  (** new weight; must equal [weights.(arc)] *)
+}
+
+type workspace
+(** Reusable scratch buffers (settled set, heap) for the
+    per-destination Dijkstra reruns. *)
+
+val workspace : unit -> workspace
+
+val update :
+  ?ws:workspace ->
+  Graph.t ->
+  weights:int array ->
+  prev:Spf.dag array ->
+  changes:change list ->
+  Spf.dag array * int list
+(** [update g ~weights ~prev ~changes] returns the destination DAGs
+    under the new [weights] together with the list of {e dirty}
+    destinations — those whose dag differs from [prev] — in ascending
+    order.  Unaffected destinations share their dag physically with
+    [prev]; [prev] itself is never mutated (with no effective change
+    it is returned as-is).  [weights] must be the full new weight
+    vector and [changes] the arcs on which it differs from the vector
+    [prev] was computed with.
+    @raise Invalid_argument on length mismatches, non-positive
+    weights, or a [change] whose [after] disagrees with [weights]. *)

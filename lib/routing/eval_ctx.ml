@@ -1,0 +1,351 @@
+module Graph = Dtr_graph.Graph
+module Spf = Dtr_graph.Spf
+module Spf_delta = Dtr_graph.Spf_delta
+module Matrix = Dtr_traffic.Matrix
+module Fortz = Dtr_cost.Fortz
+
+type t = {
+  graph : Graph.t;
+  class_group : int array;  (* class -> group of classes sharing a weight vector *)
+  group_classes : int array array;  (* group -> member classes, ascending *)
+  group_w : int array array;  (* group -> current weight vector *)
+  group_dags : Spf.dag array array;  (* group -> per-destination DAGs *)
+  demand : float array array array;
+      (* class -> dest -> per-source demand; [||] when the destination
+         has no routable positive demand (fixed for the ctx lifetime:
+         reachability is weight-independent) *)
+  contrib : float array array array;
+      (* class -> dest -> per-arc load contribution; [||] mirrors demand *)
+  loads : float array array;  (* class -> per-arc totals *)
+  capacity_seen : float array array;  (* class -> residual capacity cascade *)
+  phi_per_arc : float array array;
+  mutable phi : float array;
+  ws : Spf_delta.workspace;
+  mutable generation : int;
+  mutable probes : int;
+  mutable commits : int;
+}
+
+let class_count t = Array.length t.class_group
+
+let fold_row = Array.fold_left ( +. ) 0.
+
+let create ?dags g ~weights ~matrices =
+  let classes = Array.length weights in
+  if classes < 1 then invalid_arg "Eval_ctx.create: need at least one class";
+  if Array.length matrices <> classes then
+    invalid_arg "Eval_ctx.create: weights/matrices length mismatch";
+  Array.iter (fun w -> Weights.validate g w) weights;
+  let n = Graph.node_count g in
+  Array.iter
+    (fun m ->
+      if Matrix.size m <> n then
+        invalid_arg "Eval_ctx.create: matrix size mismatch")
+    matrices;
+  (* Group classes by physically shared weight vectors, as
+     Multi.evaluate does: aliased classes are re-routed together. *)
+  let class_group = Array.make classes (-1) in
+  let groups = ref [] and group_count = ref 0 in
+  for k = 0 to classes - 1 do
+    let rec find j =
+      if j = k then begin
+        let gi = !group_count in
+        incr group_count;
+        groups := (gi, k) :: !groups;
+        gi
+      end
+      else if weights.(j) == weights.(k) then class_group.(j)
+      else find (j + 1)
+    in
+    class_group.(k) <- find 0
+  done;
+  let group_count = !group_count in
+  let group_classes =
+    Array.init group_count (fun gi ->
+        let members = ref [] in
+        for k = classes - 1 downto 0 do
+          if class_group.(k) = gi then members := k :: !members
+        done;
+        Array.of_list !members)
+  in
+  let group_w =
+    Array.init group_count (fun gi -> Array.copy weights.(group_classes.(gi).(0)))
+  in
+  let group_dags =
+    Array.init group_count (fun gi ->
+        let first = group_classes.(gi).(0) in
+        match dags with
+        | Some d when Array.length d.(first) = n -> d.(first)
+        | Some _ -> invalid_arg "Eval_ctx.create: dags length mismatch"
+        | None -> Spf.all_destinations g ~weights:group_w.(gi))
+  in
+  let m = Graph.arc_count g in
+  let demand =
+    Array.init classes (fun k ->
+        let dags = group_dags.(class_group.(k)) in
+        Array.init n (fun t ->
+            match Loads.destination_demand ~dag:dags.(t) matrices.(k) with
+            | Some d -> d
+            | None -> [||]))
+  in
+  let contrib =
+    Array.init classes (fun k ->
+        let dags = group_dags.(class_group.(k)) in
+        Array.init n (fun t ->
+            let dem = demand.(k).(t) in
+            if Array.length dem = 0 then [||]
+            else Loads.destination_loads g ~dag:dags.(t) ~demand_to_dst:dem))
+  in
+  (* Totals as the ascending-destination sum of per-destination
+     subtotals — the same association Loads.of_matrix uses, so they are
+     bitwise identical to a from-scratch evaluation. *)
+  let loads =
+    Array.init classes (fun k ->
+        let row = Array.make m 0. in
+        for t = 0 to n - 1 do
+          let c = contrib.(k).(t) in
+          if Array.length c > 0 then
+            for a = 0 to m - 1 do
+              row.(a) <- row.(a) +. c.(a)
+            done
+        done;
+        row)
+  in
+  let caps = Graph.capacities g in
+  let capacity_seen = Array.make classes [||] in
+  capacity_seen.(0) <- caps;
+  for k = 1 to classes - 1 do
+    capacity_seen.(k) <-
+      Array.init m (fun a ->
+          Float.max (capacity_seen.(k - 1).(a) -. loads.(k - 1).(a)) 0.)
+  done;
+  let phi_per_arc =
+    Array.init classes (fun k ->
+        Array.init m (fun a ->
+            Fortz.phi ~load:loads.(k).(a) ~capacity:capacity_seen.(k).(a)))
+  in
+  let phi = Array.map fold_row phi_per_arc in
+  {
+    graph = g;
+    class_group;
+    group_classes;
+    group_w;
+    group_dags;
+    demand;
+    contrib;
+    loads;
+    capacity_seen;
+    phi_per_arc;
+    phi;
+    ws = Spf_delta.workspace ();
+    generation = 0;
+    probes = 0;
+    commits = 0;
+  }
+
+type probe = {
+  generation : int;
+  group : int;
+  p_w : int array;
+  p_dags : Spf.dag array;
+  p_dirty : int list;
+  p_contrib : (int * int * float array) list;  (* class, dest, contribution *)
+  p_loads : (int * float array) list;  (* class, full row *)
+  p_capacity : (int * float array) list;
+  p_phi_rows : (int * float array) list;
+  p_phi : float array;
+}
+
+let probe_phi p = Array.copy p.p_phi
+
+let probe t ~klass ~changes =
+  if klass < 0 || klass >= class_count t then
+    invalid_arg "Eval_ctx.probe: class out of range";
+  t.probes <- t.probes + 1;
+  let group = t.class_group.(klass) in
+  let w = t.group_w.(group) in
+  let spf_changes =
+    List.filter_map
+      (fun (arc, v) ->
+        if arc < 0 || arc >= Graph.arc_count t.graph then
+          invalid_arg "Eval_ctx.probe: arc out of range";
+        if v < Weights.min_weight || v > Weights.max_weight then
+          invalid_arg "Eval_ctx.probe: weight out of bounds";
+        if w.(arc) = v then None
+        else Some { Spf_delta.arc; before = w.(arc); after = v })
+      changes
+  in
+  let new_w = Array.copy w in
+  List.iter (fun c -> new_w.(c.Spf_delta.arc) <- c.Spf_delta.after) spf_changes;
+  let p_dags, p_dirty =
+    Spf_delta.update ~ws:t.ws t.graph ~weights:new_w
+      ~prev:t.group_dags.(group) ~changes:spf_changes
+  in
+  let g = t.graph in
+  let n = Graph.node_count g in
+  let m = Graph.arc_count g in
+  let classes = class_count t in
+  (* Re-project dirty destinations of every class in the group and mark
+     the arcs whose contribution actually moved. *)
+  let p_contrib = ref [] in
+  let touched = Array.make m false in
+  let touched_list = ref [] in
+  Array.iter
+    (fun k ->
+      List.iter
+        (fun dst ->
+          let dem = t.demand.(k).(dst) in
+          if Array.length dem > 0 then begin
+            let nc = Loads.destination_loads g ~dag:p_dags.(dst) ~demand_to_dst:dem in
+            let oc = t.contrib.(k).(dst) in
+            let changed = ref false in
+            for a = 0 to m - 1 do
+              if nc.(a) <> oc.(a) then begin
+                changed := true;
+                if not touched.(a) then begin
+                  touched.(a) <- true;
+                  touched_list := a :: !touched_list
+                end
+              end
+            done;
+            if !changed then p_contrib := (k, dst, nc) :: !p_contrib
+          end)
+        p_dirty)
+    t.group_classes.(group);
+  let touched_list = !touched_list in
+  let p_contrib = !p_contrib in
+  (* Patch per-class totals: every touched arc is re-summed over all
+     destinations in ascending order, reproducing the from-scratch
+     association exactly. *)
+  let p_loads = ref [] in
+  Array.iter
+    (fun k ->
+      let overrides = List.filter (fun (k', _, _) -> k' = k) p_contrib in
+      if overrides <> [] then begin
+        let view = Array.copy t.contrib.(k) in
+        List.iter (fun (_, dst, nc) -> view.(dst) <- nc) overrides;
+        let row = Array.copy t.loads.(k) in
+        List.iter
+          (fun a ->
+            let s = ref 0. in
+            for dst = 0 to n - 1 do
+              let c = view.(dst) in
+              if Array.length c > 0 then s := !s +. c.(a)
+            done;
+            row.(a) <- !s)
+          touched_list;
+        p_loads := (k, row) :: !p_loads
+      end)
+    t.group_classes.(group);
+  let p_loads = !p_loads in
+  let load_row k =
+    match List.assoc_opt k p_loads with Some r -> r | None -> t.loads.(k)
+  in
+  (* Residual-capacity cascade and Fortz costs, patched downward from
+     the highest-priority class whose load moved (an H change reshapes
+     the residual every lower class is charged against). *)
+  let kmin =
+    List.fold_left (fun acc (k, _) -> min acc k) classes p_loads
+  in
+  let p_capacity = ref [] and p_phi_rows = ref [] in
+  let p_phi = Array.copy t.phi in
+  if kmin < classes then begin
+    let cap_rows = Array.make classes [||] in
+    for k = 0 to classes - 1 do
+      cap_rows.(k) <- t.capacity_seen.(k)
+    done;
+    for k = kmin + 1 to classes - 1 do
+      let row = Array.copy t.capacity_seen.(k) in
+      let above_cap = cap_rows.(k - 1) in
+      let above_load = load_row (k - 1) in
+      List.iter
+        (fun a -> row.(a) <- Float.max (above_cap.(a) -. above_load.(a)) 0.)
+        touched_list;
+      cap_rows.(k) <- row;
+      p_capacity := (k, row) :: !p_capacity
+    done;
+    for k = kmin to classes - 1 do
+      let loads_k = load_row k in
+      let caps_k = cap_rows.(k) in
+      let row = Array.copy t.phi_per_arc.(k) in
+      List.iter
+        (fun a -> row.(a) <- Fortz.phi ~load:loads_k.(a) ~capacity:caps_k.(a))
+        touched_list;
+      p_phi_rows := (k, row) :: !p_phi_rows;
+      p_phi.(k) <- fold_row row
+    done
+  end;
+  {
+    generation = t.generation;
+    group;
+    p_w = new_w;
+    p_dags;
+    p_dirty;
+    p_contrib;
+    p_loads;
+    p_capacity = !p_capacity;
+    p_phi_rows = !p_phi_rows;
+    p_phi;
+  }
+
+let commit (t : t) (p : probe) =
+  if p.generation <> t.generation then
+    invalid_arg "Eval_ctx.commit: stale probe (context has moved on)";
+  t.group_w.(p.group) <- p.p_w;
+  t.group_dags.(p.group) <- p.p_dags;
+  List.iter (fun (k, dst, c) -> t.contrib.(k).(dst) <- c) p.p_contrib;
+  List.iter (fun (k, row) -> t.loads.(k) <- row) p.p_loads;
+  List.iter (fun (k, row) -> t.capacity_seen.(k) <- row) p.p_capacity;
+  List.iter (fun (k, row) -> t.phi_per_arc.(k) <- row) p.p_phi_rows;
+  t.phi <- p.p_phi;
+  t.generation <- t.generation + 1;
+  t.commits <- t.commits + 1
+
+let abort _t _p = ()
+
+let phi t = Array.copy t.phi
+
+let weights t k =
+  if k < 0 || k >= class_count t then invalid_arg "Eval_ctx.weights: class out of range";
+  Array.copy t.group_w.(t.class_group.(k))
+
+let dags t k =
+  if k < 0 || k >= class_count t then invalid_arg "Eval_ctx.dags: class out of range";
+  t.group_dags.(t.class_group.(k))
+
+let loads t k =
+  if k < 0 || k >= class_count t then invalid_arg "Eval_ctx.loads: class out of range";
+  t.loads.(k)
+
+let probes t = t.probes
+
+let commits t = t.commits
+
+let shares_group t j k =
+  j >= 0 && k >= 0 && j < class_count t && k < class_count t
+  && t.class_group.(j) = t.class_group.(k)
+
+let to_evaluate t =
+  if class_count t <> 2 then invalid_arg "Eval_ctx.to_evaluate: need 2 classes";
+  {
+    Evaluate.graph = t.graph;
+    dags_h = dags t 0;
+    dags_l = dags t 1;
+    h_loads = t.loads.(0);
+    l_loads = t.loads.(1);
+    residual = t.capacity_seen.(1);
+    phi_h_per_arc = t.phi_per_arc.(0);
+    phi_l_per_arc = t.phi_per_arc.(1);
+    phi_h = t.phi.(0);
+    phi_l = t.phi.(1);
+  }
+
+let to_multi t =
+  {
+    Multi.graph = t.graph;
+    dags = Array.init (class_count t) (dags t);
+    loads = Array.copy t.loads;
+    capacity_seen = Array.copy t.capacity_seen;
+    phi_per_arc = Array.copy t.phi_per_arc;
+    phi = Array.copy t.phi;
+  }

@@ -1,0 +1,93 @@
+(** Incremental multi-class evaluation context.
+
+    A context holds one full evaluation — per-group shortest-path DAGs
+    ({!Dtr_graph.Spf_delta} keeps them current), per-destination load
+    contributions, per-class load totals, the residual-capacity
+    cascade, and per-arc Fortz costs — and re-evaluates candidate
+    weight changes incrementally: {!probe} screens which destinations a
+    change can affect, re-projects only their flows, patches only the
+    arcs whose load moved (including the high→residual→low coupling),
+    and returns the candidate's objective vector without touching the
+    committed state.  {!commit} installs a probe; {!abort} discards it.
+
+    Probes are pure: many can be taken from the same state, compared,
+    and all but the winner dropped — this is the apply/undo protocol of
+    the search inner loops.  All quantities are bitwise-identical to a
+    from-scratch {!Evaluate.evaluate} / {!Multi.evaluate} of the same
+    weights: per-arc loads receive at most one share per destination,
+    so patched totals re-associate exactly as the full sum, and Φ
+    totals are re-folded (not differentially adjusted) over the per-arc
+    array. *)
+
+type t
+
+val create :
+  ?dags:Dtr_graph.Spf.dag array array ->
+  Dtr_graph.Graph.t ->
+  weights:int array array ->
+  matrices:Dtr_traffic.Matrix.t array ->
+  t
+(** Build a context from a full evaluation of [weights] (one vector
+    per class; {e physically} equal vectors form a group that is
+    re-routed together, exactly like {!Multi.evaluate}).  The vectors
+    are copied.  [dags], when given, must be the per-class DAG arrays
+    already computed for these weights (e.g. from a {!Evaluate.t}) and
+    skips the SPF rebuild.
+    @raise Invalid_argument on length/size mismatches, invalid
+    weights, or unroutable positive demand. *)
+
+type probe
+(** A candidate evaluation: the full consequence of a weight change,
+    computed against — but not installed into — the context. *)
+
+val probe : t -> klass:int -> changes:(int * int) list -> probe
+(** [probe t ~klass ~changes] evaluates setting arc [a] to weight [v]
+    for each [(a, v)] in [changes] on [klass]'s weight vector (classes
+    sharing the vector change together).  No-op entries are ignored.
+    The context is not modified.
+    @raise Invalid_argument on an arc id or weight out of range. *)
+
+val probe_phi : probe -> float array
+(** The candidate's per-class objective vector [Φ_k] (fresh copy),
+    comparable with {!Multi.compare_objective}. *)
+
+val commit : t -> probe -> unit
+(** Install a probe.  Only probes taken from the current state may be
+    committed; committing advances the state.
+    @raise Invalid_argument on a stale probe. *)
+
+val abort : t -> probe -> unit
+(** Discard a probe.  A no-op — probes never touch the context — but
+    marks the reject branch of the apply/undo protocol explicitly. *)
+
+val class_count : t -> int
+
+val phi : t -> float array
+(** Current per-class objective vector (fresh copy). *)
+
+val weights : t -> int -> int array
+(** Current weight vector of a class (fresh copy). *)
+
+val dags : t -> int -> Dtr_graph.Spf.dag array
+(** Current per-destination DAGs of a class (shared; treat as
+    immutable — commits replace, never mutate, them). *)
+
+val loads : t -> int -> float array
+(** Current per-arc load totals of a class (shared; commits replace
+    the array, so snapshots stay valid). *)
+
+val shares_group : t -> int -> int -> bool
+(** Whether two classes share (alias) one weight vector. *)
+
+val to_evaluate : t -> Evaluate.t
+(** Materialize the two-class view.  O(1): the record references the
+    context's current arrays, which later commits replace rather than
+    mutate.  @raise Invalid_argument unless [class_count t = 2]. *)
+
+val to_multi : t -> Multi.t
+(** Materialize the [T]-class view (same sharing discipline). *)
+
+val probes : t -> int
+(** Probes taken against this context (delta evaluations). *)
+
+val commits : t -> int

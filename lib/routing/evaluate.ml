@@ -44,7 +44,9 @@ let evaluate g ~wh ~wl ~th ~tl =
   Weights.validate g wh;
   Weights.validate g wl;
   let dags_h = Spf.all_destinations g ~weights:wh in
-  let dags_l = if wh == wl then dags_h else Spf.all_destinations g ~weights:wl in
+  (* Structural equality: equal-but-distinct weight vectors must share
+     the SPF too, not silently double the work. *)
+  let dags_l = if wh == wl || wh = wl then dags_h else Spf.all_destinations g ~weights:wl in
   let h_loads = Loads.of_matrix g ~dags:dags_h th in
   let l_loads = Loads.of_matrix g ~dags:dags_l tl in
   assemble g ~dags_h ~h_loads ~dags_l ~l_loads

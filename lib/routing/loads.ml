@@ -3,14 +3,12 @@ module Spf = Dtr_graph.Spf
 module Dijkstra = Dtr_graph.Dijkstra
 module Matrix = Dtr_traffic.Matrix
 
-let node_throughflow g ~dag ~demand_to_dst =
-  let n = Graph.node_count g in
-  if Array.length demand_to_dst <> n then
-    invalid_arg "Loads.node_throughflow: demand length mismatch";
-  let flow = Array.copy demand_to_dst in
-  flow.(dag.Spf.dst) <- 0.;
-  (* order_desc: upstream (far) nodes first, so by the time we reach a
-     node all its transit inflow has arrived. *)
+(* The even-split flow recursion shared by every consumer: walk
+   order_desc (upstream nodes first, so all transit inflow has arrived
+   by the time a node is reached), split each node's flow evenly over
+   its next-hop arcs, and report every (arc, share) to [on_arc] before
+   forwarding it.  [flow] is mutated in place. *)
+let propagate g ~dag ~flow ~on_arc =
   Array.iter
     (fun v ->
       let out = dag.Spf.next_arcs.(v) in
@@ -19,57 +17,72 @@ let node_throughflow g ~dag ~demand_to_dst =
         let share = flow.(v) /. float_of_int deg in
         Array.iter
           (fun id ->
+            on_arc id share;
             let u = (Graph.arc g id).dst in
             if u <> dag.Spf.dst then flow.(u) <- flow.(u) +. share)
           out
       end)
-    dag.Spf.order_desc;
+    dag.Spf.order_desc
+
+let no_share _ _ = ()
+
+let node_throughflow g ~dag ~demand_to_dst =
+  let n = Graph.node_count g in
+  if Array.length demand_to_dst <> n then
+    invalid_arg "Loads.node_throughflow: demand length mismatch";
+  let flow = Array.copy demand_to_dst in
+  flow.(dag.Spf.dst) <- 0.;
+  propagate g ~dag ~flow ~on_arc:no_share;
   flow
+
+let destination_loads g ~dag ~demand_to_dst =
+  let n = Graph.node_count g in
+  if Array.length demand_to_dst <> n then
+    invalid_arg "Loads.destination_loads: demand length mismatch";
+  let contrib = Array.make (Graph.arc_count g) 0. in
+  let flow = Array.copy demand_to_dst in
+  flow.(dag.Spf.dst) <- 0.;
+  propagate g ~dag ~flow ~on_arc:(fun id share ->
+      contrib.(id) <- contrib.(id) +. share);
+  contrib
+
+let destination_demand ?(drop_unroutable = false) ~dag tm =
+  let n = Matrix.size tm in
+  let t = dag.Spf.dst in
+  let demand = Array.make n 0. in
+  let any = ref false in
+  for s = 0 to n - 1 do
+    if s <> t then begin
+      let r = Matrix.get tm s t in
+      if r > 0. then begin
+        if dag.Spf.dist.(s) = Dijkstra.unreachable then begin
+          if not drop_unroutable then
+            invalid_arg (Printf.sprintf "Loads.of_matrix: no path %d -> %d" s t)
+        end
+        else begin
+          demand.(s) <- r;
+          any := true
+        end
+      end
+    end
+  done;
+  if !any then Some demand else None
 
 let of_matrix ?(drop_unroutable = false) g ~dags tm =
   let n = Graph.node_count g in
   if Matrix.size tm <> n then invalid_arg "Loads.of_matrix: size mismatch";
   if Array.length dags <> n then invalid_arg "Loads.of_matrix: dags length mismatch";
-  let loads = Array.make (Graph.arc_count g) 0. in
+  let m = Graph.arc_count g in
+  let loads = Array.make m 0. in
   for t = 0 to n - 1 do
     let dag = dags.(t) in
     if dag.Spf.dst <> t then invalid_arg "Loads.of_matrix: dag/destination mismatch";
-    (* Gather demand towards t; detect unroutable pairs. *)
-    let demand = Array.make n 0. in
-    let any = ref false in
-    for s = 0 to n - 1 do
-      if s <> t then begin
-        let r = Matrix.get tm s t in
-        if r > 0. then begin
-          if dag.Spf.dist.(s) = Dijkstra.unreachable then begin
-            if not drop_unroutable then
-              invalid_arg
-                (Printf.sprintf "Loads.of_matrix: no path %d -> %d" s t)
-          end
-          else begin
-            demand.(s) <- r;
-            any := true
-          end
-        end
-      end
-    done;
-    if !any then begin
-      let flow = Array.copy demand in
-      flow.(t) <- 0.;
-      Array.iter
-        (fun v ->
-          let out = dag.Spf.next_arcs.(v) in
-          let deg = Array.length out in
-          if flow.(v) > 0. && deg > 0 then begin
-            let share = flow.(v) /. float_of_int deg in
-            Array.iter
-              (fun id ->
-                loads.(id) <- loads.(id) +. share;
-                let u = (Graph.arc g id).dst in
-                if u <> t then flow.(u) <- flow.(u) +. share)
-              out
-          end)
-        dag.Spf.order_desc
-    end
+    match destination_demand ~drop_unroutable ~dag tm with
+    | None -> ()
+    | Some demand ->
+        let contrib = destination_loads g ~dag ~demand_to_dst:demand in
+        for a = 0 to m - 1 do
+          loads.(a) <- loads.(a) +. contrib.(a)
+        done
   done;
   loads

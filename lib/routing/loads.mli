@@ -25,3 +25,25 @@ val node_throughflow :
 (** Per-node total flow towards [dag.dst] (own demand plus transit),
     the intermediate quantity of the even-split recursion.  Exposed for
     tests (flow conservation checks). *)
+
+val destination_loads :
+  Dtr_graph.Graph.t ->
+  dag:Dtr_graph.Spf.dag ->
+  demand_to_dst:float array ->
+  float array
+(** One destination's per-arc load contribution: the even-split
+    projection of [demand_to_dst] onto the dag's arcs.  {!of_matrix} is
+    the sum of these over all destinations in ascending order, which is
+    exactly how the incremental engine ({!Eval_ctx}) patches totals —
+    each arc receives at most one share per destination, so subtotals
+    recombine bitwise-identically. *)
+
+val destination_demand :
+  ?drop_unroutable:bool ->
+  dag:Dtr_graph.Spf.dag ->
+  Dtr_traffic.Matrix.t ->
+  float array option
+(** The demand column towards [dag.dst] ([None] when no source has
+    routable positive demand), with {!of_matrix}'s unroutable-pair
+    handling.  Reachability does not depend on (positive) weights, so
+    the column can be gathered once and reused across re-routings. *)

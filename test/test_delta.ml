@@ -1,0 +1,451 @@
+(* Property tests for the incremental evaluation engine: Spf_delta
+   against from-scratch SPF, Eval_ctx probes/commits/aborts against
+   from-scratch Multi/Evaluate, and the Problem-level ctx API against
+   eval_str/eval_dtr — on random topologies under random single-weight
+   change sequences, to 1e-12 (the engine is in fact built to be
+   bitwise-identical). *)
+
+module Prng = Dtr_util.Prng
+module Graph = Dtr_graph.Graph
+module Spf = Dtr_graph.Spf
+module Spf_delta = Dtr_graph.Spf_delta
+module Matrix = Dtr_traffic.Matrix
+module Gravity = Dtr_traffic.Gravity
+module Highpri = Dtr_traffic.Highpri
+module Weights = Dtr_routing.Weights
+module Loads = Dtr_routing.Loads
+module Evaluate = Dtr_routing.Evaluate
+module Eval_ctx = Dtr_routing.Eval_ctx
+module Multi = Dtr_routing.Multi
+module Objective = Dtr_routing.Objective
+module Lexico = Dtr_cost.Lexico
+module Problem = Dtr_core.Problem
+
+(* The engine is designed to be bitwise-reproducible (same summation
+   order, re-folded totals), so the comparison tolerance is zero. *)
+let eps = 0.
+
+(* ------------------------------------------------------------------ *)
+(* Random fixtures *)
+
+(* Strongly connected random topology: Waxman and power-law families
+   alternate with the degree-balanced random generator (all three emit
+   symmetric arcs, so connected implies strongly connected). *)
+let random_graph seed =
+  let rec go attempt =
+    let rng = Prng.create (seed + (1000 * attempt)) in
+    let g =
+      match (seed + attempt) mod 3 with
+      | 0 ->
+          Dtr_topology.Waxman.generate rng
+            { Dtr_topology.Waxman.default with nodes = 14 }
+      | 1 ->
+          Dtr_topology.Power_law.generate rng
+            { Dtr_topology.Power_law.default with nodes = 14; m0 = 4; m = 2 }
+      | _ ->
+          Dtr_topology.Random_topo.generate rng
+            { Dtr_topology.Random_topo.default with nodes = 14; links = 28 }
+    in
+    if Graph.is_strongly_connected g then g
+    else if attempt > 50 then Alcotest.fail "no connected topology found"
+    else go (attempt + 1)
+  in
+  go 0
+
+let random_matrices rng g =
+  let n = Graph.node_count g in
+  let tl = Gravity.generate rng ~n Gravity.default in
+  let pairs = Highpri.random_pairs rng ~n ~density:0.2 in
+  let th = Highpri.volumes rng ~low:tl ~fraction:0.3 ~pairs in
+  (th, tl)
+
+let random_change rng w =
+  let arc = Prng.int rng (Array.length w) in
+  let v = ref (Prng.int_incl rng Weights.min_weight Weights.max_weight) in
+  while !v = w.(arc) do
+    v := Prng.int_incl rng Weights.min_weight Weights.max_weight
+  done;
+  (arc, !v)
+
+(* ------------------------------------------------------------------ *)
+(* Structural dag comparison *)
+
+let check_dag_equal ~what expected actual =
+  Alcotest.(check int) (what ^ ": dst") expected.Spf.dst actual.Spf.dst;
+  Alcotest.(check (array int)) (what ^ ": dist") expected.Spf.dist actual.Spf.dist;
+  Alcotest.(check (array int))
+    (what ^ ": order") expected.Spf.order_desc actual.Spf.order_desc;
+  Array.iteri
+    (fun v exp ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "%s: next_arcs(%d)" what v)
+        exp actual.Spf.next_arcs.(v))
+    expected.Spf.next_arcs
+
+(* ------------------------------------------------------------------ *)
+(* Spf_delta vs from-scratch SPF *)
+
+let spf_delta_matches_scratch seed =
+  let g = random_graph seed in
+  let rng = Prng.create (seed * 7 + 1) in
+  let w = Weights.random rng g in
+  let dags = ref (Spf.all_destinations g ~weights:w) in
+  let ws = Spf_delta.workspace () in
+  for step = 1 to 8 do
+    let arc, v = random_change rng w in
+    let before = w.(arc) in
+    w.(arc) <- v;
+    let next, dirty =
+      Spf_delta.update ~ws g ~weights:w ~prev:!dags
+        ~changes:[ { Spf_delta.arc; before; after = v } ]
+    in
+    let scratch = Spf.all_destinations g ~weights:w in
+    Array.iteri
+      (fun t expected ->
+        check_dag_equal ~what:(Printf.sprintf "seed %d step %d dst %d" seed step t)
+          expected next.(t))
+      scratch;
+    (* Non-dirty destinations must be the previous dags, shared. *)
+    Array.iteri
+      (fun t dag ->
+        if not (List.mem t dirty) then
+          Alcotest.(check bool)
+            (Printf.sprintf "clean dst %d shared" t)
+            true
+            (dag == !dags.(t)))
+      next;
+    dags := next
+  done;
+  true
+
+let test_spf_delta_property () =
+  QCheck.Test.make ~name:"Spf_delta.update = from-scratch SPF" ~count:15
+    QCheck.(int_range 0 10_000)
+    spf_delta_matches_scratch
+
+(* Two simultaneous changes (the FindH/FindL two-arc move). *)
+let spf_delta_two_changes seed =
+  let g = random_graph seed in
+  let rng = Prng.create (seed * 11 + 3) in
+  let w = Weights.random rng g in
+  let dags = Spf.all_destinations g ~weights:w in
+  let a1, v1 = random_change rng w in
+  let a2 = ref (fst (random_change rng w)) in
+  while !a2 = a1 do
+    a2 := fst (random_change rng w)
+  done;
+  let a2 = !a2 in
+  let v2 =
+    let v = ref (Prng.int_incl rng Weights.min_weight Weights.max_weight) in
+    while !v = w.(a2) do
+      v := Prng.int_incl rng Weights.min_weight Weights.max_weight
+    done;
+    !v
+  in
+  let b1 = w.(a1) and b2 = w.(a2) in
+  w.(a1) <- v1;
+  w.(a2) <- v2;
+  let next, _dirty =
+    Spf_delta.update g ~weights:w ~prev:dags
+      ~changes:
+        [
+          { Spf_delta.arc = a1; before = b1; after = v1 };
+          { Spf_delta.arc = a2; before = b2; after = v2 };
+        ]
+  in
+  let scratch = Spf.all_destinations g ~weights:w in
+  Array.iteri
+    (fun t expected ->
+      check_dag_equal ~what:(Printf.sprintf "2ch seed %d dst %d" seed t) expected
+        next.(t))
+    scratch;
+  true
+
+let test_spf_delta_two_changes () =
+  QCheck.Test.make ~name:"Spf_delta.update handles two-arc moves" ~count:15
+    QCheck.(int_range 0 10_000)
+    spf_delta_two_changes
+
+(* ------------------------------------------------------------------ *)
+(* Loads helper *)
+
+let test_destination_loads_sum () =
+  let g = random_graph 42 in
+  let rng = Prng.create 5 in
+  let th, _ = random_matrices rng g in
+  let w = Weights.random rng g in
+  let dags = Spf.all_destinations g ~weights:w in
+  let full = Loads.of_matrix g ~dags th in
+  let n = Graph.node_count g in
+  let m = Graph.arc_count g in
+  let sum = Array.make m 0. in
+  for t = 0 to n - 1 do
+    match Loads.destination_demand ~dag:dags.(t) th with
+    | None -> ()
+    | Some demand ->
+        let c = Loads.destination_loads g ~dag:dags.(t) ~demand_to_dst:demand in
+        for a = 0 to m - 1 do
+          sum.(a) <- sum.(a) +. c.(a)
+        done
+  done;
+  Alcotest.(check bool) "per-destination subtotals recombine exactly" true
+    (full = sum)
+
+(* ------------------------------------------------------------------ *)
+(* Eval_ctx vs from-scratch Multi/Evaluate *)
+
+let check_arr ~what a b =
+  Array.iteri
+    (fun i x ->
+      if Float.abs (x -. b.(i)) > eps then
+        Alcotest.failf "%s: index %d: %.17g vs %.17g" what i x b.(i))
+    a
+
+let eval_ctx_matches_scratch seed =
+  let g = random_graph seed in
+  let rng = Prng.create (seed * 13 + 7) in
+  let th, tl = random_matrices rng g in
+  let wh = Weights.random rng g in
+  let wl = Weights.random rng g in
+  let ctx = Eval_ctx.create g ~weights:[| wh; wl |] ~matrices:[| th; tl |] in
+  for _step = 1 to 6 do
+    let klass = Prng.int rng 2 in
+    let w = Eval_ctx.weights ctx klass in
+    let arc, v = random_change rng w in
+    let pr = Eval_ctx.probe ctx ~klass ~changes:[ (arc, v) ] in
+    (* From-scratch evaluation of the candidate. *)
+    let cand_w = Array.copy w in
+    cand_w.(arc) <- v;
+    let weights' =
+      if klass = 0 then [| cand_w; Eval_ctx.weights ctx 1 |]
+      else [| Eval_ctx.weights ctx 0; cand_w |]
+    in
+    let scratch = Multi.evaluate g ~weights:weights' ~matrices:[| th; tl |] in
+    check_arr ~what:"probe phi" (Eval_ctx.probe_phi pr) scratch.Multi.phi;
+    (* Abort path: the context must still match its own base state. *)
+    Eval_ctx.abort ctx pr;
+    let base =
+      Multi.evaluate g
+        ~weights:[| Eval_ctx.weights ctx 0; Eval_ctx.weights ctx 1 |]
+        ~matrices:[| th; tl |]
+    in
+    check_arr ~what:"phi after abort" (Eval_ctx.phi ctx) base.Multi.phi;
+    (* Commit path: re-probe (aborting loses nothing) and install. *)
+    let pr = Eval_ctx.probe ctx ~klass ~changes:[ (arc, v) ] in
+    Eval_ctx.commit ctx pr;
+    let ev = Eval_ctx.to_evaluate ctx in
+    check_arr ~what:"committed h_loads" ev.Evaluate.h_loads scratch.Multi.loads.(0);
+    check_arr ~what:"committed l_loads" ev.Evaluate.l_loads scratch.Multi.loads.(1);
+    check_arr ~what:"committed residual" ev.Evaluate.residual
+      scratch.Multi.capacity_seen.(1);
+    check_arr ~what:"committed phi_h_per_arc" ev.Evaluate.phi_h_per_arc
+      scratch.Multi.phi_per_arc.(0);
+    check_arr ~what:"committed phi_l_per_arc" ev.Evaluate.phi_l_per_arc
+      scratch.Multi.phi_per_arc.(1);
+    if Float.abs (ev.Evaluate.phi_h -. scratch.Multi.phi.(0)) > eps then
+      Alcotest.fail "phi_h drifted";
+    if Float.abs (ev.Evaluate.phi_l -. scratch.Multi.phi.(1)) > eps then
+      Alcotest.fail "phi_l drifted"
+  done;
+  true
+
+let test_eval_ctx_property () =
+  QCheck.Test.make ~name:"Eval_ctx probe/commit/abort = from-scratch" ~count:12
+    QCheck.(int_range 0 10_000)
+    eval_ctx_matches_scratch
+
+(* Shared-vector (STR) context: one change moves every class. *)
+let eval_ctx_shared_matches seed =
+  let g = random_graph seed in
+  let rng = Prng.create (seed * 17 + 5) in
+  let th, tl = random_matrices rng g in
+  let w = Weights.random rng g in
+  let ctx = Eval_ctx.create g ~weights:[| w; w |] ~matrices:[| th; tl |] in
+  Alcotest.(check bool) "classes alias" true (Eval_ctx.shares_group ctx 0 1);
+  let arc, v = random_change rng w in
+  let pr = Eval_ctx.probe ctx ~klass:0 ~changes:[ (arc, v) ] in
+  let cand = Array.copy w in
+  cand.(arc) <- v;
+  let scratch = Multi.evaluate g ~weights:[| cand; cand |] ~matrices:[| th; tl |] in
+  check_arr ~what:"shared probe phi" (Eval_ctx.probe_phi pr) scratch.Multi.phi;
+  Eval_ctx.commit ctx pr;
+  check_arr ~what:"shared committed phi" (Eval_ctx.phi ctx) scratch.Multi.phi;
+  check_arr ~what:"shared l weights"
+    (Array.map float_of_int (Eval_ctx.weights ctx 1))
+    (Array.map float_of_int cand);
+  true
+
+let test_eval_ctx_shared () =
+  QCheck.Test.make ~name:"Eval_ctx shared-vector probes move all classes"
+    ~count:10
+    QCheck.(int_range 0 10_000)
+    eval_ctx_shared_matches
+
+(* Three classes exercise the full residual cascade. *)
+let eval_ctx_three_classes seed =
+  let g = random_graph seed in
+  let rng = Prng.create (seed * 19 + 11) in
+  let n = Graph.node_count g in
+  let matrices =
+    Array.init 3 (fun _ -> Gravity.generate rng ~n Gravity.default)
+  in
+  let weights = Array.init 3 (fun _ -> Weights.random rng g) in
+  let ctx = Eval_ctx.create g ~weights ~matrices in
+  let klass = Prng.int rng 3 in
+  let w = Eval_ctx.weights ctx klass in
+  let arc, v = random_change rng w in
+  let pr = Eval_ctx.probe ctx ~klass ~changes:[ (arc, v) ] in
+  let weights' = Array.init 3 (Eval_ctx.weights ctx) in
+  weights'.(klass).(arc) <- v;
+  let scratch = Multi.evaluate g ~weights:weights' ~matrices in
+  check_arr ~what:"3-class probe phi" (Eval_ctx.probe_phi pr) scratch.Multi.phi;
+  Eval_ctx.commit ctx pr;
+  let multi = Eval_ctx.to_multi ctx in
+  for k = 0 to 2 do
+    check_arr
+      ~what:(Printf.sprintf "3-class loads %d" k)
+      multi.Multi.loads.(k) scratch.Multi.loads.(k);
+    check_arr
+      ~what:(Printf.sprintf "3-class capacity %d" k)
+      multi.Multi.capacity_seen.(k)
+      scratch.Multi.capacity_seen.(k)
+  done;
+  true
+
+let test_eval_ctx_three_classes () =
+  QCheck.Test.make ~name:"Eval_ctx 3-class residual cascade" ~count:10
+    QCheck.(int_range 0 10_000)
+    eval_ctx_three_classes
+
+(* ------------------------------------------------------------------ *)
+(* Problem-level delta API vs eval_str / eval_dtr *)
+
+let check_lex ~what a b =
+  if Lexico.compare a b <> 0 then
+    Alcotest.failf "%s: ⟨%.17g, %.17g⟩ vs ⟨%.17g, %.17g⟩" what
+      a.Lexico.primary a.Lexico.secondary b.Lexico.primary b.Lexico.secondary
+
+let problem_delta_matches seed =
+  let g = random_graph seed in
+  let rng = Prng.create (seed * 23 + 9) in
+  let th, tl = random_matrices rng g in
+  List.iter
+    (fun model ->
+      let problem = Problem.create ~graph:g ~th ~tl ~model in
+      (* STR context. *)
+      let w0 = Weights.random rng g in
+      let sol = ref (Problem.eval_str problem ~w:w0) in
+      let ctx = Problem.ctx_of_solution problem !sol in
+      for _ = 1 to 3 do
+        let w = !sol.Problem.wh in
+        let arc, v = random_change rng w in
+        let d = Problem.eval_delta problem ctx ~cls:`H ~changes:[ (arc, v) ] in
+        let w' = Array.copy w in
+        w'.(arc) <- v;
+        let scratch = Problem.eval_str problem ~w:w' in
+        check_lex ~what:"STR probe objective" (Problem.delta_objective d)
+          (Problem.objective scratch);
+        (* Reject path: context still evaluates the base exactly. *)
+        Problem.abort_delta ctx d;
+        let again = Problem.eval_delta problem ctx ~cls:`H ~changes:[ (arc, v) ] in
+        check_lex ~what:"STR probe after abort" (Problem.delta_objective again)
+          (Problem.objective scratch);
+        let committed = Problem.commit_delta problem ctx again in
+        check_lex ~what:"STR committed objective" (Problem.objective committed)
+          (Problem.objective scratch);
+        Alcotest.(check bool) "committed solution is STR" true
+          (Problem.is_str committed);
+        sol := committed
+      done;
+      (* DTR context, both classes. *)
+      let wh0 = Weights.random rng g and wl0 = Weights.random rng g in
+      let sol = ref (Problem.eval_dtr problem ~wh:wh0 ~wl:wl0) in
+      let ctx = Problem.ctx_of_solution problem !sol in
+      List.iter
+        (fun cls ->
+          let base =
+            match cls with `H -> !sol.Problem.wh | `L -> !sol.Problem.wl
+          in
+          let arc, v = random_change rng base in
+          let d = Problem.eval_delta problem ctx ~cls ~changes:[ (arc, v) ] in
+          let w' = Array.copy base in
+          w'.(arc) <- v;
+          let scratch =
+            match cls with
+            | `H -> Problem.eval_dtr problem ~wh:w' ~wl:!sol.Problem.wl
+            | `L -> Problem.eval_dtr problem ~wh:!sol.Problem.wh ~wl:w'
+          in
+          check_lex ~what:"DTR probe objective" (Problem.delta_objective d)
+            (Problem.objective scratch);
+          let committed = Problem.commit_delta problem ctx d in
+          check_lex ~what:"DTR committed objective"
+            (Problem.objective committed) (Problem.objective scratch);
+          sol := committed)
+        [ `H; `L ])
+    [ Objective.Load; Objective.Sla Dtr_cost.Sla.default ];
+  true
+
+let test_problem_delta () =
+  QCheck.Test.make ~name:"Problem.eval_delta = eval_str/eval_dtr (both models)"
+    ~count:8
+    QCheck.(int_range 0 10_000)
+    problem_delta_matches
+
+let test_problem_counters () =
+  let g = random_graph 7 in
+  let rng = Prng.create 31 in
+  let th, tl = random_matrices rng g in
+  let problem = Problem.create ~graph:g ~th ~tl ~model:Objective.Load in
+  Problem.reset_evaluations ();
+  let w = Weights.random rng g in
+  let sol = Problem.eval_str problem ~w in
+  let ctx = Problem.ctx_of_solution problem sol in
+  let arc, v = random_change rng sol.Problem.wh in
+  let d = Problem.eval_delta problem ctx ~cls:`H ~changes:[ (arc, v) ] in
+  ignore (Problem.commit_delta problem ctx d);
+  Alcotest.(check int) "full evaluations" 1 (Problem.full_evaluations ());
+  Alcotest.(check int) "delta evaluations" 1 (Problem.delta_evaluations ());
+  Alcotest.(check int) "total evaluations" 2 (Problem.evaluations ());
+  Problem.reset_evaluations ()
+
+let test_eval_ctx_stale_probe () =
+  let g = random_graph 3 in
+  let rng = Prng.create 23 in
+  let th, tl = random_matrices rng g in
+  let w = Weights.random rng g in
+  let ctx = Eval_ctx.create g ~weights:[| w; w |] ~matrices:[| th; tl |] in
+  let arc, v = random_change rng w in
+  let p1 = Eval_ctx.probe ctx ~klass:0 ~changes:[ (arc, v) ] in
+  let p2 = Eval_ctx.probe ctx ~klass:0 ~changes:[ (arc, v) ] in
+  Eval_ctx.commit ctx p1;
+  Alcotest.check_raises "stale probe rejected"
+    (Invalid_argument "Eval_ctx.commit: stale probe (context has moved on)")
+    (fun () -> Eval_ctx.commit ctx p2)
+
+let () =
+  Alcotest.run "delta"
+    [
+      ( "spf_delta",
+        [
+          QCheck_alcotest.to_alcotest (test_spf_delta_property ());
+          QCheck_alcotest.to_alcotest (test_spf_delta_two_changes ());
+        ] );
+      ( "loads",
+        [
+          Alcotest.test_case "destination subtotals recombine" `Quick
+            test_destination_loads_sum;
+        ] );
+      ( "eval_ctx",
+        [
+          QCheck_alcotest.to_alcotest (test_eval_ctx_property ());
+          QCheck_alcotest.to_alcotest (test_eval_ctx_shared ());
+          QCheck_alcotest.to_alcotest (test_eval_ctx_three_classes ());
+          Alcotest.test_case "stale probe rejected" `Quick
+            test_eval_ctx_stale_probe;
+        ] );
+      ( "problem",
+        [
+          QCheck_alcotest.to_alcotest (test_problem_delta ());
+          Alcotest.test_case "full/delta counters" `Quick test_problem_counters;
+        ] );
+    ]
