@@ -16,7 +16,9 @@
    of re-evaluating a single weight change from scratch vs through the
    incremental engine (Problem.eval_delta) on the 50-node benchmark
    topology; [--json] writes the pair and the speedup to
-   BENCH_eval.json.
+   BENCH_eval.json.  It then times the 4-restart DTR multi-start at 1
+   domain vs 4 (with a bit-identity check of the winners); [--json]
+   writes that to BENCH_parallel.json.
 
    Usage:
      dune exec bench/main.exe                 # both sections, quick preset
@@ -220,7 +222,7 @@ let run_micro () =
 
 let median a =
   let s = Array.copy a in
-  Array.sort compare s;
+  Array.sort Float.compare s;
   s.(Array.length s / 2)
 
 let time_per_call f ~batch =
@@ -309,15 +311,88 @@ let run_eval_bench () =
     Printf.printf "wrote BENCH_eval.json\n\n%!"
   end
 
+(* ------------------------------------------------------------------ *)
+(* Parallel multi-start: wall time of the same 4-restart DTR search at
+   1 domain vs N, plus a bit-identity check of the two winners.  On a
+   single-core box the speedup is honestly < 1; CI's 4-core runners
+   show the scaling. *)
+
+let run_parallel_bench () =
+  Gc.compact ();
+  let module Multistart = Dtr_core.Multistart in
+  let restarts = 4 in
+  let jobs = 4 in
+  let cores = Domain.recommended_domain_count () in
+  let inst =
+    Scenario.make
+      {
+        Scenario.topology = Scenario.Isp;
+        fraction = 0.30;
+        hp = Scenario.Random_density 0.10;
+        seed = !seed;
+      }
+  in
+  let inst = Scenario.scale_to_utilization inst ~target:0.6 in
+  let problem = Scenario.problem inst ~model:Objective.Load in
+  let run_ms ~jobs =
+    let rng = Prng.create !seed in
+    let t0 = Unix.gettimeofday () in
+    let report =
+      Multistart.run ~jobs ~restarts ~algo:Multistart.Dtr rng !preset problem
+    in
+    (report, Unix.gettimeofday () -. t0)
+  in
+  let seq, seq_s = run_ms ~jobs:1 in
+  let par, par_s = run_ms ~jobs in
+  let identical =
+    Dtr_cost.Lexico.compare seq.Multistart.objective par.Multistart.objective
+      = 0
+    && seq.Multistart.best_index = par.Multistart.best_index
+    && seq.Multistart.best.Problem.wh = par.Multistart.best.Problem.wh
+    && seq.Multistart.best.Problem.wl = par.Multistart.best.Problem.wl
+  in
+  let speedup = seq_s /. par_s in
+  Printf.printf
+    "=== parallel multi-start: %d-restart DTR, 1 domain vs %d (%d cores \
+     available) ===\n"
+    restarts jobs cores;
+  Printf.printf "%-36s %14.2f s\n" "multistart-dtr-jobs1" seq_s;
+  Printf.printf "%-36s %14.2f s\n" (Printf.sprintf "multistart-dtr-jobs%d" jobs)
+    par_s;
+  Printf.printf "%-36s %14.2fx\n" "speedup" speedup;
+  Printf.printf "%-36s %14b\n\n%!" "bit-identical winner" identical;
+  if not identical then failwith "parallel multi-start result diverged";
+  if !json then begin
+    let oc = open_out "BENCH_parallel.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"benchmark\": \"multistart-dtr\",\n\
+      \  \"preset\": %S,\n\
+      \  \"seed\": %d,\n\
+      \  \"restarts\": %d,\n\
+      \  \"jobs\": %d,\n\
+      \  \"available_cores\": %d,\n\
+      \  \"sequential_s\": %.3f,\n\
+      \  \"parallel_s\": %.3f,\n\
+      \  \"speedup\": %.2f,\n\
+      \  \"bit_identical\": %b\n\
+       }\n"
+      !preset_name !seed restarts jobs cores seq_s par_s speedup identical;
+    close_out oc;
+    Printf.printf "wrote BENCH_parallel.json\n\n%!"
+  end
+
 let () =
   parse_args ();
   (match !mode with
   | Both ->
       run_experiments ();
       run_eval_bench ();
+      run_parallel_bench ();
       run_micro ()
   | Micro_only ->
       run_eval_bench ();
+      run_parallel_bench ();
       run_micro ()
   | Experiments_only -> run_experiments ());
   print_endline "bench: done"

@@ -58,6 +58,15 @@ let preset_conv =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel execution (default 1 = \
+           sequential).  Results are bit-identical for every value.")
+
 let preset_arg =
   Arg.(
     value
@@ -142,30 +151,85 @@ let topo_cmd =
 (* optimize                                                           *)
 
 let optimize_cmd =
-  let run topology model fraction density util preset seed save_weights =
+  let run topology model fraction density util preset seed restarts jobs
+      save_weights =
     let spec = make_spec topology fraction density seed in
     let inst = Scenario.make spec in
     Printf.printf "scenario: %s topology, %s cost, f=%.0f%%, k=%.0f%%, target util %.2f\n%!"
       (Scenario.topology_name topology)
       (Objective.model_name model)
       (fraction *. 100.) (density *. 100.) util;
-    let point = Dtr_experiments.Compare.run_point ~cfg:preset ~seed inst ~model ~target_util:util in
-    let pr name (o : Lexico.t) =
-      Printf.printf "%-4s objective: primary=%.6g secondary=%.6g\n" name
-        o.Lexico.primary o.Lexico.secondary
+    let save_dtr sol =
+      match save_weights with
+      | None -> ()
+      | Some path ->
+          Dtr_routing.Weights_io.save [| sol.Problem.wh; sol.Problem.wl |] path;
+          Printf.printf "DTR weight pair saved to %s\n" path
     in
-    pr "STR" point.Dtr_experiments.Compare.str.Dtr_core.Str_search.objective;
-    pr "DTR" point.Dtr_experiments.Compare.dtr.Dtr_core.Dtr_search.objective;
-    Printf.printf "measured avg utilization: %.3f\n"
-      point.Dtr_experiments.Compare.measured_util;
-    Printf.printf "H-cost ratio RH = %.3f\nL-cost ratio RL = %.3f\n"
-      point.Dtr_experiments.Compare.rh point.Dtr_experiments.Compare.rl;
-    match save_weights with
-    | None -> ()
-    | Some path ->
-        let sol = point.Dtr_experiments.Compare.dtr.Dtr_core.Dtr_search.best in
-        Dtr_routing.Weights_io.save [| sol.Problem.wh; sol.Problem.wl |] path;
-        Printf.printf "DTR weight pair saved to %s\n" path
+    if restarts <= 1 then begin
+      let point =
+        Dtr_experiments.Compare.run_point ~cfg:preset ~seed inst ~model
+          ~target_util:util
+      in
+      let pr name (o : Lexico.t) =
+        Printf.printf "%-4s objective: primary=%.6g secondary=%.6g\n" name
+          o.Lexico.primary o.Lexico.secondary
+      in
+      pr "STR" point.Dtr_experiments.Compare.str.Dtr_core.Str_search.objective;
+      pr "DTR" point.Dtr_experiments.Compare.dtr.Dtr_core.Dtr_search.objective;
+      Printf.printf "measured avg utilization: %.3f\n"
+        point.Dtr_experiments.Compare.measured_util;
+      Printf.printf "H-cost ratio RH = %.3f\nL-cost ratio RL = %.3f\n"
+        point.Dtr_experiments.Compare.rh point.Dtr_experiments.Compare.rl;
+      save_dtr point.Dtr_experiments.Compare.dtr.Dtr_core.Dtr_search.best
+    end
+    else begin
+      (* Multi-start: same PRNG derivation as Compare.run_point, with
+         each search's stream feeding a Multistart driver instead of a
+         single run.  Output is bit-identical for every --jobs. *)
+      let module Multistart = Dtr_core.Multistart in
+      let inst = Scenario.scale_to_utilization inst ~target:util in
+      let problem = Scenario.problem inst ~model in
+      let root =
+        Dtr_util.Prng.create (seed + (inst.Scenario.spec.Scenario.seed * 7919))
+      in
+      let str_rng = Dtr_util.Prng.split root in
+      let dtr_rng = Dtr_util.Prng.split root in
+      Dtr_util.Pool.with_pool ~jobs @@ fun pool ->
+      let ms algo rng = Multistart.run ~pool ~restarts ~algo rng preset problem in
+      let str = ms Multistart.Str str_rng in
+      let dtr = ms Multistart.Dtr dtr_rng in
+      let pr name (r : Multistart.report) =
+        Printf.printf
+          "%-4s objective: primary=%.6g secondary=%.6g (best of %d restarts: #%d, %d evaluations)\n"
+          name r.Multistart.objective.Lexico.primary
+          r.Multistart.objective.Lexico.secondary restarts r.Multistart.best_index
+          r.Multistart.evaluations
+      in
+      pr "STR" str;
+      pr "DTR" dtr;
+      Printf.printf "measured avg utilization: %.3f\n"
+        (Dtr_routing.Evaluate.avg_utilization
+           str.Multistart.best.Problem.result.Objective.eval);
+      Printf.printf "H-cost ratio RH = %.3f\nL-cost ratio RL = %.3f\n"
+        (Dtr_experiments.Compare.ratio
+           ~num:str.Multistart.objective.Lexico.primary
+           ~den:dtr.Multistart.objective.Lexico.primary)
+        (Dtr_experiments.Compare.ratio
+           ~num:str.Multistart.objective.Lexico.secondary
+           ~den:dtr.Multistart.objective.Lexico.secondary);
+      save_dtr dtr.Multistart.best
+    end
+  in
+  let restarts_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "restarts" ] ~docv:"N"
+          ~doc:
+            "Independent search restarts per algorithm; the best \
+             solution wins.  With N > 1 the restarts run on the --jobs \
+             domain pool.")
   in
   let save_arg =
     Arg.(
@@ -178,13 +242,13 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Run the STR and DTR weight searches on one scenario")
     Term.(
       const run $ topology_arg $ model_arg $ fraction_arg $ density_arg
-      $ util_arg $ preset_arg $ seed_arg $ save_arg)
+      $ util_arg $ preset_arg $ seed_arg $ restarts_arg $ jobs_arg $ save_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                         *)
 
 let experiment_cmd =
-  let run names list preset seed =
+  let run names list preset seed jobs =
     if list then begin
       List.iter
         (fun e ->
@@ -214,15 +278,21 @@ let experiment_cmd =
       | None ->
           `Error (false, "pass experiment names, or 'all', or --list")
       | Some experiments ->
+          (* Compute all tables first (in parallel when --jobs > 1),
+             then print in input order: byte-identical for every
+             --jobs. *)
+          let results =
+            Dtr_experiments.Registry.run_all ~jobs ~cfg:preset ~seed
+              experiments
+          in
           List.iter
-            (fun e ->
+            (fun (e, tables) ->
               Printf.printf "== %s: %s ==\n%!" e.Dtr_experiments.Registry.name
                 e.Dtr_experiments.Registry.description;
-              let tables = e.Dtr_experiments.Registry.run ~cfg:preset ~seed in
               List.iter
                 (fun t -> print_endline (Dtr_util.Table.to_string t))
                 tables)
-            experiments;
+            results;
           `Ok ()
     end
   in
@@ -234,7 +304,8 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper figure or table")
-    Term.(ret (const run $ names_arg $ list_arg $ preset_arg $ seed_arg))
+    Term.(
+      ret (const run $ names_arg $ list_arg $ preset_arg $ seed_arg $ jobs_arg))
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                           *)

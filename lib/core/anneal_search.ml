@@ -45,19 +45,27 @@ let propose rng cfg ~costs_cmp ~n_arcs w =
 (* One annealing phase: minimize [energy] by mutating the class chosen
    by [mutate].  Returns the accepted-move count. *)
 let anneal_phase rng schedule ~energy ~mutate ~current ~best =
-  let e0 = Float.max 1e-9 (energy !current) in
+  (* The incumbent's energy is cached and refreshed only on acceptance
+     (it was already computed as the candidate's energy then), instead
+     of recomputing [energy !current] on every proposal.  Cached and
+     recomputed values are the same float, so the trajectory is
+     bit-identical. *)
+  let e_cur = ref (energy !current) in
+  let e0 = Float.max 1e-9 !e_cur in
   let t = ref (schedule.t0_ratio *. e0) in
   let t_min = !t *. schedule.t_min_ratio in
   let accepted = ref 0 in
   while !t > t_min do
     for _ = 1 to schedule.moves_per_temp do
       let cand = mutate rng !current in
-      let delta = energy cand -. energy !current in
+      let e_cand = energy cand in
+      let delta = e_cand -. !e_cur in
       let accept =
         delta <= 0. || Prng.float rng 1.0 < exp (-.delta /. !t)
       in
       if accept then begin
         current := cand;
+        e_cur := e_cand;
         incr accepted;
         if Lexico.lt ~rel_tol:1e-9 (Problem.objective cand) (Problem.objective !best)
         then best := cand
@@ -70,7 +78,7 @@ let anneal_phase rng schedule ~energy ~mutate ~current ~best =
 let run ?(schedule = default_schedule) ?w0 rng cfg problem =
   Search_config.validate cfg;
   validate_schedule schedule;
-  let eval0 = Problem.evaluations () in
+  let eval0 = Problem.domain_evaluations () in
   let mid = (Weights.min_weight + Weights.max_weight) / 2 in
   let m = Dtr_graph.Graph.arc_count problem.Problem.graph in
   let wh0, wl0 =
@@ -121,6 +129,6 @@ let run ?(schedule = default_schedule) ?w0 rng cfg problem =
   {
     best = !best;
     objective = Problem.objective !best;
-    evaluations = Problem.evaluations () - eval0;
+    evaluations = Problem.domain_evaluations () - eval0;
     accepted = acc1 + acc2;
   }

@@ -120,7 +120,7 @@ let default_w0 problem =
 
 let run ?w0 ?on_progress rng cfg problem =
   Search_config.validate cfg;
-  let eval0 = Problem.evaluations () in
+  let eval0 = Problem.domain_evaluations () in
   let improvements = ref 0 in
   let wh0, wl0 = match w0 with Some w -> w | None -> default_w0 problem in
   let current = ref (Problem.eval_dtr problem ~wh:wh0 ~wl:wl0) in
@@ -222,7 +222,7 @@ let run ?w0 ?on_progress rng cfg problem =
   {
     best = !best;
     objective = Problem.objective !best;
-    evaluations = Problem.evaluations () - eval0;
+    evaluations = Problem.domain_evaluations () - eval0;
     improvements = !improvements;
     phase_objectives = List.rev !phase_objectives;
   }

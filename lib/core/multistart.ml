@@ -1,0 +1,84 @@
+module Prng = Dtr_util.Prng
+module Pool = Dtr_util.Pool
+module Graph = Dtr_graph.Graph
+module Lexico = Dtr_cost.Lexico
+module Weights = Dtr_routing.Weights
+
+type algo = Str | Dtr | Anneal
+
+let algo_name = function Str -> "str" | Dtr -> "dtr" | Anneal -> "anneal"
+
+type restart = {
+  index : int;
+  objective : Lexico.t;
+  solution : Problem.solution;
+}
+
+type report = {
+  best : Problem.solution;
+  objective : Lexico.t;
+  best_index : int;
+  restarts : restart array;
+  evaluations : int;
+}
+
+let mid_weights problem =
+  let m = Graph.arc_count problem.Problem.graph in
+  Array.make m ((Weights.min_weight + Weights.max_weight) / 2)
+
+let run ?pool ?(jobs = 1) ~restarts ~algo rng cfg problem =
+  if restarts < 1 then invalid_arg "Multistart.run: restarts must be >= 1";
+  Search_config.validate cfg;
+  let eval0 = Problem.evaluations () in
+  (* All per-restart streams are split off the master before dispatch,
+     in restart order: the streams are a function of the master seed
+     alone, never of worker scheduling. *)
+  let rngs = Array.make restarts rng in
+  for i = 0 to restarts - 1 do
+    rngs.(i) <- Prng.split rng
+  done;
+  let run_one index =
+    let rng = rngs.(index) in
+    let solution =
+      match algo with
+      | Str ->
+          let w0 =
+            if index = 0 then mid_weights problem
+            else Weights.random rng problem.Problem.graph
+          in
+          (Str_search.run ~w0 rng cfg problem).Str_search.best
+      | Dtr | Anneal ->
+          let w0 =
+            if index = 0 then (mid_weights problem, mid_weights problem)
+            else
+              let wh = Weights.random rng problem.Problem.graph in
+              let wl = Weights.random rng problem.Problem.graph in
+              (wh, wl)
+          in
+          if algo = Dtr then (Dtr_search.run ~w0 rng cfg problem).Dtr_search.best
+          else (Anneal_search.run ~w0 rng cfg problem).Anneal_search.best
+    in
+    { index; objective = Problem.objective solution; solution }
+  in
+  let restart_results =
+    match pool with
+    | Some p -> Pool.map p restarts ~f:run_one
+    | None -> Pool.run ~jobs restarts ~f:run_one
+  in
+  (* Exact comparison (no tolerance): the winner must be a pure
+     function of the restart results; ties go to the lower index
+     because the fold scans in index order and only replaces on a
+     strict improvement. *)
+  let best =
+    Array.fold_left
+      (fun (acc : restart) (r : restart) ->
+        if Lexico.compare r.objective acc.objective < 0 then r else acc)
+      restart_results.(0) restart_results
+  in
+  {
+    best = best.solution;
+    objective = best.objective;
+    best_index = best.index;
+    restarts = restart_results;
+    evaluations = Problem.evaluations () - eval0;
+  }

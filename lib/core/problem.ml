@@ -38,20 +38,60 @@ type class_routing = {
 
 let objective s = s.result.Objective.objective
 
-let eval_count = ref 0
-let full_count = ref 0
-let delta_count = ref 0
+(* Evaluation accounting.  Two levels:
 
-let evaluations () = !eval_count
+   - process-wide totals, kept in [Atomic.t] so concurrent searches on
+     a domain pool never lose increments;
+   - per-domain counters (domain-local storage, single-writer, no
+     contention), which the search loops difference to report their
+     own effort — a delta of the *global* counter would absorb
+     whatever other domains evaluated concurrently, making report
+     fields like [Str_search.report.evaluations] depend on
+     scheduling. *)
 
-let full_evaluations () = !full_count
+let eval_count = Atomic.make 0
+let full_count = Atomic.make 0
+let delta_count = Atomic.make 0
 
-let delta_evaluations () = !delta_count
+type domain_counts = {
+  mutable dc_eval : int;
+  mutable dc_full : int;
+  mutable dc_delta : int;
+}
+
+let domain_counts_key =
+  Domain.DLS.new_key (fun () -> { dc_eval = 0; dc_full = 0; dc_delta = 0 })
+
+let count_full () =
+  Atomic.incr eval_count;
+  Atomic.incr full_count;
+  let c = Domain.DLS.get domain_counts_key in
+  c.dc_eval <- c.dc_eval + 1;
+  c.dc_full <- c.dc_full + 1
+
+let count_delta () =
+  Atomic.incr eval_count;
+  Atomic.incr delta_count;
+  let c = Domain.DLS.get domain_counts_key in
+  c.dc_eval <- c.dc_eval + 1;
+  c.dc_delta <- c.dc_delta + 1
+
+let evaluations () = Atomic.get eval_count
+
+let full_evaluations () = Atomic.get full_count
+
+let delta_evaluations () = Atomic.get delta_count
+
+let domain_evaluations () = (Domain.DLS.get domain_counts_key).dc_eval
 
 let reset_evaluations () =
-  eval_count := 0;
-  full_count := 0;
-  delta_count := 0
+  Atomic.set eval_count 0;
+  Atomic.set full_count 0;
+  Atomic.set delta_count 0;
+  let c = Domain.DLS.get domain_counts_key in
+  c.dc_eval <- 0;
+  c.dc_full <- 0;
+  c.dc_delta <- 0
 
 let route_with t matrix w =
   Weights.validate t.graph w;
@@ -67,8 +107,7 @@ let route_l t w = route_with t t.tl w
 let routing_weights r = Array.copy r.w
 
 let combine t ~h ~l =
-  incr eval_count;
-  incr full_count;
+  count_full ();
   let eval =
     Evaluate.assemble t.graph ~dags_h:h.dags ~h_loads:h.loads ~dags_l:l.dags
       ~l_loads:l.loads
@@ -89,8 +128,7 @@ let combine t ~h ~l =
 let eval_dtr t ~wh ~wl = combine t ~h:(route_h t wh) ~l:(route_l t wl)
 
 let eval_str t ~w =
-  incr eval_count;
-  incr full_count;
+  count_full ();
   Weights.validate t.graph w;
   let w = Array.copy w in
   let dags = Spf.all_destinations t.graph ~weights:w in
@@ -204,8 +242,7 @@ let apply_changes w changes =
 
 let eval_delta t ctx ~cls ~changes =
   let probe_path ~lambda =
-    incr eval_count;
-    incr delta_count;
+    count_delta ();
     let klass = match cls with `H -> 0 | `L -> 1 in
     let p = Eval_ctx.probe ctx.ec ~klass ~changes in
     let phi = Eval_ctx.probe_phi p in

@@ -127,7 +127,9 @@ val abort_delta : ctx -> delta -> unit
 val evaluations : unit -> int
 (** Process-wide count of objective evaluations performed through this
     module (monotonic; used to report search effort).  Total: every
-    full and every delta evaluation counts once. *)
+    full and every delta evaluation counts once.  Kept in an
+    [Atomic.t], so the count stays exact when several domains evaluate
+    concurrently (e.g. under {!Multistart}). *)
 
 val full_evaluations : unit -> int
 (** The subset of {!evaluations} performed from scratch
@@ -136,4 +138,13 @@ val full_evaluations : unit -> int
 val delta_evaluations : unit -> int
 (** The subset of {!evaluations} performed incrementally. *)
 
+val domain_evaluations : unit -> int
+(** Evaluations performed by the {e calling domain} only.  The search
+    loops difference this counter for their reports, so a report's
+    [evaluations] field covers exactly that search's own work and is
+    identical whether the search ran alone or beside others on a
+    domain pool. *)
+
 val reset_evaluations : unit -> unit
+(** Reset the process-wide totals and the calling domain's local
+    counter.  Call only while no other domain is evaluating. *)

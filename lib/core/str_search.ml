@@ -77,7 +77,7 @@ let run ?w0 ?iters ?on_progress rng cfg problem =
   Search_config.validate cfg;
   let iters = match iters with Some i -> i | None -> default_iters cfg in
   if iters < 1 then invalid_arg "Str_search.run: iters must be positive";
-  let eval0 = Problem.evaluations () in
+  let eval0 = Problem.domain_evaluations () in
   let mid = (Weights.min_weight + Weights.max_weight) / 2 in
   let w0 =
     match w0 with
@@ -169,7 +169,7 @@ let run ?w0 ?iters ?on_progress rng cfg problem =
   {
     best = !best;
     objective = Problem.objective !best;
-    evaluations = Problem.evaluations () - eval0;
+    evaluations = Problem.domain_evaluations () - eval0;
     improvements = !improvements;
     archive =
       List.sort (fun a b -> Float.compare a.phi_h b.phi_h) !archive;

@@ -1,5 +1,6 @@
 module Table = Dtr_util.Table
 module Prng = Dtr_util.Prng
+module Pool = Dtr_util.Pool
 module Graph = Dtr_graph.Graph
 module Lexico = Dtr_cost.Lexico
 module Objective = Dtr_routing.Objective
@@ -29,26 +30,50 @@ let fail_link g ~arc =
 
 let remap_weights w mapping = Array.map (fun orig -> w.(orig)) mapping
 
-let post_failure_costs inst ~wh ~wl =
+(* Each link failure is an independent evaluation on its own reduced
+   graph, so the sweep parallelizes trivially: results are collected by
+   link index, which keeps the cost list (and hence the table) identical
+   for every [jobs] value. *)
+let post_failure_costs ?pool inst ~wh ~wl =
   let g = inst.Scenario.graph in
   let links = Graph.undirected_link_pairs g in
-  let costs = ref [] and skipped = ref 0 in
-  Array.iter
-    (fun (a, _) ->
-      match fail_link g ~arc:a with
-      | None -> incr skipped
-      | Some (reduced, mapping) ->
-          let wh' = remap_weights wh mapping in
-          let wl' = remap_weights wl mapping in
-          let r =
-            Objective.evaluate Objective.Load reduced ~wh:wh' ~wl:wl'
-              ~th:inst.Scenario.th ~tl:inst.Scenario.tl
-          in
-          costs := r.Objective.objective :: !costs)
-    links;
-  (List.rev !costs, !skipped)
+  let eval_link i =
+    let a, _ = links.(i) in
+    match fail_link g ~arc:a with
+    | None -> None
+    | Some (reduced, mapping) ->
+        let wh' = remap_weights wh mapping in
+        let wl' = remap_weights wl mapping in
+        let r =
+          Objective.evaluate Objective.Load reduced ~wh:wh' ~wl:wl'
+            ~th:inst.Scenario.th ~tl:inst.Scenario.tl
+        in
+        Some r.Objective.objective
+  in
+  let outcomes =
+    match pool with
+    | Some p -> Pool.map p (Array.length links) ~f:eval_link
+    | None ->
+        (* Explicit ascending loop: Array.init's order is unspecified. *)
+        let out = Array.make (Array.length links) None in
+        for i = 0 to Array.length links - 1 do
+          out.(i) <- eval_link i
+        done;
+        out
+  in
+  let costs = Array.fold_right (fun o acc ->
+      match o with Some c -> c :: acc | None -> acc)
+      outcomes []
+  in
+  let skipped =
+    Array.fold_left
+      (fun n o -> match o with None -> n + 1 | Some _ -> n)
+      0 outcomes
+  in
+  (costs, skipped)
 
-let run ?(cfg = Search_config.quick) ?(seed = 79) ?(target_util = 0.55) () =
+let run ?(cfg = Search_config.quick) ?(jobs = 1) ?(seed = 79)
+    ?(target_util = 0.55) () =
   let spec =
     {
       Scenario.topology = Scenario.Isp;
@@ -69,8 +94,9 @@ let run ?(cfg = Search_config.quick) ?(seed = 79) ?(target_util = 0.55) () =
       ~columns:
         [ "scheme"; "class"; "no-failure cost"; "mean post-failure"; "worst post-failure" ]
   in
+  Pool.with_pool ~jobs @@ fun pool ->
   let describe name ~wh ~wl (baseline : Lexico.t) =
-    let costs, skipped = post_failure_costs inst ~wh ~wl in
+    let costs, skipped = post_failure_costs ~pool inst ~wh ~wl in
     let primaries = Array.of_list (List.map (fun c -> c.Lexico.primary) costs) in
     let secondaries = Array.of_list (List.map (fun c -> c.Lexico.secondary) costs) in
     let row klass base arr =

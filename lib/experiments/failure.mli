@@ -8,10 +8,15 @@
     both classes on the reduced graph.  Reported per scheme: the
     no-failure cost and the mean and worst post-failure costs.
 
-    Failures that disconnect the network are skipped (and counted). *)
+    Failures that disconnect the network are skipped (and counted).
+
+    The per-link sweep is embarrassingly parallel; [?jobs] sets the
+    domain-pool width (default 1 = sequential).  Costs are collected by
+    link index, so the table is byte-identical for every [jobs]. *)
 
 val run :
   ?cfg:Dtr_core.Search_config.t ->
+  ?jobs:int ->
   ?seed:int ->
   ?target_util:float ->
   unit ->
@@ -25,3 +30,15 @@ val fail_link :
     Returns the reduced graph and, for each surviving arc, its original
     arc id (for weight remapping) — or [None] if the reduced graph is
     no longer strongly connected.  Exposed for tests. *)
+
+val post_failure_costs :
+  ?pool:Dtr_util.Pool.t ->
+  Scenario.instance ->
+  wh:int array ->
+  wl:int array ->
+  Dtr_cost.Lexico.t list * int
+(** Fail every physical link of the instance's graph in turn and
+    re-evaluate [(wh, wl)] on each surviving topology, on [pool] if
+    given.  Returns the per-link objectives in link-index order plus
+    the number of disconnecting (skipped) failures.  Exposed for
+    tests. *)

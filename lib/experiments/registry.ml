@@ -155,3 +155,14 @@ let all =
 let find name = List.find_opt (fun e -> e.name = name) all
 
 let names () = List.map (fun e -> e.name) all
+
+(* Experiments build their tables purely (no printing until the caller
+   renders them), so running them on worker domains and collecting by
+   input index yields byte-identical output for every [jobs]. *)
+let run_all ?(jobs = 1) ~cfg ~seed experiments =
+  let arr = Array.of_list experiments in
+  let tables =
+    Dtr_util.Pool.run ~jobs (Array.length arr) ~f:(fun i ->
+        arr.(i).run ~cfg ~seed)
+  in
+  List.mapi (fun i e -> (e, tables.(i))) experiments

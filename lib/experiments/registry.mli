@@ -14,3 +14,15 @@ val all : experiment list
 val find : string -> experiment option
 
 val names : unit -> string list
+
+val run_all :
+  ?jobs:int ->
+  cfg:Dtr_core.Search_config.t ->
+  seed:int ->
+  experiment list ->
+  (experiment * Dtr_util.Table.t list) list
+(** Run the given experiments, [jobs] at a time on a domain pool
+    (default 1 = sequential, no domain spawned), returning each
+    experiment's tables in input order.  Tables are built purely, so
+    the results — and anything printed from them in order — are
+    identical for every [jobs] value. *)

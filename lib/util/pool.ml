@@ -1,0 +1,137 @@
+(* Work distribution: tasks are claimed from a shared atomic counter
+   (any worker may run any index), but every result is written to the
+   slot of its own index, so the collected array — and the choice of
+   which exception to re-raise — never depends on scheduling. *)
+
+type batch = {
+  run : int -> unit;  (* run task [i]; must never raise *)
+  n : int;
+  next : int Atomic.t;  (* next unclaimed task index *)
+  mutable completed : int;  (* finished tasks; protected by the pool mutex *)
+}
+
+type t = {
+  pool_jobs : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;  (* new batch posted, or shutdown *)
+  batch_done : Condition.t;  (* all tasks of the current batch finished *)
+  mutable batch : batch option;
+  mutable generation : int;  (* bumped once per batch *)
+  mutable stopped : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.pool_jobs
+
+(* Claim-and-run loop shared by workers and the submitting domain.
+   Task completion is recorded under the mutex so the submitter can
+   sleep on [batch_done] instead of spinning. *)
+let drain t batch =
+  let continue = ref true in
+  while !continue do
+    let i = Atomic.fetch_and_add batch.next 1 in
+    if i >= batch.n then continue := false
+    else begin
+      batch.run i;
+      Mutex.lock t.mutex;
+      batch.completed <- batch.completed + 1;
+      if batch.completed = batch.n then Condition.broadcast t.batch_done;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let rec worker t last_generation =
+  Mutex.lock t.mutex;
+  while (not t.stopped) && t.generation = last_generation do
+    Condition.wait t.work_ready t.mutex
+  done;
+  if t.stopped then Mutex.unlock t.mutex
+  else begin
+    let generation = t.generation in
+    let batch = t.batch in
+    Mutex.unlock t.mutex;
+    (* [batch] can be [None] if the batch drained and was cleared
+       before this worker woke up; the generation still advances. *)
+    (match batch with Some b -> drain t b | None -> ());
+    worker t generation
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      pool_jobs = jobs;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      batch_done = Condition.create ();
+      batch = None;
+      generation = 0;
+      stopped = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
+  t
+
+let map t n ~f =
+  if n < 0 then invalid_arg "Pool.map: negative task count";
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let run i =
+      match f i with
+      | v -> results.(i) <- Some v
+      | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
+    in
+    let batch = { run; n; next = Atomic.make 0; completed = 0 } in
+    Mutex.lock t.mutex;
+    if t.stopped then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.map: pool is shut down"
+    end;
+    (match t.batch with
+    | Some _ ->
+        Mutex.unlock t.mutex;
+        invalid_arg "Pool.map: a batch is already in flight"
+    | None -> ());
+    t.batch <- Some batch;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    (* The caller is one of the [jobs] workers. *)
+    drain t batch;
+    Mutex.lock t.mutex;
+    while batch.completed < batch.n do
+      Condition.wait t.batch_done t.mutex
+    done;
+    t.batch <- None;
+    Mutex.unlock t.mutex;
+    let first_error = ref None in
+    for i = n - 1 downto 0 do
+      match errors.(i) with Some _ as e -> first_error := e | None -> ()
+    done;
+    match !first_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.map
+          (function Some v -> v | None -> assert false (* every task ran *))
+          results
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.stopped then Mutex.unlock t.mutex
+  else begin
+    t.stopped <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run ~jobs n ~f = with_pool ~jobs (fun t -> map t n ~f)

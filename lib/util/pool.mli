@@ -1,0 +1,55 @@
+(** Fixed-size domain pool with deterministic, ordered result
+    collection.
+
+    A pool runs batches of independent indexed tasks on OCaml 5
+    domains.  Results are always delivered as an array indexed by task
+    id, so the output of {!map} is a pure function of the task bodies —
+    never of worker scheduling.  Combined with the seeding discipline
+    of {!Prng.split} (derive every per-task stream from the master
+    generator {e before} dispatch, in task order), a parallel run is
+    bit-identical to a sequential one.
+
+    Determinism contract for task bodies: a task may only read shared
+    data that no other concurrent task mutates, and must own every
+    piece of mutable state it touches (its PRNG, its evaluation
+    context, its result buffers).  Tasks must not depend on execution
+    order.
+
+    A pool created with [jobs = n] uses [n] worker domains in total:
+    [n - 1] spawned domains plus the calling domain, which participates
+    in draining the task queue during {!map}.  With [jobs = 1] no
+    domain is ever spawned and {!map} degenerates to a plain ascending
+    loop in the caller. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn a pool of [jobs] workers ([jobs - 1] domains).
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+(** The worker count the pool was created with. *)
+
+val map : t -> int -> f:(int -> 'a) -> 'a array
+(** [map pool n ~f] computes [[| f 0; …; f (n-1) |]], distributing the
+    calls over the pool's workers.  Every task is attempted even if
+    some fail; if any raised, the exception of the {e lowest-indexed}
+    failing task is re-raised (with its backtrace) after the batch
+    drains, so failure reporting is deterministic too.
+
+    Only one batch may be in flight per pool: [map] must not be called
+    from inside a task of the same pool, nor concurrently from several
+    domains.  @raise Invalid_argument on a busy or shut-down pool. *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains.  Idempotent.  Must not be
+    called while a batch is in flight.  Subsequent {!map} calls
+    raise. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down on
+    exit, normal or exceptional. *)
+
+val run : jobs:int -> int -> f:(int -> 'a) -> 'a array
+(** One-shot [map] on a temporary pool: equivalent to
+    [with_pool ~jobs (fun p -> map p n ~f)]. *)

@@ -28,8 +28,11 @@ let percentile a p =
   let n = Array.length a in
   if n = 0 then invalid_arg "Stats.percentile: empty array";
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  Array.iter
+    (fun x -> if Float.is_nan x then invalid_arg "Stats.percentile: NaN sample")
+    a;
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let rank = p /. 100. *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor rank) in
   let hi = int_of_float (Float.ceil rank) in
@@ -78,7 +81,7 @@ let gini a =
     if total <= 0. then 0.
     else begin
       let sorted = Array.copy a in
-      Array.sort compare sorted;
+      Array.sort Float.compare sorted;
       (* G = (2 * sum_i i*x_(i) / (n * total)) - (n + 1) / n, 1-based. *)
       let weighted = ref 0. in
       Array.iteri

@@ -14,8 +14,11 @@ val min_max : float array -> float * float
 
 val percentile : float array -> float -> float
 (** [percentile a p] for [p] in [\[0, 100\]], linear interpolation
-    between order statistics (the array is not modified).
-    @raise Invalid_argument on empty input or [p] out of range. *)
+    between order statistics (the array is not modified).  Sorts with
+    [Float.compare]; NaN samples are rejected rather than silently
+    mis-sorted.
+    @raise Invalid_argument on empty input, [p] out of range, or a NaN
+    sample. *)
 
 val median : float array -> float
 (** 50th percentile. *)

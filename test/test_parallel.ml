@@ -1,0 +1,336 @@
+(* Tests for the deterministic parallel layer: the Dtr_util.Pool domain
+   pool itself (ordering, exception selection, reuse, lifecycle), the
+   Multistart driver's jobs-invariance, the parallel failure sweep and
+   Registry.run_all against their sequential runs, and the atomic /
+   domain-local evaluation counters that keep per-report numbers
+   scheduling-independent. *)
+
+module Prng = Dtr_util.Prng
+module Pool = Dtr_util.Pool
+module Matrix = Dtr_traffic.Matrix
+module Lexico = Dtr_cost.Lexico
+module Objective = Dtr_routing.Objective
+module Weights = Dtr_routing.Weights
+module Search_config = Dtr_core.Search_config
+module Problem = Dtr_core.Problem
+module Str_search = Dtr_core.Str_search
+module Anneal_search = Dtr_core.Anneal_search
+module Multistart = Dtr_core.Multistart
+module Scenario = Dtr_experiments.Scenario
+module Classic = Dtr_topology.Classic
+
+let tiny_config =
+  {
+    Search_config.quick with
+    Search_config.n_iters = 15;
+    k_iters = 20;
+    diversify_after = 8;
+  }
+
+let ring_problem ?(model = Objective.Load) () =
+  let g = Classic.ring ~capacity:1.0 ~delay:2.0 6 in
+  let th = Matrix.create 6 and tl = Matrix.create 6 in
+  Matrix.set th 0 3 0.3;
+  Matrix.set th 1 4 0.2;
+  Matrix.set tl 0 3 0.4;
+  Matrix.set tl 2 5 0.5;
+  Matrix.set tl 4 1 0.3;
+  Problem.create ~graph:g ~th ~tl ~model
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_ordering () =
+  (* Unequal task sizes perturb completion order; results must still
+     land by task index. *)
+  let f i =
+    let acc = ref 0 in
+    for k = 0 to (23 - i) * 5000 do
+      acc := !acc + k
+    done;
+    ignore !acc;
+    i * i
+  in
+  List.iter
+    (fun jobs ->
+      let r = Pool.run ~jobs 24 ~f in
+      Alcotest.(check int) "length" 24 (Array.length r);
+      Array.iteri
+        (fun i v -> Alcotest.(check int) (Printf.sprintf "task %d" i) (i * i) v)
+        r)
+    [ 1; 2; 4 ]
+
+let test_pool_empty_and_single () =
+  Pool.with_pool ~jobs:3 @@ fun p ->
+  Alcotest.(check int) "jobs" 3 (Pool.jobs p);
+  Alcotest.(check int) "empty batch" 0 (Array.length (Pool.map p 0 ~f:(fun _ -> assert false)));
+  Alcotest.(check (array int)) "singleton" [| 7 |] (Pool.map p 1 ~f:(fun _ -> 7))
+
+exception Task_failed of int
+
+let test_pool_exception_lowest_index () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs @@ fun p ->
+      (try
+         ignore
+           (Pool.map p 16 ~f:(fun i ->
+                if i = 5 || i = 12 then raise (Task_failed i) else i));
+         Alcotest.fail "expected Task_failed"
+       with Task_failed i ->
+         Alcotest.(check int) "lowest failing index wins" 5 i);
+      (* The pool survives a failing batch. *)
+      let r = Pool.map p 4 ~f:(fun i -> i + 1) in
+      Alcotest.(check (array int)) "reusable after failure" [| 1; 2; 3; 4 |] r)
+    [ 1; 3 ]
+
+let test_pool_reuse () =
+  Pool.with_pool ~jobs:2 @@ fun p ->
+  for round = 1 to 5 do
+    let r = Pool.map p 8 ~f:(fun i -> (round * 100) + i) in
+    Array.iteri
+      (fun i v -> Alcotest.(check int) "round result" ((round * 100) + i) v)
+      r
+  done
+
+let test_pool_lifecycle () =
+  Alcotest.check_raises "jobs must be positive"
+    (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Pool.create ~jobs:0));
+  let p = Pool.create ~jobs:2 in
+  Pool.shutdown p;
+  Pool.shutdown p;
+  (* idempotent *)
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map p 3 ~f:(fun i -> i)))
+
+(* ------------------------------------------------------------------ *)
+(* Multistart determinism *)
+
+let check_same_report (a : Multistart.report) (b : Multistart.report) =
+  Alcotest.(check int) "same winner index" a.Multistart.best_index
+    b.Multistart.best_index;
+  Alcotest.(check int) "same objective (exact)" 0
+    (Lexico.compare a.Multistart.objective b.Multistart.objective);
+  Alcotest.(check (array int)) "same wh" a.Multistart.best.Problem.wh
+    b.Multistart.best.Problem.wh;
+  Alcotest.(check (array int)) "same wl" a.Multistart.best.Problem.wl
+    b.Multistart.best.Problem.wl;
+  Array.iteri
+    (fun i (r : Multistart.restart) ->
+      Alcotest.(check int)
+        (Printf.sprintf "restart %d objective" i)
+        0
+        (Lexico.compare r.Multistart.objective
+           b.Multistart.restarts.(i).Multistart.objective))
+    a.Multistart.restarts
+
+let test_multistart_jobs_invariance () =
+  let p = ring_problem () in
+  List.iter
+    (fun algo ->
+      let run jobs =
+        Multistart.run ~jobs ~restarts:4 ~algo (Prng.create 11) tiny_config p
+      in
+      let seq = run 1 in
+      let par = run 4 in
+      check_same_report seq par)
+    [ Multistart.Str; Multistart.Dtr ]
+
+let test_multistart_picks_best () =
+  let p = ring_problem () in
+  let r =
+    Multistart.run ~jobs:2 ~restarts:4 ~algo:Multistart.Dtr (Prng.create 3)
+      tiny_config p
+  in
+  Alcotest.(check int) "all restarts reported" 4 (Array.length r.Multistart.restarts);
+  Array.iter
+    (fun (restart : Multistart.restart) ->
+      Alcotest.(check bool) "winner is minimal" true
+        (Lexico.compare r.Multistart.objective restart.Multistart.objective <= 0))
+    r.Multistart.restarts;
+  Alcotest.check_raises "restarts must be positive"
+    (Invalid_argument "Multistart.run: restarts must be >= 1") (fun () ->
+      ignore
+        (Multistart.run ~restarts:0 ~algo:Multistart.Str (Prng.create 1)
+           tiny_config p))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel failure sweep and experiment runner vs sequential *)
+
+let test_failure_sweep_jobs_invariance () =
+  let spec =
+    {
+      Scenario.topology = Scenario.Isp;
+      fraction = 0.30;
+      hp = Scenario.Random_density 0.10;
+      seed = 5;
+    }
+  in
+  let inst = Scenario.make spec in
+  let rng = Prng.create 17 in
+  let wh = Weights.random rng inst.Scenario.graph in
+  let wl = Weights.random rng inst.Scenario.graph in
+  let seq_costs, seq_skipped =
+    Dtr_experiments.Failure.post_failure_costs inst ~wh ~wl
+  in
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  let par_costs, par_skipped =
+    Dtr_experiments.Failure.post_failure_costs ~pool inst ~wh ~wl
+  in
+  Alcotest.(check int) "same skipped" seq_skipped par_skipped;
+  Alcotest.(check int) "same count" (List.length seq_costs)
+    (List.length par_costs);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check int) "same cost (exact)" 0 (Lexico.compare a b))
+    seq_costs par_costs
+
+let test_run_all_jobs_invariance () =
+  (* fig1 is search-free, so the whole comparison stays cheap. *)
+  let fig1 =
+    match Dtr_experiments.Registry.find "fig1" with
+    | Some e -> e
+    | None -> Alcotest.fail "fig1 not registered"
+  in
+  let render results =
+    List.concat_map
+      (fun (e, tables) ->
+        e.Dtr_experiments.Registry.name
+        :: List.map Dtr_util.Table.to_string tables)
+      results
+  in
+  let cfg = Search_config.quick in
+  let seq =
+    Dtr_experiments.Registry.run_all ~jobs:1 ~cfg ~seed:1 [ fig1; fig1 ]
+  in
+  let par =
+    Dtr_experiments.Registry.run_all ~jobs:2 ~cfg ~seed:1 [ fig1; fig1 ]
+  in
+  Alcotest.(check (list string)) "identical rendering" (render seq) (render par)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation counters under concurrency *)
+
+let test_counters_exact_across_domains () =
+  let p = ring_problem () in
+  let w = Weights.uniform p.Problem.graph 15 in
+  let eval0 = Problem.evaluations () in
+  let full0 = Problem.full_evaluations () in
+  let n = 32 in
+  ignore (Pool.run ~jobs:4 n ~f:(fun _ -> ignore (Problem.eval_str p ~w)));
+  Alcotest.(check int) "global total is exact" n (Problem.evaluations () - eval0);
+  Alcotest.(check int) "full total is exact" n
+    (Problem.full_evaluations () - full0)
+
+let test_report_evaluations_scheduling_independent () =
+  (* Each task's report.evaluations comes from the domain-local
+     counter, so running other searches concurrently on sibling domains
+     must not leak into it. *)
+  let p = ring_problem () in
+  let counts jobs =
+    Pool.run ~jobs 6 ~f:(fun i ->
+        let r = Str_search.run (Prng.create (100 + i)) tiny_config p in
+        r.Str_search.evaluations)
+  in
+  Alcotest.(check (array int)) "same per-report evals" (counts 1) (counts 3)
+
+(* ------------------------------------------------------------------ *)
+(* Anneal energy cache: evaluation count and trajectory *)
+
+let light_schedule =
+  {
+    Anneal_search.t0_ratio = 0.05;
+    cooling = 0.8;
+    moves_per_temp = 5;
+    t_min_ratio = 0.01;
+  }
+
+(* Temperature levels of one phase: scale-invariant in the initial
+   energy (t_min is defined as a ratio of t0), so e0 = 1 reproduces the
+   search's own loop. *)
+let phase_temps s =
+  let t = ref s.Anneal_search.t0_ratio in
+  let t_min = !t *. s.Anneal_search.t_min_ratio in
+  let n = ref 0 in
+  while !t > t_min do
+    incr n;
+    t := !t *. s.Anneal_search.cooling
+  done;
+  !n
+
+let test_anneal_one_eval_per_move () =
+  let p = ring_problem () in
+  let eval0 = Problem.evaluations () in
+  let report =
+    Anneal_search.run ~schedule:light_schedule (Prng.create 21) tiny_config p
+  in
+  let spent = Problem.evaluations () - eval0 in
+  (* 1 initial eval_dtr + 1 recombination between phases + exactly one
+     combine per proposed move: with the incumbent's energy cached,
+     nothing else evaluates. *)
+  let temps = phase_temps light_schedule in
+  let expected =
+    2 + (2 * temps * light_schedule.Anneal_search.moves_per_temp)
+  in
+  Alcotest.(check int) "one evaluation per proposed move" expected spent;
+  Alcotest.(check int) "report agrees with global counter" expected
+    report.Anneal_search.evaluations
+
+let test_anneal_deterministic () =
+  let p = ring_problem () in
+  let run () =
+    Anneal_search.run ~schedule:light_schedule (Prng.create 22) tiny_config p
+  in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check int) "same objective (exact)" 0
+    (Lexico.compare a.Anneal_search.objective b.Anneal_search.objective);
+  Alcotest.(check int) "same accepted count" a.Anneal_search.accepted
+    b.Anneal_search.accepted;
+  Alcotest.(check (array int)) "same wh" a.Anneal_search.best.Problem.wh
+    b.Anneal_search.best.Problem.wh
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "ordered results" `Quick test_pool_ordering;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_pool_empty_and_single;
+          Alcotest.test_case "lowest-index exception" `Quick
+            test_pool_exception_lowest_index;
+          Alcotest.test_case "reuse across batches" `Quick test_pool_reuse;
+          Alcotest.test_case "lifecycle" `Quick test_pool_lifecycle;
+        ] );
+      ( "multistart",
+        [
+          Alcotest.test_case "jobs-invariant results" `Slow
+            test_multistart_jobs_invariance;
+          Alcotest.test_case "picks the best restart" `Quick
+            test_multistart_picks_best;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "failure sweep jobs-invariant" `Slow
+            test_failure_sweep_jobs_invariance;
+          Alcotest.test_case "run_all jobs-invariant" `Quick
+            test_run_all_jobs_invariance;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "atomic totals exact" `Quick
+            test_counters_exact_across_domains;
+          Alcotest.test_case "per-report counts scheduling-independent" `Slow
+            test_report_evaluations_scheduling_independent;
+        ] );
+      ( "anneal",
+        [
+          Alcotest.test_case "one eval per proposed move" `Quick
+            test_anneal_one_eval_per_move;
+          Alcotest.test_case "deterministic with energy cache" `Quick
+            test_anneal_deterministic;
+        ] );
+    ]

@@ -269,6 +269,18 @@ let test_stats_percentile () =
   checkf "p100" 5. (Stats.percentile a 100.);
   checkf "p25 interpolates" 2. (Stats.percentile a 25.)
 
+let test_stats_percentile_total_order () =
+  (* Float.compare (not polymorphic compare) must drive the sort:
+     negative zeros and denormals around zero order correctly, and a
+     NaN sample is rejected up front instead of silently corrupting the
+     sort order. *)
+  checkf "negative zero orders below positives" (-0.)
+    (Stats.percentile [| 1.; -0.; 2. |] 0.);
+  checkf "p100 with negatives" 3. (Stats.percentile [| -5.; 3.; -1. |] 100.);
+  Alcotest.check_raises "NaN sample"
+    (Invalid_argument "Stats.percentile: NaN sample") (fun () ->
+      ignore (Stats.percentile [| 1.; Float.nan; 2. |] 50.))
+
 let test_stats_median_even () =
   checkf "median of even count" 2.5 (Stats.median [| 1.; 2.; 3.; 4. |])
 
@@ -474,6 +486,8 @@ let () =
           Alcotest.test_case "stddev" `Quick test_stats_stddev;
           Alcotest.test_case "min_max" `Quick test_stats_min_max;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile total order" `Quick
+            test_stats_percentile_total_order;
           Alcotest.test_case "median even" `Quick test_stats_median_even;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
           Alcotest.test_case "histogram clamps low" `Quick
