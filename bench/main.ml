@@ -16,8 +16,10 @@
    of re-evaluating a single weight change from scratch vs through the
    incremental engine (Problem.eval_delta) on the 50-node benchmark
    topology; [--json] writes the pair and the speedup to
-   BENCH_eval.json.  It then times the 4-restart DTR multi-start at 1
-   domain vs 4 (with a bit-identity check of the winners); [--json]
+   BENCH_eval.json.  It then times the scan engine's single-arc value
+   scan at 1 domain vs 4 plus the memo hit rate of a short STR run
+   ([--json] -> BENCH_scan.json), and the 4-restart DTR multi-start at
+   1 domain vs 4 (with a bit-identity check of the winners); [--json]
    writes that to BENCH_parallel.json.
 
    Usage:
@@ -312,6 +314,121 @@ let run_eval_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Scan engine: wall time of one full single-arc value scan (the STR
+   hot loop) through Scan.evaluate at 1 domain vs N, a bit-identity
+   check of the summaries, and the memo hit rate of a short STR run.
+   On a single-core box the parallel speedup is honestly < 1; CI's
+   multi-core runners show the scaling. *)
+
+let run_scan_bench () =
+  Gc.compact ();
+  let module Scan = Dtr_core.Scan in
+  let module Str_search = Dtr_core.Str_search in
+  let jobs = 4 in
+  let cores = Domain.recommended_domain_count () in
+  (* Same 50-node random topology as the delta-vs-full bench. *)
+  let root = Prng.create !seed in
+  let topo_rng = Prng.split root in
+  let traffic_rng = Prng.split root in
+  let g =
+    Dtr_topology.Random_topo.generate topo_rng
+      { Dtr_topology.Random_topo.default with nodes = 50; links = 250 }
+  in
+  let n = Graph.node_count g in
+  let tl = Dtr_traffic.Gravity.generate traffic_rng ~n Dtr_traffic.Gravity.default in
+  let pairs = Dtr_traffic.Highpri.random_pairs traffic_rng ~n ~density:0.10 in
+  let th = Dtr_traffic.Highpri.volumes traffic_rng ~low:tl ~fraction:0.30 ~pairs in
+  let problem = Problem.create ~graph:g ~th ~tl ~model:Objective.Load in
+  let w = Weights.uniform g 15 in
+  let sol = Problem.eval_str problem ~w in
+  let m = Graph.arc_count g in
+  let n_vals = Weights.max_weight - Weights.min_weight in
+  (* One scan = every alternative weight value of one arc (rotating),
+     evaluated unmemoized so both sides do the full probe work. *)
+  let scan_of engine ctx counter () =
+    let arc = !counter mod m in
+    incr counter;
+    let vals = Array.make n_vals 0 in
+    let pos = ref 0 in
+    for v = Weights.min_weight to Weights.max_weight do
+      if v <> w.(arc) then begin
+        vals.(!pos) <- v;
+        incr pos
+      end
+    done;
+    Scan.evaluate engine ctx ~cls:`H
+      ~changes_of:(fun i -> [ (arc, vals.(i)) ])
+      n_vals
+  in
+  Scan.with_engine ~jobs:1 problem @@ fun seq_engine ->
+  Scan.with_engine ~jobs problem @@ fun par_engine ->
+  let seq_ctx = Problem.ctx_of_solution problem sol in
+  let par_ctx = Problem.ctx_of_solution problem sol in
+  let seq_counter = ref 0 and par_counter = ref 0 in
+  let seq_scan = scan_of seq_engine seq_ctx seq_counter in
+  let par_scan = scan_of par_engine par_ctx par_counter in
+  (* Bit-identity of the summaries over one full rotation of arcs. *)
+  let identical = ref true in
+  for _ = 1 to m do
+    let a = seq_scan () and b = par_scan () in
+    if a <> b then identical := false
+  done;
+  let reps = 9 in
+  let seq_ns =
+    Array.init reps (fun _ -> time_per_call (fun () -> ignore (seq_scan ())) ~batch:20)
+  in
+  let par_ns =
+    Array.init reps (fun _ -> time_per_call (fun () -> ignore (par_scan ())) ~batch:20)
+  in
+  let seq_med = median seq_ns and par_med = median par_ns in
+  let speedup = seq_med /. par_med in
+  (* Memo hit rate of a short STR run on the same problem: revisits of
+     already-evaluated settings are served from the table. *)
+  let report =
+    Str_search.run ~iters:150 (Prng.create !seed) Search_config.quick problem
+  in
+  let hits = report.Str_search.memo_hits
+  and misses = report.Str_search.memo_misses in
+  let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+  Printf.printf
+    "=== scan engine: single-arc value scan (%d candidates), 1 domain vs %d \
+     (%d cores available) ===\n"
+    n_vals jobs cores;
+  Printf.printf "%-36s %14.1f ns/scan (median of %d)\n" "scan-seq" seq_med reps;
+  Printf.printf "%-36s %14.1f ns/scan (median of %d)\n"
+    (Printf.sprintf "scan-par-jobs%d" jobs)
+    par_med reps;
+  Printf.printf "%-36s %14.2fx\n" "speedup" speedup;
+  Printf.printf "%-36s %14b\n" "bit-identical summaries" !identical;
+  Printf.printf "%-36s %8d hits / %d misses (%.1f%%)\n\n%!" "memo (150-iter STR)"
+    hits misses (100. *. hit_rate);
+  if not !identical then failwith "parallel scan summaries diverged";
+  if !json then begin
+    let oc = open_out "BENCH_scan.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"benchmark\": \"scan-engine\",\n\
+      \  \"topology\": { \"nodes\": %d, \"arcs\": %d },\n\
+      \  \"seed\": %d,\n\
+      \  \"candidates_per_scan\": %d,\n\
+      \  \"reps\": %d,\n\
+      \  \"jobs\": %d,\n\
+      \  \"available_cores\": %d,\n\
+      \  \"scan_seq_ns_median\": %.1f,\n\
+      \  \"scan_par_ns_median\": %.1f,\n\
+      \  \"speedup\": %.2f,\n\
+      \  \"bit_identical\": %b,\n\
+      \  \"memo_hits\": %d,\n\
+      \  \"memo_misses\": %d,\n\
+      \  \"memo_hit_rate\": %.3f\n\
+       }\n"
+      n m !seed n_vals reps jobs cores seq_med par_med speedup !identical hits
+      misses hit_rate;
+    close_out oc;
+    Printf.printf "wrote BENCH_scan.json\n\n%!"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Parallel multi-start: wall time of the same 4-restart DTR search at
    1 domain vs N, plus a bit-identity check of the two winners.  On a
    single-core box the speedup is honestly < 1; CI's 4-core runners
@@ -388,10 +505,12 @@ let () =
   | Both ->
       run_experiments ();
       run_eval_bench ();
+      run_scan_bench ();
       run_parallel_bench ();
       run_micro ()
   | Micro_only ->
       run_eval_bench ();
+      run_scan_bench ();
       run_parallel_bench ();
       run_micro ()
   | Experiments_only -> run_experiments ());

@@ -74,6 +74,20 @@ let preset_arg =
     & info [ "preset" ] ~docv:"PRESET"
         ~doc:"Search budget: quick, default or paper.")
 
+let scan_jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "scan-jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the neighborhood-scan engine inside each \
+           search (default 1 = sequential).  Orthogonal to --jobs, \
+           which parallelizes across restarts/experiments; results are \
+           bit-identical for every value.")
+
+let with_scan_jobs preset scan_jobs =
+  { preset with Dtr_core.Search_config.scan_jobs }
+
 let topology_arg =
   Arg.(
     value
@@ -152,7 +166,8 @@ let topo_cmd =
 
 let optimize_cmd =
   let run topology model fraction density util preset seed restarts jobs
-      save_weights =
+      scan_jobs save_weights =
+    let preset = with_scan_jobs preset scan_jobs in
     let spec = make_spec topology fraction density seed in
     let inst = Scenario.make spec in
     Printf.printf "scenario: %s topology, %s cost, f=%.0f%%, k=%.0f%%, target util %.2f\n%!"
@@ -177,6 +192,15 @@ let optimize_cmd =
       in
       pr "STR" point.Dtr_experiments.Compare.str.Dtr_core.Str_search.objective;
       pr "DTR" point.Dtr_experiments.Compare.dtr.Dtr_core.Dtr_search.objective;
+      let prm name ~hits ~misses =
+        Printf.printf "%-4s memo: %d hits / %d misses\n" name hits misses
+      in
+      prm "STR"
+        ~hits:point.Dtr_experiments.Compare.str.Dtr_core.Str_search.memo_hits
+        ~misses:point.Dtr_experiments.Compare.str.Dtr_core.Str_search.memo_misses;
+      prm "DTR"
+        ~hits:point.Dtr_experiments.Compare.dtr.Dtr_core.Dtr_search.memo_hits
+        ~misses:point.Dtr_experiments.Compare.dtr.Dtr_core.Dtr_search.memo_misses;
       Printf.printf "measured avg utilization: %.3f\n"
         point.Dtr_experiments.Compare.measured_util;
       Printf.printf "H-cost ratio RH = %.3f\nL-cost ratio RL = %.3f\n"
@@ -242,13 +266,15 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Run the STR and DTR weight searches on one scenario")
     Term.(
       const run $ topology_arg $ model_arg $ fraction_arg $ density_arg
-      $ util_arg $ preset_arg $ seed_arg $ restarts_arg $ jobs_arg $ save_arg)
+      $ util_arg $ preset_arg $ seed_arg $ restarts_arg $ jobs_arg
+      $ scan_jobs_arg $ save_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                         *)
 
 let experiment_cmd =
-  let run names list preset seed jobs =
+  let run names list preset seed jobs scan_jobs =
+    let preset = with_scan_jobs preset scan_jobs in
     if list then begin
       List.iter
         (fun e ->
@@ -305,13 +331,16 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper figure or table")
     Term.(
-      ret (const run $ names_arg $ list_arg $ preset_arg $ seed_arg $ jobs_arg))
+      ret
+        (const run $ names_arg $ list_arg $ preset_arg $ seed_arg $ jobs_arg
+        $ scan_jobs_arg))
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                           *)
 
 let simulate_cmd =
-  let run topology fraction density util preset seed duration =
+  let run topology fraction density util preset seed duration scan_jobs =
+    let preset = with_scan_jobs preset scan_jobs in
     let spec = make_spec topology fraction density seed in
     let inst = Scenario.make spec in
     let inst = Scenario.scale_to_utilization inst ~target:util in
@@ -349,7 +378,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Packet-level replay of an optimized scenario")
     Term.(
       const run $ topology_arg $ fraction_arg $ density_arg $ util_arg
-      $ preset_arg $ seed_arg $ duration_arg)
+      $ preset_arg $ seed_arg $ duration_arg $ scan_jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mtospf                                                             *)
@@ -382,7 +411,8 @@ let mtospf_cmd =
 (* inspect                                                            *)
 
 let inspect_cmd =
-  let run topology model fraction density util preset seed top =
+  let run topology model fraction density util preset seed top scan_jobs =
+    let preset = with_scan_jobs preset scan_jobs in
     let spec = make_spec topology fraction density seed in
     let inst = Scenario.make spec in
     let inst = Scenario.scale_to_utilization inst ~target:util in
@@ -421,7 +451,7 @@ let inspect_cmd =
     (Cmd.info "inspect" ~doc:"Optimize a scenario and print per-link/per-pair reports")
     Term.(
       const run $ topology_arg $ model_arg $ fraction_arg $ density_arg
-      $ util_arg $ preset_arg $ seed_arg $ top_arg)
+      $ util_arg $ preset_arg $ seed_arg $ top_arg $ scan_jobs_arg)
 
 let main_cmd =
   let info =

@@ -1,6 +1,6 @@
 module Prng = Dtr_util.Prng
+module Vmemo = Dtr_util.Vmemo
 module Lexico = Dtr_cost.Lexico
-module Objective = Dtr_routing.Objective
 module Weights = Dtr_routing.Weights
 
 (* Primary costs within this relative tolerance are considered equal,
@@ -25,30 +25,34 @@ type report = {
   objective : Lexico.t;
   evaluations : int;
   improvements : int;
+  memo_hits : int;
+  memo_misses : int;
   phase_objectives : (phase * Lexico.t) list;
 }
 
-(* Scan the neighborhood as delta probes against [ctx] (which must be
-   synchronized with [sol]) and commit the best strict improvement —
-   the incremental analogue of folding [best_of_candidates] over fully
-   evaluated neighbors, with identical comparison order. *)
-let best_delta_of problem ctx sol ~cls ~base_w ~vectors =
+(* Evaluate the neighborhood through the scan engine (parallel over
+   clones when configured, memo-short-circuited when a memo is given)
+   against [ctx] (which must be synchronized with [sol]), then replay
+   the sequential argmin fold over the returned summaries and commit
+   the best strict improvement — identical comparison order, and
+   identical results for every scan-jobs value. *)
+let best_delta_of scan ?memo ctx sol ~cls ~base_w ~vectors =
+  let changes = Array.of_list (List.map (Problem.weight_changes base_w) vectors) in
+  let summaries =
+    Scan.evaluate scan ctx ?memo ~cls
+      ~changes_of:(fun i -> changes.(i))
+      (Array.length changes)
+  in
   let best_obj = ref (Problem.objective sol) in
-  let best = ref None in
-  List.iter
-    (fun w' ->
-      let changes = Problem.weight_changes base_w w' in
-      let d = Problem.eval_delta problem ctx ~cls ~changes in
-      if lex_lt (Problem.delta_objective d) !best_obj then begin
-        (match !best with Some b -> Problem.abort_delta ctx b | None -> ());
-        best_obj := Problem.delta_objective d;
-        best := Some d
-      end
-      else Problem.abort_delta ctx d)
-    vectors;
-  match !best with
-  | Some d -> Problem.commit_delta problem ctx d
-  | None -> sol
+  let best = ref (-1) in
+  Array.iteri
+    (fun i (s : Scan.summary) ->
+      if lex_lt s.Scan.objective !best_obj then begin
+        best_obj := s.Scan.objective;
+        best := i
+      end)
+    summaries;
+  if !best < 0 then sol else Scan.commit scan ctx ~cls ~changes:changes.(!best)
 
 (* Weight vectors for a full value scan of one heavy-tail-ranked arc
    (the Fortz–Thorup move; used with probability scan_probability). *)
@@ -85,33 +89,40 @@ let neighbor_vectors rng cfg ~ranking w =
     scan_vectors rng cfg ~ranking w
   else move_vectors rng cfg ~ranking w
 
-let find_h_ctx rng cfg problem ctx sol =
-  let costs = Objective.link_costs_h problem.Problem.model sol.Problem.result in
+(* Arc rankings come from the live context's cost rows
+   (Problem.ctx_arc_cmp_h/_l) — same ordering as the solution-derived
+   Objective.link_costs_h/_l, without allocating m cost records per
+   pass. *)
+let find_h_ctx scan ?memo rng cfg problem ctx sol =
   let ranking =
     Neighborhood.rank_by_cost
-      ~cmp:(fun a b -> Lexico.compare costs.(a) costs.(b))
-      (Array.length costs)
+      ~cmp:(Problem.ctx_arc_cmp_h problem ctx)
+      (Dtr_graph.Graph.arc_count problem.Problem.graph)
   in
   let vectors = neighbor_vectors rng cfg ~ranking sol.Problem.wh in
-  best_delta_of problem ctx sol ~cls:`H ~base_w:sol.Problem.wh ~vectors
+  best_delta_of scan ?memo ctx sol ~cls:`H ~base_w:sol.Problem.wh ~vectors
 
-let find_l_ctx rng cfg problem ctx sol =
-  let costs = Objective.link_costs_l sol.Problem.result in
+let find_l_ctx scan ?memo rng cfg problem ctx sol =
   let ranking =
     Neighborhood.rank_by_cost
-      ~cmp:(fun a b -> Float.compare costs.(a) costs.(b))
-      (Array.length costs)
+      ~cmp:(Problem.ctx_arc_cmp_l problem ctx)
+      (Dtr_graph.Graph.arc_count problem.Problem.graph)
   in
   let vectors = neighbor_vectors rng cfg ~ranking sol.Problem.wl in
-  best_delta_of problem ctx sol ~cls:`L ~base_w:sol.Problem.wl ~vectors
+  best_delta_of scan ?memo ctx sol ~cls:`L ~base_w:sol.Problem.wl ~vectors
 
 (* One-shot wrappers for callers holding just a solution (the full
-   search threads a long-lived context through the passes instead). *)
+   search threads a long-lived engine and context through the passes
+   instead).  Sequential and unmemoized: one pass has no revisits to
+   exploit, and spinning a pool up per pass would cost more than the
+   scan. *)
 let find_h rng cfg problem sol =
-  find_h_ctx rng cfg problem (Problem.ctx_of_solution problem sol) sol
+  Scan.with_engine ~jobs:1 problem @@ fun scan ->
+  find_h_ctx scan rng cfg problem (Problem.ctx_of_solution problem sol) sol
 
 let find_l rng cfg problem sol =
-  find_l_ctx rng cfg problem (Problem.ctx_of_solution problem sol) sol
+  Scan.with_engine ~jobs:1 problem @@ fun scan ->
+  find_l_ctx scan rng cfg problem (Problem.ctx_of_solution problem sol) sol
 
 let default_w0 problem =
   let mid = (Weights.min_weight + Weights.max_weight) / 2 in
@@ -123,6 +134,11 @@ let run ?w0 ?on_progress rng cfg problem =
   let eval0 = Problem.domain_evaluations () in
   let improvements = ref 0 in
   let wh0, wl0 = match w0 with Some w -> w | None -> default_w0 problem in
+  Scan.with_engine ~jobs:cfg.Search_config.scan_jobs problem @@ fun scan ->
+  (* Per-run memo shared by all three routines: FindH and FindL
+     candidates key on the full (W_H, W_L) pair, so revisits across
+     phases and diversification jumps hit too. *)
+  let memo = Vmemo.create () in
   let current = ref (Problem.eval_dtr problem ~wh:wh0 ~wl:wl0) in
   (* Long-lived incremental context, kept synchronized with [current];
      rebuilt (cheaply, reusing the solution's DAGs) whenever [current]
@@ -140,7 +156,7 @@ let run ?w0 ?on_progress rng cfg problem =
   (* Routine 1: optimize W_H with W_L frozen. *)
   let stall = ref 0 in
   for iteration = 1 to cfg.Search_config.n_iters do
-    current := find_h_ctx rng cfg problem !ctx !current;
+    current := find_h_ctx scan ~memo rng cfg problem !ctx !current;
     if lex_lt (Problem.objective !current) (Problem.objective !best) then begin
       best := !current;
       incr improvements;
@@ -170,7 +186,7 @@ let run ?w0 ?on_progress rng cfg problem =
     best := !current;
   stall := 0;
   for iteration = 1 to cfg.Search_config.n_iters do
-    current := find_l_ctx rng cfg problem !ctx !current;
+    current := find_l_ctx scan ~memo rng cfg problem !ctx !current;
     if lex_lt (Problem.objective !current) (Problem.objective !best) then begin
       best := !current;
       incr improvements;
@@ -195,8 +211,8 @@ let run ?w0 ?on_progress rng cfg problem =
   ctx := Problem.ctx_of_solution problem !current;
   stall := 0;
   for iteration = 1 to cfg.Search_config.k_iters do
-    current := find_h_ctx rng cfg problem !ctx !current;
-    current := find_l_ctx rng cfg problem !ctx !current;
+    current := find_h_ctx scan ~memo rng cfg problem !ctx !current;
+    current := find_l_ctx scan ~memo rng cfg problem !ctx !current;
     if lex_lt (Problem.objective !current) (Problem.objective !best) then begin
       best := !current;
       incr improvements;
@@ -224,5 +240,7 @@ let run ?w0 ?on_progress rng cfg problem =
     objective = Problem.objective !best;
     evaluations = Problem.domain_evaluations () - eval0;
     improvements = !improvements;
+    memo_hits = Vmemo.hits memo;
+    memo_misses = Vmemo.misses memo;
     phase_objectives = List.rev !phase_objectives;
   }

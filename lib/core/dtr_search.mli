@@ -19,6 +19,10 @@ type report = {
   objective : Dtr_cost.Lexico.t;
   evaluations : int;  (** objective evaluations spent *)
   improvements : int;  (** accepted strict improvements *)
+  memo_hits : int;
+      (** neighborhood candidates served from the evaluated-solution
+          memo instead of being re-evaluated *)
+  memo_misses : int;  (** candidates that had to be evaluated *)
   phase_objectives : (phase * Dtr_cost.Lexico.t) list;
       (** incumbent objective at the end of each routine, in order *)
 }

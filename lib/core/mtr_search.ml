@@ -96,7 +96,16 @@ let pass rng cfg problem st ~klass =
   in
   (* Probe each candidate against the context; only accepted moves are
      committed (first-improvement, exactly as the full-evaluation loop:
-     identical comparison operands, bitwise). *)
+     identical comparison operands, bitwise).
+
+     This pass deliberately does NOT go through the Scan engine (and
+     stays sequential under --scan-jobs): it commits the first
+     improvement mid-scan, so each later candidate is probed against a
+     context that may already have moved.  Parallel probes of the
+     original context would score candidates against the wrong
+     incumbent — a different search trajectory, not just a different
+     schedule.  The engine only fits scans whose winner is chosen
+     after the whole neighborhood is scored (STR, FindH/FindL). *)
   List.iter
     (fun w_k ->
       st.evaluations <- st.evaluations + 1;

@@ -84,6 +84,23 @@ let delta_evaluations () = Atomic.get delta_count
 
 let domain_evaluations () = (Domain.DLS.get domain_counts_key).dc_eval
 
+(* Transfer plumbing for the parallel scan engine: a scan task
+   measures its own domain's counter delta, rolls it back, and the
+   engine re-adds the per-task deltas on the calling domain in task
+   order — so a report's [evaluations] field is identical for every
+   [--scan-jobs].  The process-wide atomics are never adjusted (they
+   counted the work exactly once, wherever it ran). *)
+
+let domain_eval_counts () =
+  let c = Domain.DLS.get domain_counts_key in
+  (c.dc_eval, c.dc_full, c.dc_delta)
+
+let move_domain_counts ~eval ~full ~delta =
+  let c = Domain.DLS.get domain_counts_key in
+  c.dc_eval <- c.dc_eval + eval;
+  c.dc_full <- c.dc_full + full;
+  c.dc_delta <- c.dc_delta + delta
+
 let reset_evaluations () =
   Atomic.set eval_count 0;
   Atomic.set full_count 0;
@@ -106,8 +123,7 @@ let route_l t w = route_with t t.tl w
 
 let routing_weights r = Array.copy r.w
 
-let combine t ~h ~l =
-  count_full ();
+let combine_raw t ~h ~l =
   let eval =
     Evaluate.assemble t.graph ~dags_h:h.dags ~h_loads:h.loads ~dags_l:l.dags
       ~l_loads:l.loads
@@ -125,10 +141,13 @@ let combine t ~h ~l =
   in
   { wh = h.w; wl = l.w; result }
 
+let combine t ~h ~l =
+  count_full ();
+  combine_raw t ~h ~l
+
 let eval_dtr t ~wh ~wl = combine t ~h:(route_h t wh) ~l:(route_l t wl)
 
-let eval_str t ~w =
-  count_full ();
+let eval_str_raw t ~w =
   Weights.validate t.graph w;
   let w = Array.copy w in
   let dags = Spf.all_destinations t.graph ~weights:w in
@@ -139,6 +158,10 @@ let eval_str t ~w =
   in
   let result = Objective.of_eval t.model eval ~th:t.th () in
   { wh = w; wl = w; result }
+
+let eval_str t ~w =
+  count_full ();
+  eval_str_raw t ~w
 
 let is_str s = s.wh == s.wl
 
@@ -188,6 +211,20 @@ let ec_of_solution t s =
 
 let ctx_of_solution t s =
   { ec = ec_of_solution t s; c_str = is_str s; c_sla = s.result.Objective.sla }
+
+let ctx_is_str ctx = ctx.c_str
+
+let ctx_weights ctx cls =
+  Eval_ctx.weights ctx.ec (match cls with `H -> 0 | `L -> 1)
+
+let clone_ctx _t ctx =
+  { ec = Eval_ctx.clone ctx.ec; c_str = ctx.c_str; c_sla = ctx.c_sla }
+
+let sync_ctx ~src ~dst =
+  if src.c_str <> dst.c_str then
+    invalid_arg "Problem.sync_ctx: class-sharing mismatch";
+  Eval_ctx.sync ~src:src.ec ~dst:dst.ec;
+  dst.c_sla <- src.c_sla
 
 let ctx_sla params t ctx =
   match ctx.c_sla with
@@ -240,9 +277,9 @@ let apply_changes w changes =
   List.iter (fun (a, v) -> w'.(a) <- v) changes;
   w'
 
-let eval_delta t ctx ~cls ~changes =
+let eval_delta ?(count = true) t ctx ~cls ~changes =
   let probe_path ~lambda =
-    count_delta ();
+    if count then count_delta ();
     let klass = match cls with `H -> 0 | `L -> 1 in
     let p = Eval_ctx.probe ctx.ec ~klass ~changes in
     let phi = Eval_ctx.probe_phi p in
@@ -272,7 +309,8 @@ let eval_delta t ctx ~cls ~changes =
   | Objective.Sla params ->
       if ctx.c_str then
         (* Any STR change moves the high-priority routing. *)
-        full (eval_str t ~w:(apply_changes (Eval_ctx.weights ctx.ec 0) changes))
+        let w = apply_changes (Eval_ctx.weights ctx.ec 0) changes in
+        full (if count then eval_str t ~w else eval_str_raw t ~w)
       else if cls = `L then
         (* W_L cannot affect the H routing, so Λ is the cached value and
            only the secondary Φ_L needs the probe. *)
@@ -288,7 +326,32 @@ let eval_delta t ctx ~cls ~changes =
             sla_cache = None;
           }
         in
-        full (combine t ~h:(route_h t wh) ~l)
+        full
+          ((if count then combine else combine_raw) t ~h:(route_h t wh) ~l)
+
+(* Arc rankings for neighborhood construction, read from the live
+   context's rows (shared, replaced-not-mutated on commit) instead of
+   re-materializing Objective.link_costs_h's m Lexico records per
+   iteration.  Orderings are identical: Lexico.compare without a
+   tolerance is Float.compare on the primary, then the secondary. *)
+
+let ctx_arc_cmp_h t ctx =
+  let phi_l = Eval_ctx.phi_per_arc ctx.ec 1 in
+  match t.model with
+  | Objective.Load ->
+      let phi_h = Eval_ctx.phi_per_arc ctx.ec 0 in
+      fun a b ->
+        let c = Float.compare phi_h.(a) phi_h.(b) in
+        if c <> 0 then c else Float.compare phi_l.(a) phi_l.(b)
+  | Objective.Sla params ->
+      let delay = (ctx_sla params t ctx).Evaluate.arc_delay in
+      fun a b ->
+        let c = Float.compare delay.(a) delay.(b) in
+        if c <> 0 then c else Float.compare phi_l.(a) phi_l.(b)
+
+let ctx_arc_cmp_l _t ctx =
+  let phi_l = Eval_ctx.phi_per_arc ctx.ec 1 in
+  fun a b -> Float.compare phi_l.(a) phi_l.(b)
 
 let commit_delta t ctx d =
   match (d.d_probe, d.d_full) with

@@ -91,6 +91,37 @@ type cls = [ `H | `L ]
 val ctx_of_solution : t -> solution -> ctx
 (** Build a context from an evaluated solution, reusing its DAGs. *)
 
+val ctx_is_str : ctx -> bool
+(** Whether the context's classes share one weight vector. *)
+
+val ctx_weights : ctx -> cls -> int array
+(** A class's current weight vector (fresh copy). *)
+
+val clone_ctx : t -> ctx -> ctx
+(** A context evaluating identically to [ctx] but owning its mutable
+    state ({!Dtr_routing.Eval_ctx.clone}), so another domain can probe
+    it concurrently.  Clones are kept in step with {!sync_ctx} — the
+    scan engine allocates one per worker and reuses it across
+    iterations. *)
+
+val sync_ctx : src:ctx -> dst:ctx -> unit
+(** Resynchronize a clone with its original by blitting the shared-row
+    spine (no re-evaluation).  Sound even after [src] was rebuilt by a
+    full-evaluation fallback commit: contexts of one problem share
+    shapes, and demand is weight-independent (strong connectivity), so
+    the blit reproduces [src]'s evaluation state exactly.
+    @raise Invalid_argument on incompatible contexts. *)
+
+val ctx_arc_cmp_h : t -> ctx -> int -> int -> int
+(** Comparator ranking arcs by the high-priority link cost (load
+    model: [(Φ_H,l, Φ_L,l)]; SLA: [(delay_l, Φ_L,l)]), read from the
+    live context's rows.  Ordering is identical to
+    [Lexico.compare (Objective.link_costs_h ...)] on the materialized
+    solution, without allocating [m] cost records per iteration. *)
+
+val ctx_arc_cmp_l : t -> ctx -> int -> int -> int
+(** Same for the low-priority ranking ([Φ_L,l] only). *)
+
 val ctx_solution : t -> ctx -> solution
 (** Materialize the context's current state as a solution.  O(arcs):
     the solution snapshots the context's arrays, which later commits
@@ -104,10 +135,14 @@ type delta
 (** An evaluated candidate: objective plus whatever is needed to
     install it. *)
 
-val eval_delta : t -> ctx -> cls:cls -> changes:(int * int) list -> delta
+val eval_delta :
+  ?count:bool -> t -> ctx -> cls:cls -> changes:(int * int) list -> delta
 (** Evaluate the candidate obtained by applying [changes] to [cls]'s
     current weight vector.  Counted under {!delta_evaluations} when the
-    incremental path is taken, under {!full_evaluations} otherwise. *)
+    incremental path is taken, under {!full_evaluations} otherwise.
+    [~count:false] suppresses both counters: the scan engine uses it to
+    re-derive an already-counted winner against the main context, so
+    reported evaluation counts stay independent of [--scan-jobs]. *)
 
 val delta_objective : delta -> Dtr_cost.Lexico.t
 
@@ -144,6 +179,17 @@ val domain_evaluations : unit -> int
     [evaluations] field covers exactly that search's own work and is
     identical whether the search ran alone or beside others on a
     domain pool. *)
+
+val domain_eval_counts : unit -> int * int * int
+(** The calling domain's [(total, full, delta)] counters.  Plumbing
+    for {!Scan}: a worker task differences these around its chunk,
+    rolls its own counters back ({!move_domain_counts} with negative
+    amounts), and the engine re-adds the deltas on the calling domain
+    — keeping per-report counts independent of [--scan-jobs]. *)
+
+val move_domain_counts : eval:int -> full:int -> delta:int -> unit
+(** Adjust the calling domain's counters by the given (possibly
+    negative) amounts.  The process-wide atomics are untouched. *)
 
 val reset_evaluations : unit -> unit
 (** Reset the process-wide totals and the calling domain's local

@@ -1,0 +1,143 @@
+module Pool = Dtr_util.Pool
+module Vhash = Dtr_util.Vhash
+module Vmemo = Dtr_util.Vmemo
+module Lexico = Dtr_cost.Lexico
+
+type summary = { objective : Lexico.t; phi_h : float; phi_l : float }
+
+type t = {
+  problem : Problem.t;
+  pool : Pool.t option;
+  mutable clones : Problem.ctx array;
+      (* one per worker, allocated on the first parallel scan and
+         resynchronized (blits, no re-evaluation) before every later
+         one — clones are reused across iterations, not reallocated *)
+}
+
+let create ~jobs problem =
+  if jobs < 1 then invalid_arg "Scan.create: jobs must be positive";
+  {
+    problem;
+    pool = (if jobs = 1 then None else Some (Pool.create ~jobs));
+    clones = [||];
+  }
+
+let jobs t = match t.pool with None -> 1 | Some p -> Pool.jobs p
+
+let shutdown t =
+  (match t.pool with None -> () | Some p -> Pool.shutdown p);
+  t.clones <- [||]
+
+let with_engine ~jobs problem f =
+  let t = create ~jobs problem in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Memo keys: one Zobrist hash covering BOTH weight vectors — the
+   objective is a pure function of the (W_H, W_L) pair (probes are
+   bitwise-identical to full evaluations, PR 1), so a FindH candidate
+   and a FindL candidate reaching the same pair may share an entry.
+   For an STR context one change moves both aliased vectors, hence
+   both cell sets shift. *)
+let candidate_keys ctx ~cls ~changes_of n =
+  let str = Problem.ctx_is_str ctx in
+  let wh = Problem.ctx_weights ctx `H in
+  let wl = if str then wh else Problem.ctx_weights ctx `L in
+  let base = Vhash.vector ~cls:0 wh lxor Vhash.vector ~cls:1 wl in
+  let shift_change key (arc, after) =
+    if str then
+      let key = Vhash.shift key ~cls:0 ~arc ~before:wh.(arc) ~after in
+      Vhash.shift key ~cls:1 ~arc ~before:wh.(arc) ~after
+    else
+      match cls with
+      | `H -> Vhash.shift key ~cls:0 ~arc ~before:wh.(arc) ~after
+      | `L -> Vhash.shift key ~cls:1 ~arc ~before:wl.(arc) ~after
+  in
+  Array.init n (fun i -> List.fold_left shift_change base (changes_of i))
+
+let evaluate t ctx ?memo ~cls ~changes_of n =
+  if n < 0 then invalid_arg "Scan.evaluate: negative candidate count";
+  let results = Array.make n None in
+  (* Memo screening happens on the calling domain, in candidate order,
+     before any dispatch — hit patterns (and the hit/miss counters) are
+     a pure function of the trajectory, never of worker scheduling. *)
+  let keys =
+    match memo with
+    | None -> [||]
+    | Some m ->
+        let keys = candidate_keys ctx ~cls ~changes_of n in
+        for i = 0 to n - 1 do
+          match Vmemo.find m keys.(i) with
+          | Some s -> results.(i) <- Some s
+          | None -> ()
+        done;
+        keys
+  in
+  let miss = ref [] in
+  for i = n - 1 downto 0 do
+    match results.(i) with None -> miss := i :: !miss | Some _ -> ()
+  done;
+  let miss = Array.of_list !miss in
+  let eval_one ctx' i =
+    let d = Problem.eval_delta t.problem ctx' ~cls ~changes:(changes_of i) in
+    let s =
+      {
+        objective = Problem.delta_objective d;
+        phi_h = Problem.delta_phi_h d;
+        phi_l = Problem.delta_phi_l d;
+      }
+    in
+    Problem.abort_delta ctx' d;
+    results.(i) <- Some s
+  in
+  let k = Array.length miss in
+  (match t.pool with
+  | Some pool when k > 1 ->
+      let jobs = Pool.jobs pool in
+      if Array.length t.clones = 0 then
+        t.clones <- Array.init jobs (fun _ -> Problem.clone_ctx t.problem ctx)
+      else Array.iter (fun c -> Problem.sync_ctx ~src:ctx ~dst:c) t.clones;
+      (* Contiguous balanced chunks; every task measures its own
+         domain-counter delta, rolls it back, and returns it so the
+         engine can re-add the total on the calling domain — reported
+         evaluation counts are identical for every jobs value. *)
+      let counts =
+        Pool.map pool jobs ~f:(fun j ->
+            let clone = t.clones.(j) in
+            let e0, f0, d0 = Problem.domain_eval_counts () in
+            let lo = j * k / jobs and hi = (j + 1) * k / jobs in
+            for idx = lo to hi - 1 do
+              eval_one clone miss.(idx)
+            done;
+            let e1, f1, d1 = Problem.domain_eval_counts () in
+            let de = e1 - e0 and df = f1 - f0 and dd = d1 - d0 in
+            Problem.move_domain_counts ~eval:(-de) ~full:(-df) ~delta:(-dd);
+            (de, df, dd))
+      in
+      let te = ref 0 and tf = ref 0 and td = ref 0 in
+      Array.iter
+        (fun (e, f, d) ->
+          te := !te + e;
+          tf := !tf + f;
+          td := !td + d)
+        counts;
+      Problem.move_domain_counts ~eval:!te ~full:!tf ~delta:!td
+  | _ -> Array.iter (eval_one ctx) miss);
+  (match memo with
+  | None -> ()
+  | Some m ->
+      Array.iter
+        (fun i ->
+          match results.(i) with
+          | Some s -> Vmemo.add m keys.(i) s
+          | None -> assert false)
+        miss);
+  Array.map (function Some s -> s | None -> assert false) results
+
+let commit t ctx ~cls ~changes =
+  (* The winner was evaluated (and counted) as a summary — possibly on
+     a worker's clone or out of the memo; re-derive its delta against
+     the main context without recounting.  Probes are deterministic
+     functions of the context's value state, so this reproduces the
+     winning candidate bitwise. *)
+  let d = Problem.eval_delta ~count:false t.problem ctx ~cls ~changes in
+  Problem.commit_delta t.problem ctx d

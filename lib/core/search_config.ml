@@ -10,6 +10,7 @@ type t = {
   max_step : int;
   scan_probability : float;
   seed_split : int;
+  scan_jobs : int;
 }
 
 let paper =
@@ -25,6 +26,7 @@ let paper =
     max_step = 5;
     scan_probability = 0.;
     seed_split = 0;
+    scan_jobs = 1;
   }
 
 let default =
@@ -69,4 +71,5 @@ let validate t =
   frac "g3" t.g3;
   if t.tau < 0. then invalid_arg "Search_config: tau must be non-negative";
   if t.max_step < 1 then invalid_arg "Search_config: max_step must be positive";
-  frac "scan_probability" t.scan_probability
+  frac "scan_probability" t.scan_probability;
+  if t.scan_jobs < 1 then invalid_arg "Search_config: scan_jobs must be positive"

@@ -26,6 +26,10 @@ type t = {
           magnitude fewer iterations than the paper's N = 300 000;
           set to 0. for the literal Algorithm 2 neighborhood. *)
   seed_split : int;  (** stream id so sub-searches decorrelate *)
+  scan_jobs : int;
+      (** worker domains for the neighborhood-scan engine ({!Scan})
+          inside one search run; results are bit-identical for every
+          value (CLI [--scan-jobs]).  Default 1 (sequential). *)
 }
 
 val paper : t

@@ -1,5 +1,6 @@
 module Prng = Dtr_util.Prng
 module Dist = Dtr_util.Dist
+module Vmemo = Dtr_util.Vmemo
 module Lexico = Dtr_cost.Lexico
 module Objective = Dtr_routing.Objective
 module Weights = Dtr_routing.Weights
@@ -18,6 +19,8 @@ type report = {
   objective : Lexico.t;
   evaluations : int;
   improvements : int;
+  memo_hits : int;
+  memo_misses : int;
   archive : archive_point list;
 }
 
@@ -36,38 +39,56 @@ let default_iters cfg =
   max 1 (2 * dtr_evals / scan)
 
 (* Bounded Pareto archive over (phi_h, phi_l); dominated points are
-   discarded, so it stays small in practice. *)
+   discarded, so it stays small in practice.  The size is tracked so
+   an insert never walks the list just to count it, and an overflow
+   evicts the worst-phi_l point with one fold instead of a sort. *)
 let archive_max = 512
 
-let archive_insert archive cand =
+type archive = { pts : archive_point list; size : int }
+
+let archive_empty = { pts = []; size = 0 }
+
+let archive_insert ar cand =
   let dominated_by a = a.phi_h <= cand.phi_h && a.phi_l <= cand.phi_l in
-  if List.exists dominated_by archive then archive
+  if List.exists dominated_by ar.pts then ar
   else begin
+    let removed = ref 0 in
     let survivors =
       List.filter
-        (fun a -> not (cand.phi_h <= a.phi_h && cand.phi_l <= a.phi_l))
-        archive
+        (fun a ->
+          if cand.phi_h <= a.phi_h && cand.phi_l <= a.phi_l then begin
+            incr removed;
+            false
+          end
+          else true)
+        ar.pts
     in
-    let archive = cand :: survivors in
-    if List.length archive > archive_max then
-      (* Drop the worst-phi_l point to stay bounded. *)
-      match
-        List.sort (fun a b -> Float.compare b.phi_l a.phi_l) archive
-      with
-      | [] -> archive
-      | _ :: rest -> rest
-    else archive
+    let pts = cand :: survivors in
+    let size = ar.size - !removed + 1 in
+    if size > archive_max then begin
+      (* Evict the first-in-list point of maximal phi_l — the same
+         victim the previous stable descending sort dropped. *)
+      let _, worst, _ =
+        List.fold_left
+          (fun (i, wi, wv) a ->
+            if a.phi_l > wv then (i + 1, i, a.phi_l) else (i + 1, wi, wv))
+          (0, -1, Float.neg_infinity)
+          pts
+      in
+      { pts = List.filteri (fun i _ -> i <> worst) pts; size = size - 1 }
+    end
+    else { pts; size }
   end
 
-let pick_arc rng cfg sol problem =
-  let costs = Objective.link_costs_h problem.Problem.model sol.Problem.result in
-  let n = Array.length costs in
+(* Rank arcs straight from the live context's cost rows
+   (Problem.ctx_arc_cmp_h) instead of materializing m Lexico records
+   from the solution every iteration; the ordering is identical. *)
+let pick_arc rng cfg ctx problem =
+  let n = Dtr_graph.Graph.arc_count problem.Problem.graph in
   if Prng.bool rng then Prng.int rng n
   else begin
     let ranking =
-      Neighborhood.rank_by_cost
-        ~cmp:(fun a b -> Lexico.compare costs.(a) costs.(b))
-        n
+      Neighborhood.rank_by_cost ~cmp:(Problem.ctx_arc_cmp_h problem ctx) n
     in
     let ht = Dist.heavy_tail ~tau:cfg.Search_config.tau ~n in
     ranking.(Dist.heavy_tail_sample ht rng - 1)
@@ -85,7 +106,7 @@ let run ?w0 ?iters ?on_progress rng cfg problem =
     | None -> Array.make (Dtr_graph.Graph.arc_count problem.Problem.graph) mid
   in
   let track_archive = problem.Problem.model = Objective.Load in
-  let archive = ref [] in
+  let archive = ref archive_empty in
   let observe sol =
     if track_archive then begin
       let eval = sol.Problem.result.Objective.eval in
@@ -98,54 +119,58 @@ let run ?w0 ?iters ?on_progress rng cfg problem =
           }
     end
   in
-  (* Candidates are evaluated as delta probes, so the archive point is
-     built from the delta (the weight copy is only made when the
-     archive is live). *)
-  let observe_delta w' d =
-    if track_archive then
-      archive :=
-        archive_insert !archive
-          {
-            phi_h = Problem.delta_phi_h d;
-            phi_l = Problem.delta_phi_l d;
-            w = w';
-          }
-  in
+  Scan.with_engine ~jobs:cfg.Search_config.scan_jobs problem @@ fun scan ->
+  (* Per-run memo of evaluated settings; scans consult it in candidate
+     order, so hits (and the counters below) are jobs-invariant. *)
+  let memo = Vmemo.create () in
   let current = ref (Problem.eval_str problem ~w:w0) in
   let ctx = Problem.ctx_of_solution problem !current in
   observe !current;
   let best = ref !current in
   let improvements = ref 0 in
   let stall = ref 0 in
+  let n_vals = Weights.max_weight - Weights.min_weight in
+  let vals = Array.make n_vals 0 in
   for iteration = 1 to iters do
-    let arc = pick_arc rng cfg !current problem in
+    let arc = pick_arc rng cfg ctx problem in
     let w = !current.Problem.wh in
-    let best_neighbor = ref None in
+    (* The candidate values for this arc: every in-range weight except
+       the current one, ascending — the same order the sequential scan
+       visited them in. *)
+    let pos = ref 0 in
     for v = Weights.min_weight to Weights.max_weight do
       if v <> w.(arc) then begin
-        let cand = Problem.eval_delta problem ctx ~cls:`H ~changes:[ (arc, v) ] in
-        (if track_archive then begin
-           let w' = Array.copy w in
-           w'.(arc) <- v;
-           observe_delta w' cand
-         end);
-        match !best_neighbor with
-        | None -> best_neighbor := Some cand
-        | Some bn ->
-            if lex_lt (Problem.delta_objective cand) (Problem.delta_objective bn)
-            then begin
-              Problem.abort_delta ctx bn;
-              best_neighbor := Some cand
-            end
-            else Problem.abort_delta ctx cand
+        vals.(!pos) <- v;
+        incr pos
       end
     done;
-    (match !best_neighbor with
-    | Some bn
-      when lex_lt (Problem.delta_objective bn) (Problem.objective !current) ->
-        current := Problem.commit_delta problem ctx bn
-    | Some bn -> Problem.abort_delta ctx bn
-    | None -> ());
+    let summaries =
+      Scan.evaluate scan ctx ~memo ~cls:`H
+        ~changes_of:(fun i -> [ (arc, vals.(i)) ])
+        n_vals
+    in
+    (if track_archive then
+       Array.iteri
+         (fun i (s : Scan.summary) ->
+           let w' = Array.copy w in
+           w'.(arc) <- vals.(i);
+           archive :=
+             archive_insert !archive
+               { phi_h = s.Scan.phi_h; phi_l = s.Scan.phi_l; w = w' })
+         summaries);
+    (* Replay the sequential argmin fold over the summaries (first
+       strict improvement wins — identical tie-break). *)
+    let best_i = ref (-1) in
+    Array.iteri
+      (fun i (s : Scan.summary) ->
+        if !best_i < 0 then best_i := i
+        else if lex_lt s.Scan.objective summaries.(!best_i).Scan.objective then
+          best_i := i)
+      summaries;
+    (if !best_i >= 0 then
+       let s = summaries.(!best_i) in
+       if lex_lt s.Scan.objective (Problem.objective !current) then
+         current := Scan.commit scan ctx ~cls:`H ~changes:[ (arc, vals.(!best_i)) ]);
     if lex_lt (Problem.objective !current) (Problem.objective !best) then begin
       best := !current;
       incr improvements;
@@ -171,8 +196,10 @@ let run ?w0 ?iters ?on_progress rng cfg problem =
     objective = Problem.objective !best;
     evaluations = Problem.domain_evaluations () - eval0;
     improvements = !improvements;
+    memo_hits = Vmemo.hits memo;
+    memo_misses = Vmemo.misses memo;
     archive =
-      List.sort (fun a b -> Float.compare a.phi_h b.phi_h) !archive;
+      List.sort (fun a b -> Float.compare a.phi_h b.phi_h) (!archive).pts;
   }
 
 let relaxed_best report ~epsilon =

@@ -24,6 +24,10 @@ type report = {
   objective : Dtr_cost.Lexico.t;
   evaluations : int;
   improvements : int;
+  memo_hits : int;
+      (** scan candidates served from the evaluated-solution memo
+          instead of being re-evaluated *)
+  memo_misses : int;  (** scan candidates that had to be evaluated *)
   archive : archive_point list;
       (** Pareto-nondominated [(Φ_H, Φ_L)] trade-offs encountered,
           sorted by increasing [phi_h].  Only tracked under the

@@ -1,17 +1,56 @@
 let unreachable = max_int
 
-let validate g ~weights ~node =
+let validate_weights g ~weights =
   if Array.length weights <> Graph.arc_count g then
     invalid_arg "Dijkstra: weights length mismatch";
   Array.iter
     (fun w -> if w <= 0 then invalid_arg "Dijkstra: weights must be positive")
-    weights;
+    weights
+
+let validate_node g ~node =
   if node < 0 || node >= Graph.node_count g then
     invalid_arg "Dijkstra: node out of range"
 
-(* Dijkstra with lazy deletion; [adj v] lists candidate arc ids at [v],
-   [other id] is the neighbor reached through arc [id]. *)
+let validate g ~weights ~node =
+  validate_weights g ~weights;
+  validate_node g ~node
+
+(* Dial's algorithm: weights are bounded positive integers, so tentative
+   distances are monotone integer priorities and a bucket queue settles
+   the whole graph in O(m + maxdist) — no comparisons, no boxed float
+   keys.  Lazy deletion as before; [adj v] lists candidate arc ids at
+   [v], [other id] is the neighbor reached through arc [id]. *)
 let run n ~adj ~other ~weights ~start =
+  let dist = Array.make n unreachable in
+  let settled = Array.make n false in
+  let q = Dtr_util.Bucket_queue.create () in
+  dist.(start) <- 0;
+  Dtr_util.Bucket_queue.add q ~prio:0 start;
+  let continue = ref true in
+  while !continue do
+    match Dtr_util.Bucket_queue.pop_min q with
+    | None -> continue := false
+    | Some (_, v) ->
+        if not settled.(v) then begin
+          settled.(v) <- true;
+          Array.iter
+            (fun id ->
+              let u = other id in
+              if not settled.(u) then begin
+                let cand = dist.(v) + weights.(id) in
+                if cand < dist.(u) then begin
+                  dist.(u) <- cand;
+                  Dtr_util.Bucket_queue.add q ~prio:cand u
+                end
+              end)
+            (adj v)
+        end
+  done;
+  dist
+
+(* Binary-heap Dijkstra, kept as an independent reference
+   implementation for the kernel-equivalence property tests. *)
+let run_heap n ~adj ~other ~weights ~start =
   let dist = Array.make n unreachable in
   let settled = Array.make n false in
   let q = Dtr_util.Pqueue.create () in
@@ -39,9 +78,20 @@ let run n ~adj ~other ~weights ~start =
   done;
   dist
 
-let distances_to g ~weights ~dst =
-  validate g ~weights ~node:dst;
+let distances_to_unchecked g ~weights ~dst =
+  validate_node g ~node:dst;
   run (Graph.node_count g)
+    ~adj:(Graph.in_arcs g)
+    ~other:(fun id -> (Graph.arc g id).src)
+    ~weights ~start:dst
+
+let distances_to g ~weights ~dst =
+  validate_weights g ~weights;
+  distances_to_unchecked g ~weights ~dst
+
+let distances_to_heap g ~weights ~dst =
+  validate g ~weights ~node:dst;
+  run_heap (Graph.node_count g)
     ~adj:(Graph.in_arcs g)
     ~other:(fun id -> (Graph.arc g id).src)
     ~weights ~start:dst

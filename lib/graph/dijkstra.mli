@@ -2,6 +2,13 @@
     weights (OSPF-style weights in [\[1, 30\]], but any positive ints
     work).
 
+    Distances are computed by Dial's algorithm: bounded positive
+    integer weights make tentative distances monotone integer
+    priorities, so a bucket queue ({!Dtr_util.Bucket_queue}) settles
+    the graph in O(m + maxdist) without a comparison heap.  A
+    binary-heap variant is kept as an independent reference for
+    property tests.
+
     Unreachable nodes get distance {!unreachable}. *)
 
 val unreachable : int
@@ -14,8 +21,24 @@ val distances_to : Graph.t -> weights:int array -> dst:int -> int array
     @raise Invalid_argument if [weights] has the wrong length, contains
     a non-positive weight, or [dst] is out of range. *)
 
+val distances_to_unchecked : Graph.t -> weights:int array -> dst:int -> int array
+(** {!distances_to} without the O(m) weight validation — for callers
+    that validate once per weight vector ({!validate_weights}) and
+    then sweep every destination ({!Spf.all_destinations}).  The O(1)
+    node-range check is kept.
+    @raise Invalid_argument if [dst] is out of range. *)
+
+val distances_to_heap : Graph.t -> weights:int array -> dst:int -> int array
+(** Same result as {!distances_to} computed with a float-keyed binary
+    heap; reference implementation for kernel-equivalence tests. *)
+
 val distances_from : Graph.t -> weights:int array -> src:int -> int array
 (** Distances from [src] to every node, over outgoing arcs. *)
+
+val validate_weights : Graph.t -> weights:int array -> unit
+(** @raise Invalid_argument if [weights] has the wrong length or
+    contains a non-positive entry.  O(m); callers on the per-candidate
+    hot path run it once per weight vector, not once per destination. *)
 
 val bellman_ford_to : Graph.t -> weights:int array -> dst:int -> int array
 (** Same result as {!distances_to} computed by Bellman–Ford in

@@ -60,7 +60,12 @@ let to_destination g ~weights ~dst =
   of_dist g ~weights ~dst ~dist
 
 let all_destinations g ~weights =
-  Array.init (Graph.node_count g) (fun dst -> to_destination g ~weights ~dst)
+  (* Validate the weight vector once for the whole sweep; the
+     per-destination O(m) re-scan used to dominate small evaluations. *)
+  Dijkstra.validate_weights g ~weights;
+  Array.init (Graph.node_count g) (fun dst ->
+      let dist = Dijkstra.distances_to_unchecked g ~weights ~dst in
+      of_dist g ~weights ~dst ~dist)
 
 let path_count g dag ~src =
   let n = Array.length dag.dist in

@@ -35,14 +35,15 @@ let classify dag ~u ~v ~before ~after =
 
 type workspace = {
   mutable settled : bool array;
-  queue : int Dtr_util.Pqueue.t;
+  queue : Dtr_util.Bucket_queue.t;
 }
 
-let workspace () = { settled = [||]; queue = Dtr_util.Pqueue.create () }
+let workspace () = { settled = [||]; queue = Dtr_util.Bucket_queue.create () }
 
-(* Dijkstra toward [dst] over reversed arcs, writing a fresh distance
-   array (owned by the rebuilt dag) but reusing the workspace's settled
-   buffer and heap across destinations.  Distance labels are the unique
+(* Dijkstra (Dial bucket-queue variant, matching Dijkstra.run) toward
+   [dst] over reversed arcs, writing a fresh distance array (owned by
+   the rebuilt dag) but reusing the workspace's settled buffer and
+   bucket array across destinations.  Distance labels are the unique
    shortest-path distances, so they match Dijkstra.distances_to
    exactly. *)
 let distances_into ws g ~weights ~dst =
@@ -51,13 +52,13 @@ let distances_into ws g ~weights ~dst =
   else Array.fill ws.settled 0 n false;
   let settled = ws.settled in
   let q = ws.queue in
-  Dtr_util.Pqueue.clear q;
+  Dtr_util.Bucket_queue.clear q;
   let dist = Array.make n Dijkstra.unreachable in
   dist.(dst) <- 0;
-  Dtr_util.Pqueue.add q 0. dst;
+  Dtr_util.Bucket_queue.add q ~prio:0 dst;
   let continue = ref true in
   while !continue do
-    match Dtr_util.Pqueue.pop_min q with
+    match Dtr_util.Bucket_queue.pop_min q with
     | None -> continue := false
     | Some (_, v) ->
         if not settled.(v) then begin
@@ -69,7 +70,7 @@ let distances_into ws g ~weights ~dst =
                 let cand = dist.(v) + weights.(id) in
                 if cand < dist.(u) then begin
                   dist.(u) <- cand;
-                  Dtr_util.Pqueue.add q (float_of_int cand) u
+                  Dtr_util.Bucket_queue.add q ~prio:cand u
                 end
               end)
             (Graph.in_arcs g v)

@@ -143,6 +143,43 @@ let create ?dags g ~weights ~matrices =
     commits = 0;
   }
 
+(* Commits replace rows (inner arrays) and never mutate them, so a
+   clone only needs its own mutable spine: the outer group/class/dest-
+   indexed arrays whose slots commits overwrite, plus a private SPF
+   workspace.  Rows, DAGs, demand, the matrices-derived structure and
+   the graph are shared with the original.  Clones back a scan
+   worker's probes; they are resynchronized from the original with
+   [sync] (pure blits) instead of being rebuilt. *)
+let clone t =
+  {
+    t with
+    group_w = Array.copy t.group_w;
+    group_dags = Array.copy t.group_dags;
+    contrib = Array.map Array.copy t.contrib;
+    loads = Array.copy t.loads;
+    capacity_seen = Array.copy t.capacity_seen;
+    phi_per_arc = Array.copy t.phi_per_arc;
+    phi = Array.copy t.phi;
+    ws = Spf_delta.workspace ();
+  }
+
+let sync ~src ~dst =
+  if
+    src.graph != dst.graph
+    || Array.length src.group_w <> Array.length dst.group_w
+    || class_count src <> class_count dst
+  then invalid_arg "Eval_ctx.sync: incompatible contexts";
+  Array.blit src.group_w 0 dst.group_w 0 (Array.length src.group_w);
+  Array.blit src.group_dags 0 dst.group_dags 0 (Array.length src.group_dags);
+  for k = 0 to class_count src - 1 do
+    Array.blit src.contrib.(k) 0 dst.contrib.(k) 0 (Array.length src.contrib.(k))
+  done;
+  Array.blit src.loads 0 dst.loads 0 (Array.length src.loads);
+  Array.blit src.capacity_seen 0 dst.capacity_seen 0 (Array.length src.capacity_seen);
+  Array.blit src.phi_per_arc 0 dst.phi_per_arc 0 (Array.length src.phi_per_arc);
+  Array.blit src.phi 0 dst.phi 0 (Array.length src.phi);
+  dst.generation <- src.generation
+
 type probe = {
   generation : int;
   group : int;
@@ -316,6 +353,11 @@ let dags t k =
 let loads t k =
   if k < 0 || k >= class_count t then invalid_arg "Eval_ctx.loads: class out of range";
   t.loads.(k)
+
+let phi_per_arc t k =
+  if k < 0 || k >= class_count t then
+    invalid_arg "Eval_ctx.phi_per_arc: class out of range";
+  t.phi_per_arc.(k)
 
 let probes t = t.probes
 

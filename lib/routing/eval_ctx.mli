@@ -36,6 +36,21 @@ val create :
     @raise Invalid_argument on length/size mismatches, invalid
     weights, or unroutable positive demand. *)
 
+val clone : t -> t
+(** A context sharing all immutable data (graph, demand, DAGs, load
+    rows — commits replace rows, never mutate them) with the original
+    but owning its mutable spine and SPF workspace, so probes against
+    the clone are race-free while the original keeps evaluating.  The
+    intended owner is one scan worker domain; clones are brought back
+    in step with {!sync} instead of re-cloned. *)
+
+val sync : src:t -> dst:t -> unit
+(** Make [dst] (a {!clone} of [src]'s lineage) evaluate exactly as
+    [src] by blitting the shared-row spine across.  O(groups + classes
+    ⋅ destinations), no recomputation.
+    @raise Invalid_argument when the contexts disagree on graph or
+    class structure. *)
+
 type probe
 (** A candidate evaluation: the full consequence of a weight change,
     computed against — but not installed into — the context. *)
@@ -75,6 +90,12 @@ val dags : t -> int -> Dtr_graph.Spf.dag array
 val loads : t -> int -> float array
 (** Current per-arc load totals of a class (shared; commits replace
     the array, so snapshots stay valid). *)
+
+val phi_per_arc : t -> int -> float array
+(** Current per-arc Fortz costs of a class (shared; commits replace
+    the row, so snapshots stay valid).  Lets the search loops rank
+    arcs from the live context instead of re-deriving link costs from
+    a solution. *)
 
 val shares_group : t -> int -> int -> bool
 (** Whether two classes share (alias) one weight vector. *)

@@ -1,0 +1,34 @@
+(* Zobrist-style incremental hashing of weight vectors.
+
+   Each (class, arc, value) cell gets a pseudo-random signature —
+   the splitmix64 finalizer applied to an injective packing of the
+   coordinates — and a vector's hash is the XOR of its cells.
+   Changing one arc's weight therefore shifts the hash by two XORs
+   (out with the old cell, in with the new), which is what lets the
+   scan engine key a memo table without rehashing O(m) weights per
+   candidate.  Hashes live in OCaml's native int (the top bit of the
+   64-bit mix is dropped), giving 63 usable bits. *)
+
+(* splitmix64 finalizer: full avalanche, bijective on 64 bits. *)
+let mix x =
+  let z = Int64.of_int x in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.to_int (Int64.logxor z (Int64.shift_right_logical z 31))
+
+let cell ~cls ~arc ~value =
+  if cls < 0 || arc < 0 || value < 0 then
+    invalid_arg "Vhash.cell: negative coordinate";
+  (* Injective for cls < 2^8, value < 2^8, arc < 2^40 — far beyond any
+     instance this code base routes. *)
+  mix ((cls lsl 48) lxor (arc lsl 8) lxor value)
+
+let vector ~cls w =
+  let h = ref 0 in
+  for arc = 0 to Array.length w - 1 do
+    h := !h lxor cell ~cls ~arc ~value:w.(arc)
+  done;
+  !h
+
+let shift h ~cls ~arc ~before ~after =
+  h lxor cell ~cls ~arc ~value:before lxor cell ~cls ~arc ~value:after

@@ -1,0 +1,24 @@
+(** Zobrist-style incremental hashing of integer weight vectors.
+
+    A vector hashes to the XOR of one splitmix64-finalized signature
+    per [(cls, arc, value)] cell, so the hash of a one-arc change is
+    two XORs away from the incumbent's ({!shift}) — no O(m) rehash per
+    scan candidate.  [cls] tags which weight vector a cell belongs to,
+    letting one key cover a multi-vector setting (hash each vector
+    with its own [cls] and XOR the results).
+
+    Signatures are 63-bit (native [int]); treat equal hashes as equal
+    vectors only where a ~2^-63 false-positive rate per lookup is
+    acceptable (see {!Vmemo}). *)
+
+val cell : cls:int -> arc:int -> value:int -> int
+(** Signature of one coordinate cell.
+    @raise Invalid_argument on a negative coordinate. *)
+
+val vector : cls:int -> int array -> int
+(** XOR of the cells of a whole vector. *)
+
+val shift : int -> cls:int -> arc:int -> before:int -> after:int -> int
+(** [shift h ~cls ~arc ~before ~after] is the hash of the vector
+    hashing to [h] with [arc]'s value changed from [before] to
+    [after]. *)

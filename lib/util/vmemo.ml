@@ -1,0 +1,86 @@
+(* Open-addressing memo table keyed by precomputed signatures
+   (Vhash).  Fortz–Thorup style two-level hashing: the low bits of
+   the signature pick the slot (primary hash), the full 63-bit
+   signature is stored and compared on lookup (secondary hash) — no
+   keys are kept, so a lookup can return a wrong entry only on a
+   full 63-bit collision (~2^-63 per probe; callers accept this).
+
+   Linear probing, power-of-two capacity, grown at load factor 1/2,
+   entries are never removed. *)
+
+type 'a t = {
+  mutable signatures : int array;
+  mutable occupied : bool array;
+  mutable values : 'a option array;
+  mutable mask : int;
+  mutable size : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let rec pow2_at_least c n = if n >= c then n else pow2_at_least c (2 * n)
+
+let create ?(capacity = 1024) () =
+  if capacity < 1 then invalid_arg "Vmemo.create: capacity must be positive";
+  let cap = pow2_at_least capacity 16 in
+  {
+    signatures = Array.make cap 0;
+    occupied = Array.make cap false;
+    values = Array.make cap None;
+    mask = cap - 1;
+    size = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let size t = t.size
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+(* Slot holding [signature], or the free slot where it belongs. *)
+let slot t signature =
+  let i = ref (signature land t.mask) in
+  while t.occupied.(!i) && t.signatures.(!i) <> signature do
+    i := (!i + 1) land t.mask
+  done;
+  !i
+
+let grow t =
+  let old_sig = t.signatures and old_occ = t.occupied and old_val = t.values in
+  let cap = 2 * Array.length old_sig in
+  t.signatures <- Array.make cap 0;
+  t.occupied <- Array.make cap false;
+  t.values <- Array.make cap None;
+  t.mask <- cap - 1;
+  Array.iteri
+    (fun i occ ->
+      if occ then begin
+        let j = slot t old_sig.(i) in
+        t.signatures.(j) <- old_sig.(i);
+        t.occupied.(j) <- true;
+        t.values.(j) <- old_val.(i)
+      end)
+    old_occ
+
+let find t signature =
+  let i = slot t signature in
+  if t.occupied.(i) then begin
+    t.hits <- t.hits + 1;
+    t.values.(i)
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    None
+  end
+
+let add t signature v =
+  let i = slot t signature in
+  if not t.occupied.(i) then begin
+    t.signatures.(i) <- signature;
+    t.occupied.(i) <- true;
+    t.size <- t.size + 1
+  end;
+  t.values.(i) <- Some v;
+  if 2 * t.size > Array.length t.signatures then grow t

@@ -1,0 +1,32 @@
+(** Memo table for evaluated weight settings, keyed by {!Vhash}
+    signatures.
+
+    Fortz–Thorup two-level hashing: the signature's low bits address
+    the slot (primary hash) and the full 63-bit signature is stored
+    and compared (secondary hash); the hashed vector itself is never
+    kept.  A lookup can therefore return another setting's value only
+    on a full 63-bit collision (~2^-63 per probe) — the standard,
+    accepted risk of hash-based evaluation memoization.
+
+    Entries are never evicted; {!find} counts a hit or a miss on
+    every call, which the search reports surface. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** An empty table.  [capacity] (default 1024) is rounded up to a
+    power of two; the table grows at load factor 1/2.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val find : 'a t -> int -> 'a option
+(** Look a signature up, counting a hit or a miss. *)
+
+val add : 'a t -> int -> 'a -> unit
+(** Bind a signature (overwriting any previous binding). *)
+
+val size : 'a t -> int
+(** Number of distinct signatures stored. *)
+
+val hits : 'a t -> int
+
+val misses : 'a t -> int

@@ -178,6 +178,64 @@ let prop_dijkstra_matches_bellman_ford =
       done;
       !ok)
 
+(* The bucket-queue kernel ([distances_to]) against the retained
+   binary-heap reference ([distances_to_heap]): identical arrays on
+   every random graph and destination. *)
+let prop_dijkstra_bucket_matches_heap =
+  QCheck.Test.make ~name:"bucket-queue dijkstra = heap dijkstra" ~count:150
+    (QCheck.make random_graph_gen) (fun params ->
+      let g, w = build_random params in
+      let ok = ref true in
+      for dst = 0 to Graph.node_count g - 1 do
+        let a = Dijkstra.distances_to g ~weights:w ~dst in
+        let b = Dijkstra.distances_to_heap g ~weights:w ~dst in
+        if a <> b then ok := false
+      done;
+      !ok)
+
+(* Edge cases for the bucket queue: maximal weights (largest bucket
+   spans), disconnected nodes (queue drains without settling them),
+   and a single-node graph (empty weight array, no arcs at all). *)
+let test_dijkstra_all_max_weights () =
+  let g = Classic.ring 6 in
+  let w = Array.make (Graph.arc_count g) 30 in
+  for dst = 0 to Graph.node_count g - 1 do
+    let a = Dijkstra.distances_to g ~weights:w ~dst in
+    let b = Dijkstra.distances_to_heap g ~weights:w ~dst in
+    let c = Dijkstra.bellman_ford_to g ~weights:w ~dst in
+    Alcotest.(check (array int)) "bucket = heap at max weights" b a;
+    Alcotest.(check (array int)) "bucket = bellman-ford at max weights" c a
+  done
+
+let test_dijkstra_disconnected () =
+  (* Two components: {0,1} linked, {2,3} linked, nothing between. *)
+  let g = Graph.build ~n:4 [ arc 0 1; arc 1 0; arc 2 3; arc 3 2 ] in
+  let w = [| 7; 7; 7; 7 |] in
+  let a = Dijkstra.distances_to g ~weights:w ~dst:0 in
+  let b = Dijkstra.distances_to_heap g ~weights:w ~dst:0 in
+  Alcotest.(check (array int)) "bucket = heap on disconnected" b a;
+  Alcotest.(check int) "own component" 7 a.(1);
+  Alcotest.(check int) "other component unreachable" Dijkstra.unreachable a.(2);
+  Alcotest.(check int) "other component unreachable" Dijkstra.unreachable a.(3)
+
+let test_dijkstra_single_node () =
+  let g = Graph.build ~n:1 [] in
+  let a = Dijkstra.distances_to g ~weights:[||] ~dst:0 in
+  Alcotest.(check (array int)) "single node" [| 0 |] a;
+  Alcotest.(check (array int)) "single node (heap)" [| 0 |]
+    (Dijkstra.distances_to_heap g ~weights:[||] ~dst:0)
+
+(* Spf.all_destinations validates once up front (hoisted out of the
+   per-destination loop) — it must still reject bad weight arrays. *)
+let test_spf_all_destinations_rejects_bad_weights () =
+  let g = Classic.line 2 in
+  Alcotest.check_raises "zero weight"
+    (Invalid_argument "Dijkstra: weights must be positive") (fun () ->
+      ignore (Spf.all_destinations g ~weights:[| 0; 1 |]));
+  Alcotest.check_raises "length"
+    (Invalid_argument "Dijkstra: weights length mismatch") (fun () ->
+      ignore (Spf.all_destinations g ~weights:[| 1 |]))
+
 let prop_dijkstra_triangle_inequality =
   QCheck.Test.make ~name:"distance never exceeds any arc relaxation" ~count:100
     (QCheck.make random_graph_gen) (fun params ->
@@ -381,7 +439,14 @@ let () =
           Alcotest.test_case "distances from source" `Quick test_dijkstra_from;
           Alcotest.test_case "rejects bad weights" `Quick
             test_dijkstra_rejects_bad_weights;
+          Alcotest.test_case "all max-weight arcs" `Quick
+            test_dijkstra_all_max_weights;
+          Alcotest.test_case "disconnected components" `Quick
+            test_dijkstra_disconnected;
+          Alcotest.test_case "single-node graph" `Quick
+            test_dijkstra_single_node;
           qc prop_dijkstra_matches_bellman_ford;
+          qc prop_dijkstra_bucket_matches_heap;
           qc prop_dijkstra_triangle_inequality;
         ] );
       ( "spf",
@@ -394,6 +459,8 @@ let () =
           Alcotest.test_case "unreachable handling" `Quick
             test_spf_unreachable_empty;
           Alcotest.test_case "all destinations" `Quick test_spf_all_destinations;
+          Alcotest.test_case "all destinations rejects bad weights" `Quick
+            test_spf_all_destinations_rejects_bad_weights;
           Alcotest.test_case "path count on diamond" `Quick
             test_spf_path_count_diamond;
           Alcotest.test_case "first path" `Quick test_spf_first_path;

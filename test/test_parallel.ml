@@ -13,7 +13,10 @@ module Objective = Dtr_routing.Objective
 module Weights = Dtr_routing.Weights
 module Search_config = Dtr_core.Search_config
 module Problem = Dtr_core.Problem
+module Scan = Dtr_core.Scan
 module Str_search = Dtr_core.Str_search
+module Dtr_search = Dtr_core.Dtr_search
+module Vmemo = Dtr_util.Vmemo
 module Anneal_search = Dtr_core.Anneal_search
 module Multistart = Dtr_core.Multistart
 module Scenario = Dtr_experiments.Scenario
@@ -237,6 +240,137 @@ let test_report_evaluations_scheduling_independent () =
   Alcotest.(check (array int)) "same per-report evals" (counts 1) (counts 3)
 
 (* ------------------------------------------------------------------ *)
+(* Scan engine: scan-jobs invariance and memoization accounting *)
+
+let with_scan_jobs cfg scan_jobs = { cfg with Search_config.scan_jobs }
+
+let test_str_scan_jobs_invariance () =
+  List.iter
+    (fun model ->
+      let p = ring_problem ~model () in
+      let run scan_jobs =
+        Str_search.run (Prng.create 7) (with_scan_jobs tiny_config scan_jobs) p
+      in
+      let a = run 1 in
+      let b = run 4 in
+      Alcotest.(check int) "same objective (exact)" 0
+        (Lexico.compare a.Str_search.objective b.Str_search.objective);
+      Alcotest.(check (array int)) "same weights" a.Str_search.best.Problem.wh
+        b.Str_search.best.Problem.wh;
+      Alcotest.(check int) "same evaluations" a.Str_search.evaluations
+        b.Str_search.evaluations;
+      Alcotest.(check int) "same improvements" a.Str_search.improvements
+        b.Str_search.improvements;
+      Alcotest.(check int) "same memo hits" a.Str_search.memo_hits
+        b.Str_search.memo_hits;
+      Alcotest.(check int) "same memo misses" a.Str_search.memo_misses
+        b.Str_search.memo_misses;
+      Alcotest.(check int) "same archive size"
+        (List.length a.Str_search.archive)
+        (List.length b.Str_search.archive);
+      List.iter2
+        (fun (x : Str_search.archive_point) (y : Str_search.archive_point) ->
+          Alcotest.(check bool) "same archive point" true
+            (x.Str_search.phi_h = y.Str_search.phi_h
+            && x.Str_search.phi_l = y.Str_search.phi_l
+            && x.Str_search.w = y.Str_search.w))
+        a.Str_search.archive b.Str_search.archive)
+    [ Objective.Load; Objective.Sla Dtr_cost.Sla.default ]
+
+let test_dtr_scan_jobs_invariance () =
+  let p = ring_problem () in
+  let run scan_jobs =
+    Dtr_search.run (Prng.create 9) (with_scan_jobs tiny_config scan_jobs) p
+  in
+  let a = run 1 in
+  let b = run 4 in
+  Alcotest.(check int) "same objective (exact)" 0
+    (Lexico.compare a.Dtr_search.objective b.Dtr_search.objective);
+  Alcotest.(check (array int)) "same wh" a.Dtr_search.best.Problem.wh
+    b.Dtr_search.best.Problem.wh;
+  Alcotest.(check (array int)) "same wl" a.Dtr_search.best.Problem.wl
+    b.Dtr_search.best.Problem.wl;
+  Alcotest.(check int) "same evaluations" a.Dtr_search.evaluations
+    b.Dtr_search.evaluations;
+  Alcotest.(check int) "same improvements" a.Dtr_search.improvements
+    b.Dtr_search.improvements;
+  Alcotest.(check int) "same memo hits" a.Dtr_search.memo_hits
+    b.Dtr_search.memo_hits;
+  Alcotest.(check int) "same memo misses" a.Dtr_search.memo_misses
+    b.Dtr_search.memo_misses;
+  List.iter2
+    (fun (pa, oa) (pb, ob) ->
+      Alcotest.(check bool) "same phase" true (pa = pb);
+      Alcotest.(check int) "same phase objective" 0 (Lexico.compare oa ob))
+    a.Dtr_search.phase_objectives b.Dtr_search.phase_objectives
+
+(* Engine-level memo accounting, exact to the evaluation: a scan of n
+   fresh candidates counts n evaluations and n misses; rescanning the
+   same neighborhood counts nothing and serves bitwise-equal summaries;
+   committing the winner is uncounted; and after the commit only the
+   one candidate that restores the (never-memoized) starting vector
+   misses.  Identical at every jobs value — this also pins the
+   parallel count-transfer scheme (per-task measurement rolled back
+   and re-added on the calling domain). *)
+let test_scan_memo_exact_counts () =
+  List.iter
+    (fun jobs ->
+      let p = ring_problem () in
+      let mid = (Weights.min_weight + Weights.max_weight) / 2 in
+      let w0 = Weights.uniform p.Problem.graph mid in
+      Scan.with_engine ~jobs p @@ fun scan ->
+      let sol = Problem.eval_str p ~w:w0 in
+      let ctx = Problem.ctx_of_solution p sol in
+      let memo = Vmemo.create () in
+      let candidates_excluding current =
+        let acc = ref [] in
+        for v = Weights.max_weight downto Weights.min_weight do
+          if v <> current then acc := v :: !acc
+        done;
+        Array.of_list !acc
+      in
+      let vals = candidates_excluding w0.(0) in
+      let n = Array.length vals in
+      let changes_of i = [ (0, vals.(i)) ] in
+      let e0 = Problem.domain_evaluations () in
+      let s1 = Scan.evaluate scan ctx ~memo ~cls:`H ~changes_of n in
+      Alcotest.(check int) "first scan: all misses" n (Vmemo.misses memo);
+      Alcotest.(check int) "first scan: no hits" 0 (Vmemo.hits memo);
+      Alcotest.(check int) "first scan: n counted evaluations" n
+        (Problem.domain_evaluations () - e0);
+      let s2 = Scan.evaluate scan ctx ~memo ~cls:`H ~changes_of n in
+      Alcotest.(check int) "revisit: all hits" n (Vmemo.hits memo);
+      Alcotest.(check int) "revisit: no new misses" n (Vmemo.misses memo);
+      Alcotest.(check int) "revisit: zero new evaluations" n
+        (Problem.domain_evaluations () - e0);
+      Array.iteri
+        (fun i (x : Scan.summary) ->
+          let y = s2.(i) in
+          Alcotest.(check bool) "cached summary bitwise-equal" true
+            (Lexico.compare x.Scan.objective y.Scan.objective = 0
+            && x.Scan.phi_h = y.Scan.phi_h
+            && x.Scan.phi_l = y.Scan.phi_l))
+        s1;
+      let sol' = Scan.commit scan ctx ~cls:`H ~changes:(changes_of 0) in
+      Alcotest.(check int) "commit is uncounted" n
+        (Problem.domain_evaluations () - e0);
+      Alcotest.(check int) "committed weight installed" vals.(0)
+        sol'.Problem.wh.(0);
+      let vals' = candidates_excluding vals.(0) in
+      ignore
+        (Scan.evaluate scan ctx ~memo ~cls:`H
+           ~changes_of:(fun i -> [ (0, vals'.(i)) ])
+           (Array.length vals'));
+      Alcotest.(check int) "post-commit: one miss (the starting vector)"
+        (n + 1) (Vmemo.misses memo);
+      Alcotest.(check int) "post-commit: every other candidate hits"
+        ((2 * n) - 1)
+        (Vmemo.hits memo);
+      Alcotest.(check int) "post-commit: one counted evaluation" (n + 1)
+        (Problem.domain_evaluations () - e0))
+    [ 1; 3 ]
+
+(* ------------------------------------------------------------------ *)
 (* Anneal energy cache: evaluation count and trajectory *)
 
 let light_schedule =
@@ -325,6 +459,15 @@ let () =
             test_counters_exact_across_domains;
           Alcotest.test_case "per-report counts scheduling-independent" `Slow
             test_report_evaluations_scheduling_independent;
+        ] );
+      ( "scan",
+        [
+          Alcotest.test_case "str scan-jobs invariant" `Slow
+            test_str_scan_jobs_invariance;
+          Alcotest.test_case "dtr scan-jobs invariant" `Slow
+            test_dtr_scan_jobs_invariance;
+          Alcotest.test_case "memo exact counts" `Quick
+            test_scan_memo_exact_counts;
         ] );
       ( "anneal",
         [

@@ -5,6 +5,9 @@ module Prng = Dtr_util.Prng
 module Dist = Dtr_util.Dist
 module Stats = Dtr_util.Stats
 module Pqueue = Dtr_util.Pqueue
+module Bucket_queue = Dtr_util.Bucket_queue
+module Vhash = Dtr_util.Vhash
+module Vmemo = Dtr_util.Vmemo
 module Table = Dtr_util.Table
 
 let check_float = Alcotest.(check (float 1e-9))
@@ -400,6 +403,113 @@ let prop_pqueue_sorts =
       drained = List.sort compare keys)
 
 (* ------------------------------------------------------------------ *)
+(* Bucket_queue *)
+
+let test_bucket_queue_orders () =
+  let q = Bucket_queue.create () in
+  Bucket_queue.add q ~prio:3 30;
+  Bucket_queue.add q ~prio:1 10;
+  Bucket_queue.add q ~prio:2 20;
+  let popt = Alcotest.(option (pair int int)) in
+  Alcotest.check popt "prio 1 first" (Some (1, 10)) (Bucket_queue.pop_min q);
+  Alcotest.check popt "prio 2 second" (Some (2, 20)) (Bucket_queue.pop_min q);
+  Alcotest.check popt "prio 3 third" (Some (3, 30)) (Bucket_queue.pop_min q);
+  Alcotest.check popt "empty" None (Bucket_queue.pop_min q)
+
+let test_bucket_queue_clear_reuse () =
+  let q = Bucket_queue.create ~capacity:4 () in
+  Bucket_queue.add q ~prio:100 1;
+  (* forces growth past the initial capacity *)
+  Bucket_queue.add q ~prio:2 2;
+  Bucket_queue.clear q;
+  Alcotest.(check bool) "cleared" true (Bucket_queue.is_empty q);
+  Alcotest.(check int) "length zero" 0 (Bucket_queue.length q);
+  Bucket_queue.add q ~prio:5 50;
+  Alcotest.(check (option (pair int int))) "usable after clear" (Some (5, 50))
+    (Bucket_queue.pop_min q)
+
+let test_bucket_queue_rewinds () =
+  (* Adding below the cursor after pops must rewind, not skip. *)
+  let q = Bucket_queue.create () in
+  Bucket_queue.add q ~prio:10 1;
+  ignore (Bucket_queue.pop_min q);
+  Bucket_queue.add q ~prio:3 2;
+  Alcotest.(check (option (pair int int))) "low prio found" (Some (3, 2))
+    (Bucket_queue.pop_min q)
+
+let test_bucket_queue_rejects_negative () =
+  let q = Bucket_queue.create () in
+  Alcotest.check_raises "negative priority"
+    (Invalid_argument "Bucket_queue.add: negative priority") (fun () ->
+      Bucket_queue.add q ~prio:(-1) 0)
+
+let prop_bucket_queue_sorts =
+  QCheck.Test.make ~name:"bucket queue drains in priority order" ~count:200
+    QCheck.(list (int_bound 500))
+    (fun prios ->
+      let q = Bucket_queue.create () in
+      List.iteri (fun i p -> Bucket_queue.add q ~prio:p i) prios;
+      let rec drain acc =
+        match Bucket_queue.pop_min q with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare prios)
+
+(* ------------------------------------------------------------------ *)
+(* Vhash / Vmemo *)
+
+let test_vhash_shift_consistency () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 50 do
+    let n = 1 + Prng.int rng 20 in
+    let w = Array.init n (fun _ -> 1 + Prng.int rng 30) in
+    let cls = Prng.int rng 2 in
+    let h = Vhash.vector ~cls w in
+    let arc = Prng.int rng n in
+    let before = w.(arc) in
+    let after = 1 + Prng.int rng 30 in
+    let w' = Array.copy w in
+    w'.(arc) <- after;
+    Alcotest.(check int) "shift = rehash" (Vhash.vector ~cls w')
+      (Vhash.shift h ~cls ~arc ~before ~after)
+  done
+
+let test_vhash_class_sensitivity () =
+  let w = [| 3; 7; 15 |] in
+  Alcotest.(check bool) "classes hash differently" true
+    (Vhash.vector ~cls:0 w <> Vhash.vector ~cls:1 w)
+
+let test_vhash_rejects_negative () =
+  Alcotest.check_raises "negative cell input"
+    (Invalid_argument "Vhash.cell: negative coordinate") (fun () ->
+      ignore (Vhash.cell ~cls:0 ~arc:(-1) ~value:1))
+
+let test_vmemo_find_add () =
+  let m = Vmemo.create () in
+  Alcotest.(check (option int)) "miss" None (Vmemo.find m 42);
+  Vmemo.add m 42 1000;
+  Alcotest.(check (option int)) "hit" (Some 1000) (Vmemo.find m 42);
+  Vmemo.add m 42 2000;
+  Alcotest.(check (option int)) "overwrite" (Some 2000) (Vmemo.find m 42);
+  Alcotest.(check int) "hits" 2 (Vmemo.hits m);
+  Alcotest.(check int) "misses" 1 (Vmemo.misses m);
+  Alcotest.(check int) "size" 1 (Vmemo.size m)
+
+let test_vmemo_growth () =
+  let m = Vmemo.create ~capacity:16 () in
+  for k = 0 to 999 do
+    Vmemo.add m (Vhash.cell ~cls:0 ~arc:k ~value:1) k
+  done;
+  Alcotest.(check int) "all retained" 1000 (Vmemo.size m);
+  let ok = ref true in
+  for k = 0 to 999 do
+    if Vmemo.find m (Vhash.cell ~cls:0 ~arc:k ~value:1) <> Some k then
+      ok := false
+  done;
+  Alcotest.(check bool) "all found after growth" true !ok
+
+(* ------------------------------------------------------------------ *)
 (* Table *)
 
 let test_table_rows_and_render () =
@@ -509,6 +619,30 @@ let () =
           Alcotest.test_case "peek" `Quick test_pqueue_peek;
           Alcotest.test_case "clear" `Quick test_pqueue_clear;
           qc prop_pqueue_sorts;
+        ] );
+      ( "bucket_queue",
+        [
+          Alcotest.test_case "orders" `Quick test_bucket_queue_orders;
+          Alcotest.test_case "clear and reuse" `Quick
+            test_bucket_queue_clear_reuse;
+          Alcotest.test_case "rewinds below cursor" `Quick
+            test_bucket_queue_rewinds;
+          Alcotest.test_case "rejects negative priority" `Quick
+            test_bucket_queue_rejects_negative;
+          qc prop_bucket_queue_sorts;
+        ] );
+      ( "vhash",
+        [
+          Alcotest.test_case "shift consistency" `Quick
+            test_vhash_shift_consistency;
+          Alcotest.test_case "class sensitivity" `Quick
+            test_vhash_class_sensitivity;
+          Alcotest.test_case "rejects negative" `Quick test_vhash_rejects_negative;
+        ] );
+      ( "vmemo",
+        [
+          Alcotest.test_case "find and add" `Quick test_vmemo_find_add;
+          Alcotest.test_case "growth" `Quick test_vmemo_growth;
         ] );
       ( "table",
         [
