@@ -499,6 +499,117 @@ let run_parallel_bench () =
     Printf.printf "wrote BENCH_parallel.json\n\n%!"
   end
 
+(* ------------------------------------------------------------------ *)
+(* Trace overhead + convergence curves: the same short STR run timed
+   with tracing disabled, with a ring sink (probes off), and with
+   probes on — the disabled configuration must cost no more than the
+   pre-trace loop (its only addition is one pointer-compare branch per
+   iteration), which the guard below enforces with generous noise
+   margin.  A quick DTR run's best-so-far convergence curve is
+   summarized into BENCH_trace.json alongside the timings. *)
+
+let run_trace_bench () =
+  Gc.compact ();
+  let module Trace = Dtr_core.Trace in
+  let module Str_search = Dtr_core.Str_search in
+  let module Dtr_search = Dtr_core.Dtr_search in
+  (* Same 50-node random topology as the delta-vs-full bench. *)
+  let root = Prng.create !seed in
+  let topo_rng = Prng.split root in
+  let traffic_rng = Prng.split root in
+  let g =
+    Dtr_topology.Random_topo.generate topo_rng
+      { Dtr_topology.Random_topo.default with nodes = 50; links = 250 }
+  in
+  let n = Graph.node_count g in
+  let tl = Dtr_traffic.Gravity.generate traffic_rng ~n Dtr_traffic.Gravity.default in
+  let pairs = Dtr_traffic.Highpri.random_pairs traffic_rng ~n ~density:0.10 in
+  let th = Dtr_traffic.Highpri.volumes traffic_rng ~low:tl ~fraction:0.30 ~pairs in
+  let problem = Problem.create ~graph:g ~th ~tl ~model:Objective.Load in
+  let iters = 80 in
+  let str_run ?trace cfg () =
+    ignore (Str_search.run ~iters ?trace (Prng.create !seed) cfg problem)
+  in
+  let cfg_noprobe = { Search_config.quick with trace_probes = false } in
+  let cfg_probe = Search_config.quick in
+  (* Warm up once so allocation effects settle. *)
+  str_run cfg_probe ();
+  let reps = 7 in
+  let sample f = median (Array.init reps (fun _ -> time_per_call f ~batch:1)) in
+  let disabled_ns = sample (str_run cfg_probe) in
+  let ring_events = ref 0 in
+  let ring_ns =
+    sample (fun () ->
+        let ring = Trace.ring () in
+        str_run ~trace:ring cfg_noprobe ();
+        ring_events := Trace.length ring)
+  in
+  let probe_events = ref 0 in
+  let probes_ns =
+    sample (fun () ->
+        let ring = Trace.ring () in
+        str_run ~trace:ring cfg_probe ();
+        probe_events := Trace.length ring)
+  in
+  let pct base x = (x -. base) /. base *. 100. in
+  let ring_pct = pct disabled_ns ring_ns in
+  let probes_pct = pct disabled_ns probes_ns in
+  (* Convergence curve of one quick DTR run, recorded through a ring. *)
+  let dtr_ring = Trace.ring () in
+  let dtr_cfg = { cfg_noprobe with n_iters = 60; k_iters = 120 } in
+  let dtr_report =
+    Dtr_search.run ~trace:dtr_ring (Prng.create !seed) dtr_cfg problem
+  in
+  let curve = Trace.convergence (Trace.events dtr_ring) in
+  Printf.printf
+    "=== trace sink: %d-iter STR, disabled vs ring vs ring+probes (%d nodes, \
+     %d arcs) ===\n"
+    iters n (Graph.arc_count g);
+  Printf.printf "%-36s %14.1f ns/run (median of %d)\n" "str-trace-disabled"
+    disabled_ns reps;
+  Printf.printf "%-36s %14.1f ns/run (%+.1f%%, %d events)\n" "str-trace-ring"
+    ring_ns ring_pct !ring_events;
+  Printf.printf "%-36s %14.1f ns/run (%+.1f%%, %d events)\n"
+    "str-trace-ring-probes" probes_ns probes_pct !probe_events;
+  Printf.printf "%-36s %14d points (DTR quick run, %d evals)\n\n%!"
+    "convergence curve" (List.length curve) dtr_report.Dtr_search.evaluations;
+  (* The disabled sink adds one branch per iteration; anything beyond
+     measurement noise means a call site allocates while disabled. *)
+  if ring_ns > 0. && disabled_ns > ring_ns *. 1.5 then
+    failwith "disabled-trace run slower than enabled-trace run: guard broken";
+  if !json then begin
+    let oc = open_out "BENCH_trace.json" in
+    let curve_json =
+      String.concat ",\n"
+        (List.map
+           (fun (evals, obj) ->
+             Printf.sprintf "    { \"evals\": %d, \"objective\": [%s] }" evals
+               (String.concat ", "
+                  (Array.to_list (Array.map (Printf.sprintf "%.17g") obj))))
+           curve)
+    in
+    Printf.fprintf oc
+      "{\n\
+      \  \"benchmark\": \"trace-sink\",\n\
+      \  \"topology\": { \"nodes\": %d, \"arcs\": %d },\n\
+      \  \"seed\": %d,\n\
+      \  \"iters\": %d,\n\
+      \  \"reps\": %d,\n\
+      \  \"disabled_ns_median\": %.1f,\n\
+      \  \"ring_ns_median\": %.1f,\n\
+      \  \"ring_probes_ns_median\": %.1f,\n\
+      \  \"ring_overhead_pct\": %.2f,\n\
+      \  \"ring_probes_overhead_pct\": %.2f,\n\
+      \  \"ring_events\": %d,\n\
+      \  \"ring_probes_events\": %d,\n\
+      \  \"dtr_convergence\": [\n%s\n  ]\n\
+       }\n"
+      n (Graph.arc_count g) !seed iters reps disabled_ns ring_ns probes_ns
+      ring_pct probes_pct !ring_events !probe_events curve_json;
+    close_out oc;
+    Printf.printf "wrote BENCH_trace.json\n\n%!"
+  end
+
 let () =
   parse_args ();
   (match !mode with
@@ -507,11 +618,13 @@ let () =
       run_eval_bench ();
       run_scan_bench ();
       run_parallel_bench ();
+      run_trace_bench ();
       run_micro ()
   | Micro_only ->
       run_eval_bench ();
       run_scan_bench ();
       run_parallel_bench ();
+      run_trace_bench ();
       run_micro ()
   | Experiments_only -> run_experiments ());
   print_endline "bench: done"

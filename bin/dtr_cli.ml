@@ -166,7 +166,8 @@ let topo_cmd =
 
 let optimize_cmd =
   let run topology model fraction density util preset seed restarts jobs
-      scan_jobs save_weights =
+      scan_jobs save_weights trace_file =
+    let module Trace = Dtr_core.Trace in
     let preset = with_scan_jobs preset scan_jobs in
     let spec = make_spec topology fraction density seed in
     let inst = Scenario.make spec in
@@ -181,9 +182,50 @@ let optimize_cmd =
           Dtr_routing.Weights_io.save [| sol.Problem.wh; sol.Problem.wl |] path;
           Printf.printf "DTR weight pair saved to %s\n" path
     in
+    (* One JSONL writer shared by both searches plus per-search rings
+       for the convergence summaries printed at the end. *)
+    let trace_oc = Option.map open_out trace_file in
+    let jsonl =
+      match trace_oc with Some oc -> Trace.jsonl oc | None -> Trace.disabled
+    in
+    let str_ring =
+      match trace_oc with Some _ -> Trace.ring () | None -> Trace.disabled
+    in
+    let dtr_ring =
+      match trace_oc with Some _ -> Trace.ring () | None -> Trace.disabled
+    in
+    let print_convergence ~str_evs ~dtr_evs =
+      match trace_file with
+      | None -> ()
+      | Some path ->
+          Option.iter close_out trace_oc;
+          let curve name evs =
+            let c = Trace.convergence evs in
+            print_endline
+              (Dtr_util.Table.to_string
+                 (Dtr_routing.Report.convergence_table
+                    ~title:
+                      (Printf.sprintf
+                         "%s convergence (best objective vs. evaluations)" name)
+                    c))
+          in
+          curve "STR" str_evs;
+          curve "DTR" dtr_evs;
+          Printf.printf "trace written to %s\n" path
+    in
     if restarts <= 1 then begin
+      (* Compare.run_point tags STR events restart = 0 and DTR events
+         restart = 1; one shared ring is split for the summaries. *)
+      let ring =
+        match trace_oc with Some _ -> Trace.ring () | None -> Trace.disabled
+      in
+      let trace =
+        match trace_oc with
+        | Some _ -> Trace.tee jsonl ring
+        | None -> Trace.disabled
+      in
       let point =
-        Dtr_experiments.Compare.run_point ~cfg:preset ~seed inst ~model
+        Dtr_experiments.Compare.run_point ~cfg:preset ~seed ~trace inst ~model
           ~target_util:util
       in
       let pr name (o : Lexico.t) =
@@ -205,6 +247,12 @@ let optimize_cmd =
         point.Dtr_experiments.Compare.measured_util;
       Printf.printf "H-cost ratio RH = %.3f\nL-cost ratio RL = %.3f\n"
         point.Dtr_experiments.Compare.rh point.Dtr_experiments.Compare.rl;
+      let evs = Trace.events ring in
+      print_convergence
+        ~str_evs:
+          (List.filter (fun (e : Trace.event) -> e.Trace.restart = 0) evs)
+        ~dtr_evs:
+          (List.filter (fun (e : Trace.event) -> e.Trace.restart = 1) evs);
       save_dtr point.Dtr_experiments.Compare.dtr.Dtr_core.Dtr_search.best
     end
     else begin
@@ -220,9 +268,16 @@ let optimize_cmd =
       let str_rng = Dtr_util.Prng.split root in
       let dtr_rng = Dtr_util.Prng.split root in
       Dtr_util.Pool.with_pool ~jobs @@ fun pool ->
-      let ms algo rng = Multistart.run ~pool ~restarts ~algo rng preset problem in
-      let str = ms Multistart.Str str_rng in
-      let dtr = ms Multistart.Dtr dtr_rng in
+      let ms algo ring rng =
+        let trace =
+          match trace_oc with
+          | Some _ -> Trace.tee jsonl ring
+          | None -> Trace.disabled
+        in
+        Multistart.run ~pool ~restarts ~algo ~trace rng preset problem
+      in
+      let str = ms Multistart.Str str_ring str_rng in
+      let dtr = ms Multistart.Dtr dtr_ring dtr_rng in
       let pr name (r : Multistart.report) =
         Printf.printf
           "%-4s objective: primary=%.6g secondary=%.6g (best of %d restarts: #%d, %d evaluations)\n"
@@ -242,6 +297,8 @@ let optimize_cmd =
         (Dtr_experiments.Compare.ratio
            ~num:str.Multistart.objective.Lexico.secondary
            ~den:dtr.Multistart.objective.Lexico.secondary);
+      print_convergence ~str_evs:(Trace.events str_ring)
+        ~dtr_evs:(Trace.events dtr_ring);
       save_dtr dtr.Multistart.best
     end
   in
@@ -262,12 +319,23 @@ let optimize_cmd =
       & info [ "save-weights" ] ~docv:"FILE"
           ~doc:"Save the best DTR weight pair to a file.")
   in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write one JSONL search-telemetry event per line to FILE \
+             and print best-so-far convergence tables.  Every field \
+             except the trailing t_us timestamp is byte-identical for \
+             every --jobs and --scan-jobs value.")
+  in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Run the STR and DTR weight searches on one scenario")
     Term.(
       const run $ topology_arg $ model_arg $ fraction_arg $ density_arg
       $ util_arg $ preset_arg $ seed_arg $ restarts_arg $ jobs_arg
-      $ scan_jobs_arg $ save_arg)
+      $ scan_jobs_arg $ save_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                         *)

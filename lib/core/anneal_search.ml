@@ -43,8 +43,13 @@ let propose rng cfg ~costs_cmp ~n_arcs w =
       Neighborhood.apply move ~step w
 
 (* One annealing phase: minimize [energy] by mutating the class chosen
-   by [mutate].  Returns the accepted-move count. *)
-let anneal_phase rng schedule ~energy ~mutate ~current ~best =
+   by [mutate].  Returns the accepted-move count.  With an enabled
+   [trace], one [Anneal_step] event is recorded per Metropolis proposal
+   ([detail] = phase ordinal, [value] = current temperature,
+   [counts0] = the run's counter baselines). *)
+let anneal_phase ?(trace = Trace.disabled) ?(detail = 0) ?(counts0 = (0, 0, 0))
+    rng schedule ~energy ~mutate ~current ~best =
+  let eval0, full0, delta0 = counts0 in
   (* The incumbent's energy is cached and refreshed only on acceptance
      (it was already computed as the candidate's energy then), instead
      of recomputing [energy !current] on every proposal.  Cached and
@@ -55,8 +60,11 @@ let anneal_phase rng schedule ~energy ~mutate ~current ~best =
   let t = ref (schedule.t0_ratio *. e0) in
   let t_min = !t *. schedule.t_min_ratio in
   let accepted = ref 0 in
+  let step = ref 0 in
   while !t > t_min do
     for _ = 1 to schedule.moves_per_temp do
+      incr step;
+      let before = Problem.objective !current in
       let cand = mutate rng !current in
       let e_cand = energy cand in
       let delta = e_cand -. !e_cur in
@@ -69,16 +77,36 @@ let anneal_phase rng schedule ~energy ~mutate ~current ~best =
         incr accepted;
         if Lexico.lt ~rel_tol:1e-9 (Problem.objective cand) (Problem.objective !best)
         then best := cand
+      end;
+      if Trace.enabled trace then begin
+        let e, f, d = Problem.domain_eval_counts () in
+        Trace.emit trace ~kind:Trace.Anneal_step ~iteration:!step ~detail
+          ~accepted:accept
+          ~before:(Trace.pair before)
+          ~after:(Trace.pair (Problem.objective !current))
+          ~best:(Trace.pair (Problem.objective !best))
+          ~evaluations:(e - eval0) ~full:(f - full0) ~delta:(d - delta0)
+          ~value:!t ()
       end
     done;
     t := !t *. schedule.cooling
   done;
   !accepted
 
-let run ?(schedule = default_schedule) ?w0 rng cfg problem =
+let run ?(schedule = default_schedule) ?w0 ?(trace = Trace.disabled) rng cfg
+    problem =
   Search_config.validate cfg;
   validate_schedule schedule;
-  let eval0 = Problem.domain_evaluations () in
+  let ((eval0, full0, delta0) as counts0) = Problem.domain_eval_counts () in
+  let phase_done ~detail best =
+    if Trace.enabled trace then begin
+      let e, f, d = Problem.domain_eval_counts () in
+      let b = Trace.pair (Problem.objective best) in
+      Trace.emit trace ~kind:Trace.Phase_done ~iteration:0 ~detail ~before:b
+        ~after:b ~best:b ~evaluations:(e - eval0) ~full:(f - full0)
+        ~delta:(d - delta0) ()
+    end
+  in
   let mid = (Weights.min_weight + Weights.max_weight) / 2 in
   let m = Dtr_graph.Graph.arc_count problem.Problem.graph in
   let wh0, wl0 =
@@ -99,10 +127,11 @@ let run ?(schedule = default_schedule) ?w0 rng cfg problem =
       ~l:(Problem.l_routing_of sol)
   in
   let acc1 =
-    anneal_phase rng schedule
+    anneal_phase ~trace ~detail:0 ~counts0 rng schedule
       ~energy:(fun s -> (Problem.objective s).Lexico.primary)
       ~mutate:mutate_h ~current ~best
   in
+  phase_done ~detail:0 !best;
   (* Fix the best W_H found, then anneal W_L against Φ_L. *)
   current :=
     Problem.combine problem
@@ -122,10 +151,11 @@ let run ?(schedule = default_schedule) ?w0 rng cfg problem =
       ~l:(Problem.route_l problem wl)
   in
   let acc2 =
-    anneal_phase rng schedule
+    anneal_phase ~trace ~detail:1 ~counts0 rng schedule
       ~energy:(fun s -> (Problem.objective s).Lexico.secondary)
       ~mutate:mutate_l ~current ~best
   in
+  phase_done ~detail:1 !best;
   {
     best = !best;
     objective = Problem.objective !best;

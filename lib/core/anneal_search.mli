@@ -36,10 +36,15 @@ type report = {
 val run :
   ?schedule:schedule ->
   ?w0:int array * int array ->
+  ?trace:Trace.t ->
   Dtr_util.Prng.t ->
   Search_config.t ->
   Problem.t ->
   report
 (** The [Search_config] supplies the neighborhood parameters
     ([m_neighbors] is unused — annealing proposes one move at a time —
-    but [tau] and [max_step] apply). *)
+    but [tau] and [max_step] apply).  With an enabled [trace], one
+    [Anneal_step] event is recorded per Metropolis proposal
+    ([detail] = phase 0/1, [value] = temperature) plus a [Phase_done]
+    per phase; annealing is sequential, so the trace is trivially
+    jobs-invariant. *)

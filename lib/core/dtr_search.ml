@@ -36,10 +36,10 @@ type report = {
    the sequential argmin fold over the returned summaries and commit
    the best strict improvement — identical comparison order, and
    identical results for every scan-jobs value. *)
-let best_delta_of scan ?memo ctx sol ~cls ~base_w ~vectors =
+let best_delta_of scan ?memo ?trace ctx sol ~cls ~base_w ~vectors =
   let changes = Array.of_list (List.map (Problem.weight_changes base_w) vectors) in
   let summaries =
-    Scan.evaluate scan ctx ?memo ~cls
+    Scan.evaluate scan ctx ?memo ?trace ~cls
       ~changes_of:(fun i -> changes.(i))
       (Array.length changes)
   in
@@ -93,23 +93,25 @@ let neighbor_vectors rng cfg ~ranking w =
    (Problem.ctx_arc_cmp_h/_l) — same ordering as the solution-derived
    Objective.link_costs_h/_l, without allocating m cost records per
    pass. *)
-let find_h_ctx scan ?memo rng cfg problem ctx sol =
+let find_h_ctx scan ?memo ?trace rng cfg problem ctx sol =
   let ranking =
     Neighborhood.rank_by_cost
       ~cmp:(Problem.ctx_arc_cmp_h problem ctx)
       (Dtr_graph.Graph.arc_count problem.Problem.graph)
   in
   let vectors = neighbor_vectors rng cfg ~ranking sol.Problem.wh in
-  best_delta_of scan ?memo ctx sol ~cls:`H ~base_w:sol.Problem.wh ~vectors
+  best_delta_of scan ?memo ?trace ctx sol ~cls:`H ~base_w:sol.Problem.wh
+    ~vectors
 
-let find_l_ctx scan ?memo rng cfg problem ctx sol =
+let find_l_ctx scan ?memo ?trace rng cfg problem ctx sol =
   let ranking =
     Neighborhood.rank_by_cost
       ~cmp:(Problem.ctx_arc_cmp_l problem ctx)
       (Dtr_graph.Graph.arc_count problem.Problem.graph)
   in
   let vectors = neighbor_vectors rng cfg ~ranking sol.Problem.wl in
-  best_delta_of scan ?memo ctx sol ~cls:`L ~base_w:sol.Problem.wl ~vectors
+  best_delta_of scan ?memo ?trace ctx sol ~cls:`L ~base_w:sol.Problem.wl
+    ~vectors
 
 (* One-shot wrappers for callers holding just a solution (the full
    search threads a long-lived engine and context through the passes
@@ -129,9 +131,12 @@ let default_w0 problem =
   let m = Dtr_graph.Graph.arc_count problem.Problem.graph in
   (Array.make m mid, Array.make m mid)
 
-let run ?w0 ?on_progress rng cfg problem =
+let run ?w0 ?on_progress ?(trace = Trace.disabled) rng cfg problem =
   Search_config.validate cfg;
-  let eval0 = Problem.domain_evaluations () in
+  let eval0, full0, delta0 = Problem.domain_eval_counts () in
+  let probe_trace =
+    if cfg.Search_config.trace_probes then trace else Trace.disabled
+  in
   let improvements = ref 0 in
   let wh0, wl0 = match w0 with Some w -> w | None -> default_w0 problem in
   Scan.with_engine ~jobs:cfg.Search_config.scan_jobs problem @@ fun scan ->
@@ -152,29 +157,61 @@ let run ?w0 ?on_progress rng cfg problem =
         f { phase; iteration; best_objective = Problem.objective !best }
   in
   let phase_objectives = ref [] in
+  (* One iteration-level event, emitted after the acceptance decision;
+     every field but the timestamp is a pure function of the
+     trajectory (see Trace).  [detail] is the routine ordinal. *)
+  let tell kind ~iteration ~detail ~before ~prev =
+    if Trace.enabled trace then begin
+      let e, f, d = Problem.domain_eval_counts () in
+      Trace.emit trace ~kind ~iteration ~detail
+        ~accepted:(not (prev == !current))
+        ~before:(Trace.pair before)
+        ~after:(Trace.pair (Problem.objective !current))
+        ~best:(Trace.pair (Problem.objective !best))
+        ~evaluations:(e - eval0) ~full:(f - full0) ~delta:(d - delta0)
+        ~memo_hits:(Vmemo.hits memo) ~memo_misses:(Vmemo.misses memo) ()
+    end
+  in
+  let phase_done ~iteration ~detail =
+    if Trace.enabled trace then begin
+      let e, f, d = Problem.domain_eval_counts () in
+      let b = Trace.pair (Problem.objective !best) in
+      Trace.emit trace ~kind:Trace.Phase_done ~iteration ~detail ~before:b
+        ~after:b ~best:b ~evaluations:(e - eval0) ~full:(f - full0)
+        ~delta:(d - delta0) ~memo_hits:(Vmemo.hits memo)
+        ~memo_misses:(Vmemo.misses memo) ()
+    end
+  in
 
   (* Routine 1: optimize W_H with W_L frozen. *)
   let stall = ref 0 in
   for iteration = 1 to cfg.Search_config.n_iters do
-    current := find_h_ctx scan ~memo rng cfg problem !ctx !current;
+    let before = Problem.objective !current in
+    let prev = !current in
+    current := find_h_ctx scan ~memo ~trace:probe_trace rng cfg problem !ctx !current;
     if lex_lt (Problem.objective !current) (Problem.objective !best) then begin
       best := !current;
       incr improvements;
       stall := 0
     end
     else incr stall;
+    tell Trace.Find_h ~iteration ~detail:0 ~before ~prev;
     if !stall >= cfg.Search_config.diversify_after then begin
+      let before = Problem.objective !current in
       let wh =
         Weights.perturb rng ~fraction:cfg.Search_config.g1 !current.Problem.wh
       in
       let changes = Problem.weight_changes !current.Problem.wh wh in
       let d = Problem.eval_delta problem !ctx ~cls:`H ~changes in
+      let prev = !current in
       current := Problem.commit_delta problem !ctx d;
-      stall := 0
+      stall := 0;
+      tell Trace.Diversify ~iteration ~detail:0 ~before ~prev
     end;
     notify Optimize_h iteration
   done;
   phase_objectives := (Optimize_h, Problem.objective !best) :: !phase_objectives;
+  phase_done ~iteration:cfg.Search_config.n_iters ~detail:0;
 
   (* Routine 2: freeze the best W_H, optimize W_L. *)
   current :=
@@ -186,54 +223,71 @@ let run ?w0 ?on_progress rng cfg problem =
     best := !current;
   stall := 0;
   for iteration = 1 to cfg.Search_config.n_iters do
-    current := find_l_ctx scan ~memo rng cfg problem !ctx !current;
+    let before = Problem.objective !current in
+    let prev = !current in
+    current := find_l_ctx scan ~memo ~trace:probe_trace rng cfg problem !ctx !current;
     if lex_lt (Problem.objective !current) (Problem.objective !best) then begin
       best := !current;
       incr improvements;
       stall := 0
     end
     else incr stall;
+    tell Trace.Find_l ~iteration ~detail:1 ~before ~prev;
     if !stall >= cfg.Search_config.diversify_after then begin
+      let before = Problem.objective !current in
       let wl =
         Weights.perturb rng ~fraction:cfg.Search_config.g2 !current.Problem.wl
       in
       let changes = Problem.weight_changes !current.Problem.wl wl in
       let d = Problem.eval_delta problem !ctx ~cls:`L ~changes in
+      let prev = !current in
       current := Problem.commit_delta problem !ctx d;
-      stall := 0
+      stall := 0;
+      tell Trace.Diversify ~iteration ~detail:1 ~before ~prev
     end;
     notify Optimize_l iteration
   done;
   phase_objectives := (Optimize_l, Problem.objective !best) :: !phase_objectives;
+  phase_done ~iteration:cfg.Search_config.n_iters ~detail:1;
 
   (* Routine 3: joint refinement around the incumbent. *)
   current := !best;
   ctx := Problem.ctx_of_solution problem !current;
   stall := 0;
   for iteration = 1 to cfg.Search_config.k_iters do
-    current := find_h_ctx scan ~memo rng cfg problem !ctx !current;
-    current := find_l_ctx scan ~memo rng cfg problem !ctx !current;
+    let before_h = Problem.objective !current in
+    let prev_h = !current in
+    current := find_h_ctx scan ~memo ~trace:probe_trace rng cfg problem !ctx !current;
+    tell Trace.Find_h ~iteration ~detail:2 ~before:before_h ~prev:prev_h;
+    let before_l = Problem.objective !current in
+    let prev_l = !current in
+    current := find_l_ctx scan ~memo ~trace:probe_trace rng cfg problem !ctx !current;
     if lex_lt (Problem.objective !current) (Problem.objective !best) then begin
       best := !current;
       incr improvements;
       stall := 0
     end
     else incr stall;
+    tell Trace.Find_l ~iteration ~detail:2 ~before:before_l ~prev:prev_l;
     if !stall >= cfg.Search_config.diversify_after then begin
       (* Restart from the incumbent, slightly perturbed on both sides. *)
+      let before = Problem.objective !current in
       let wh =
         Weights.perturb rng ~fraction:cfg.Search_config.g3 !best.Problem.wh
       in
       let wl =
         Weights.perturb rng ~fraction:cfg.Search_config.g3 !best.Problem.wl
       in
+      let prev = !current in
       current := Problem.eval_dtr problem ~wh ~wl;
       ctx := Problem.ctx_of_solution problem !current;
-      stall := 0
+      stall := 0;
+      tell Trace.Diversify ~iteration ~detail:2 ~before ~prev
     end;
     notify Refine iteration
   done;
   phase_objectives := (Refine, Problem.objective !best) :: !phase_objectives;
+  phase_done ~iteration:cfg.Search_config.k_iters ~detail:2;
 
   {
     best = !best;

@@ -55,10 +55,16 @@ val find_l :
 val run :
   ?w0:int array * int array ->
   ?on_progress:(progress -> unit) ->
+  ?trace:Trace.t ->
   Dtr_util.Prng.t ->
   Search_config.t ->
   Problem.t ->
   report
 (** Full Algorithm 1.  [w0] defaults to all weights =
     [(min_weight + max_weight) / 2] for both classes so initial moves
-    can go both ways.  [on_progress] fires once per iteration. *)
+    can go both ways.  [on_progress] fires once per iteration.
+
+    With an enabled [trace], one [Find_h] / [Find_l] event is recorded
+    per pass ([detail] = routine ordinal 0/1/2), one [Diversify] per
+    perturbation, and one [Phase_done] per routine; every field but
+    the timestamp is identical for every [scan_jobs] value. *)

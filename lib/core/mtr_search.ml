@@ -175,7 +175,18 @@ let resync st problem =
     Eval_ctx.create ~dags:st.best.Multi.dags problem.graph
       ~weights:st.current_w ~matrices:problem.matrices
 
-let run ?w0 rng cfg problem =
+(* One iteration-level event (kind Mtr_pass, or Diversify after a
+   perturbation).  MTR passes never run through the scan engine, so
+   every field — including [st.evaluations] — is trivially
+   scheduling-independent; objectives are the length-T vectors. *)
+let tell trace st kind ~iteration ~detail ~before ~prev =
+  if Trace.enabled trace then
+    Trace.emit trace ~kind ~iteration ~detail
+      ~accepted:(not (prev == st.current))
+      ~before ~after:(Multi.objective st.current)
+      ~best:(Multi.objective st.best) ~evaluations:st.evaluations ()
+
+let run ?w0 ?(trace = Trace.disabled) rng cfg problem =
   Search_config.validate cfg;
   let classes = Array.length problem.matrices in
   let mid = (Weights.min_weight + Weights.max_weight) / 2 in
@@ -196,31 +207,59 @@ let run ?w0 rng cfg problem =
     st.current_w <- copy_weights st.best_w;
     st.current <- st.best;
     resync st problem;
-    for _ = 1 to cfg.Search_config.n_iters do
+    for iteration = 1 to cfg.Search_config.n_iters do
+      let before = Multi.objective st.current in
+      let prev = st.current in
       pass rng cfg problem st ~klass;
       record_best st;
-      if st.stall >= cfg.Search_config.diversify_after then
-        diversify rng problem st ~fraction:cfg.Search_config.g1 ~classes:[ klass ]
-    done
+      tell trace st Trace.Mtr_pass ~iteration ~detail:klass ~before ~prev;
+      if st.stall >= cfg.Search_config.diversify_after then begin
+        let before = Multi.objective st.current in
+        let prev = st.current in
+        diversify rng problem st ~fraction:cfg.Search_config.g1
+          ~classes:[ klass ];
+        tell trace st Trace.Diversify ~iteration ~detail:klass ~before ~prev
+      end
+    done;
+    if Trace.enabled trace then begin
+      let b = Multi.objective st.best in
+      Trace.emit trace ~kind:Trace.Phase_done
+        ~iteration:cfg.Search_config.n_iters ~detail:klass ~before:b ~after:b
+        ~best:b ~evaluations:st.evaluations ()
+    end
   done;
-  (* Joint refinement cycling over classes. *)
+  (* Joint refinement cycling over classes; its events carry
+     [detail = classes] to distinguish them from the per-class
+     routines. *)
   st.current_w <- copy_weights st.best_w;
   st.current <- st.best;
   resync st problem;
   st.stall <- 0;
   let all_classes = List.init classes Fun.id in
-  for _ = 1 to cfg.Search_config.k_iters do
+  for iteration = 1 to cfg.Search_config.k_iters do
+    let before = Multi.objective st.current in
+    let prev = st.current in
     List.iter (fun klass -> pass rng cfg problem st ~klass) all_classes;
     record_best st;
+    tell trace st Trace.Mtr_pass ~iteration ~detail:classes ~before ~prev;
     if st.stall >= cfg.Search_config.diversify_after then begin
+      let before = Multi.objective st.current in
+      let prev = st.current in
       st.current_w <- copy_weights st.best_w;
       st.current <- st.best;
-      diversify rng problem st ~fraction:cfg.Search_config.g3 ~classes:all_classes
+      diversify rng problem st ~fraction:cfg.Search_config.g3
+        ~classes:all_classes;
+      tell trace st Trace.Diversify ~iteration ~detail:classes ~before ~prev
     end
   done;
+  if Trace.enabled trace then begin
+    let b = Multi.objective st.best in
+    Trace.emit trace ~kind:Trace.Phase_done ~iteration:cfg.Search_config.k_iters
+      ~detail:classes ~before:b ~after:b ~best:b ~evaluations:st.evaluations ()
+  end;
   finish st
 
-let run_single_topology ?w0 rng cfg problem =
+let run_single_topology ?w0 ?(trace = Trace.disabled) rng cfg problem =
   Search_config.validate cfg;
   let classes = Array.length problem.matrices in
   let mid = (Weights.min_weight + Weights.max_weight) / 2 in
@@ -232,7 +271,9 @@ let run_single_topology ?w0 rng cfg problem =
   let make_w shared = Array.make classes shared in
   let st = init_state problem (make_w shared) in
   let iters = (classes * cfg.Search_config.n_iters) + cfg.Search_config.k_iters in
-  for _ = 1 to iters do
+  for iteration = 1 to iters do
+    let before = Multi.objective st.current in
+    let prev = st.current in
     (* Mutate through class 0's slot; re-alias so the change applies to
        every class. *)
     let w = st.current_w.(0) in
@@ -273,11 +314,15 @@ let run_single_topology ?w0 rng cfg problem =
         else Eval_ctx.abort st.ctx d)
       (Neighborhood.moves rng ~a ~b);
     record_best st;
+    tell trace st Trace.Mtr_pass ~iteration ~detail:(-1) ~before ~prev;
     if st.stall >= cfg.Search_config.diversify_after then begin
+      let before = Multi.objective st.current in
+      let prev = st.current in
       let w' = Weights.perturb rng ~fraction:cfg.Search_config.g1 st.current_w.(0) in
       st.current_w <- make_w w';
       st.current <- eval_state st problem st.current_w;
-      st.stall <- 0
+      st.stall <- 0;
+      tell trace st Trace.Diversify ~iteration ~detail:(-1) ~before ~prev
     end
   done;
   finish st

@@ -34,15 +34,22 @@ type report = {
 
 val run :
   ?w0:int array array ->
+  ?trace:Trace.t ->
   Dtr_util.Prng.t ->
   Search_config.t ->
   problem ->
   report
 (** Multi-topology search.  [w0] defaults to mid-range uniform vectors
-    (one per class). *)
+    (one per class).  With an enabled [trace], one [Mtr_pass] event is
+    recorded per iteration ([detail] = class being optimized, or [T]
+    during joint refinement), plus [Diversify] and [Phase_done] events;
+    objectives are the length-[T] vectors.  MTR passes are sequential
+    (first-improvement commits mid-scan), so the trace is trivially
+    identical under every [--scan-jobs]. *)
 
 val run_single_topology :
   ?w0:int array ->
+  ?trace:Trace.t ->
   Dtr_util.Prng.t ->
   Search_config.t ->
   problem ->

@@ -26,7 +26,8 @@ let mid_weights problem =
   let m = Graph.arc_count problem.Problem.graph in
   Array.make m ((Weights.min_weight + Weights.max_weight) / 2)
 
-let run ?pool ?(jobs = 1) ~restarts ~algo rng cfg problem =
+let run ?pool ?(jobs = 1) ?(trace = Trace.disabled) ~restarts ~algo rng cfg
+    problem =
   if restarts < 1 then invalid_arg "Multistart.run: restarts must be >= 1";
   Search_config.validate cfg;
   let eval0 = Problem.evaluations () in
@@ -37,8 +38,16 @@ let run ?pool ?(jobs = 1) ~restarts ~algo rng cfg problem =
   for i = 0 to restarts - 1 do
     rngs.(i) <- Prng.split rng
   done;
+  (* Each restart records into its own private ring on whichever domain
+     runs it; the rings are replayed into [trace] in restart order
+     below, so the merged trace never depends on worker scheduling. *)
+  let rings =
+    Array.init restarts (fun _ ->
+        if Trace.enabled trace then Trace.ring () else Trace.disabled)
+  in
   let run_one index =
     let rng = rngs.(index) in
+    let trace = rings.(index) in
     let solution =
       match algo with
       | Str ->
@@ -46,7 +55,7 @@ let run ?pool ?(jobs = 1) ~restarts ~algo rng cfg problem =
             if index = 0 then mid_weights problem
             else Weights.random rng problem.Problem.graph
           in
-          (Str_search.run ~w0 rng cfg problem).Str_search.best
+          (Str_search.run ~w0 ~trace rng cfg problem).Str_search.best
       | Dtr | Anneal ->
           let w0 =
             if index = 0 then (mid_weights problem, mid_weights problem)
@@ -55,8 +64,9 @@ let run ?pool ?(jobs = 1) ~restarts ~algo rng cfg problem =
               let wl = Weights.random rng problem.Problem.graph in
               (wh, wl)
           in
-          if algo = Dtr then (Dtr_search.run ~w0 rng cfg problem).Dtr_search.best
-          else (Anneal_search.run ~w0 rng cfg problem).Anneal_search.best
+          if algo = Dtr then
+            (Dtr_search.run ~w0 ~trace rng cfg problem).Dtr_search.best
+          else (Anneal_search.run ~w0 ~trace rng cfg problem).Anneal_search.best
     in
     { index; objective = Problem.objective solution; solution }
   in
@@ -65,6 +75,18 @@ let run ?pool ?(jobs = 1) ~restarts ~algo rng cfg problem =
     | Some p -> Pool.map p restarts ~f:run_one
     | None -> Pool.run ~jobs restarts ~f:run_one
   in
+  (if Trace.enabled trace then
+     let best_obj = ref restart_results.(0).objective in
+     Array.iteri
+       (fun i (r : restart) ->
+         Trace.replay rings.(i) ~into:trace ~restart:i;
+         let improved = i = 0 || Lexico.compare r.objective !best_obj < 0 in
+         if improved then best_obj := r.objective;
+         Trace.emit trace ~kind:Trace.Restart_done ~restart:i ~iteration:0
+           ~detail:i ~accepted:improved
+           ~after:(Trace.pair r.objective)
+           ~best:(Trace.pair !best_obj) ())
+       restart_results);
   (* Exact comparison (no tolerance): the winner must be a pure
      function of the restart results; ties go to the lower index
      because the fold scans in index order and only replaces on a

@@ -39,6 +39,7 @@ type report = {
 val run :
   ?pool:Dtr_util.Pool.t ->
   ?jobs:int ->
+  ?trace:Trace.t ->
   restarts:int ->
   algo:algo ->
   Dtr_util.Prng.t ->
@@ -48,4 +49,12 @@ val run :
 (** [run ~restarts ~algo rng cfg problem] runs the restarts on [pool]
     if given, else on a temporary pool of [jobs] workers (default 1 =
     sequential, no domain spawned).  [rng] is advanced by [restarts]
-    splits.  @raise Invalid_argument if [restarts < 1]. *)
+    splits.  @raise Invalid_argument if [restarts < 1].
+
+    With an enabled [trace], each restart records its search events
+    into a private ring on whichever worker runs it; the rings are
+    replayed into [trace] in restart-index order after the joins, with
+    the [restart] field set, followed by one [Restart_done] event per
+    restart ([accepted] = improved on all lower indices).  Every field
+    but the timestamps is therefore identical for every [jobs]
+    value. *)

@@ -12,6 +12,8 @@ type t = {
       (* one per worker, allocated on the first parallel scan and
          resynchronized (blits, no re-evaluation) before every later
          one — clones are reused across iterations, not reallocated *)
+  mutable scans : int;
+      (* scans served so far; the [iteration] stamp of probe events *)
 }
 
 let create ~jobs problem =
@@ -20,6 +22,7 @@ let create ~jobs problem =
     problem;
     pool = (if jobs = 1 then None else Some (Pool.create ~jobs));
     clones = [||];
+    scans = 0;
   }
 
 let jobs t = match t.pool with None -> 1 | Some p -> Pool.jobs p
@@ -54,8 +57,9 @@ let candidate_keys ctx ~cls ~changes_of n =
   in
   Array.init n (fun i -> List.fold_left shift_change base (changes_of i))
 
-let evaluate t ctx ?memo ~cls ~changes_of n =
+let evaluate t ctx ?memo ?(trace = Trace.disabled) ~cls ~changes_of n =
   if n < 0 then invalid_arg "Scan.evaluate: negative candidate count";
+  t.scans <- t.scans + 1;
   let results = Array.make n None in
   (* Memo screening happens on the calling domain, in candidate order,
      before any dispatch — hit patterns (and the hit/miss counters) are
@@ -77,6 +81,11 @@ let evaluate t ctx ?memo ~cls ~changes_of n =
     match results.(i) with None -> miss := i :: !miss | Some _ -> ()
   done;
   let miss = Array.of_list !miss in
+  (* Which candidates the memo served — recorded before dispatch so
+     probe events can tag them; allocated only when tracing. *)
+  let from_memo =
+    if Trace.enabled trace then Array.map Option.is_some results else [||]
+  in
   let eval_one ctx' i =
     let d = Problem.eval_delta t.problem ctx' ~cls ~changes:(changes_of i) in
     let s =
@@ -131,7 +140,19 @@ let evaluate t ctx ?memo ~cls ~changes_of n =
           | Some s -> Vmemo.add m keys.(i) s
           | None -> assert false)
         miss);
-  Array.map (function Some s -> s | None -> assert false) results
+  let summaries = Array.map (function Some s -> s | None -> assert false) results in
+  (* Re-emit one probe event per candidate, on the calling domain, in
+     candidate order — exactly the order the sequential fold visits
+     them — so the trace is identical for every jobs value no matter
+     which worker evaluated which chunk. *)
+  if Trace.enabled trace then
+    Array.iteri
+      (fun i (s : summary) ->
+        Trace.emit trace ~kind:Trace.Probe ~iteration:t.scans ~detail:i
+          ~accepted:(Array.length from_memo > 0 && from_memo.(i))
+          ~after:(Trace.pair s.objective) ())
+      summaries;
+  summaries
 
 let commit t ctx ~cls ~changes =
   (* The winner was evaluated (and counted) as a summary — possibly on

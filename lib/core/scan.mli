@@ -48,6 +48,7 @@ val evaluate :
   t ->
   Problem.ctx ->
   ?memo:summary Dtr_util.Vmemo.t ->
+  ?trace:Trace.t ->
   cls:Problem.cls ->
   changes_of:(int -> (int * int) list) ->
   int ->
@@ -60,7 +61,12 @@ val evaluate :
     fresh ones added) — cached summaries are bitwise-equal to
     re-evaluation, so the caller's fold is unchanged; only the
     counted work shrinks.  [changes_of] must be pure (it may be
-    re-invoked, including from worker domains). *)
+    re-invoked, including from worker domains).  With an enabled
+    [trace], one [Probe] event per candidate is re-emitted on the
+    calling domain in candidate order after the scan ([detail] =
+    candidate index, [accepted] = served from the memo, [iteration] =
+    the engine's scan counter) — never from the workers, so the trace
+    is identical for every [jobs] value. *)
 
 val commit :
   t -> Problem.ctx -> cls:Problem.cls -> changes:(int * int) list ->

@@ -11,6 +11,7 @@ type t = {
   scan_probability : float;
   seed_split : int;
   scan_jobs : int;
+  trace_probes : bool;
 }
 
 let paper =
@@ -27,6 +28,7 @@ let paper =
     scan_probability = 0.;
     seed_split = 0;
     scan_jobs = 1;
+    trace_probes = true;
   }
 
 let default =

@@ -30,6 +30,13 @@ type t = {
       (** worker domains for the neighborhood-scan engine ({!Scan})
           inside one search run; results are bit-identical for every
           value (CLI [--scan-jobs]).  Default 1 (sequential). *)
+  trace_probes : bool;
+      (** when a {!Trace} sink is active, also record one [Probe]
+          event per scan candidate (re-emitted in candidate order, so
+          still jobs-invariant).  Probes dominate trace volume —
+          roughly [m_neighbors] (or 29, on a value scan) events per
+          iteration — so long runs may want them off.  Ignored (zero
+          cost) when tracing is disabled.  Default [true]. *)
 }
 
 val paper : t

@@ -94,11 +94,14 @@ let pick_arc rng cfg ctx problem =
     ranking.(Dist.heavy_tail_sample ht rng - 1)
   end
 
-let run ?w0 ?iters ?on_progress rng cfg problem =
+let run ?w0 ?iters ?on_progress ?(trace = Trace.disabled) rng cfg problem =
   Search_config.validate cfg;
   let iters = match iters with Some i -> i | None -> default_iters cfg in
   if iters < 1 then invalid_arg "Str_search.run: iters must be positive";
-  let eval0 = Problem.domain_evaluations () in
+  let eval0, full0, delta0 = Problem.domain_eval_counts () in
+  let probe_trace =
+    if cfg.Search_config.trace_probes then trace else Trace.disabled
+  in
   let mid = (Weights.min_weight + Weights.max_weight) / 2 in
   let w0 =
     match w0 with
@@ -131,8 +134,25 @@ let run ?w0 ?iters ?on_progress rng cfg problem =
   let stall = ref 0 in
   let n_vals = Weights.max_weight - Weights.min_weight in
   let vals = Array.make n_vals 0 in
+  (* One iteration-level event, emitted after the acceptance decision;
+     every field but the timestamp is a pure function of the
+     trajectory (see Trace). *)
+  let tell kind ~iteration ~detail ~before ~prev =
+    if Trace.enabled trace then begin
+      let e, f, d = Problem.domain_eval_counts () in
+      Trace.emit trace ~kind ~iteration ~detail
+        ~accepted:(not (prev == !current))
+        ~before:(Trace.pair before)
+        ~after:(Trace.pair (Problem.objective !current))
+        ~best:(Trace.pair (Problem.objective !best))
+        ~evaluations:(e - eval0) ~full:(f - full0) ~delta:(d - delta0)
+        ~memo_hits:(Vmemo.hits memo) ~memo_misses:(Vmemo.misses memo) ()
+    end
+  in
   for iteration = 1 to iters do
     let arc = pick_arc rng cfg ctx problem in
+    let before = Problem.objective !current in
+    let prev = !current in
     let w = !current.Problem.wh in
     (* The candidate values for this arc: every in-range weight except
        the current one, ascending — the same order the sequential scan
@@ -145,7 +165,7 @@ let run ?w0 ?iters ?on_progress rng cfg problem =
       end
     done;
     let summaries =
-      Scan.evaluate scan ctx ~memo ~cls:`H
+      Scan.evaluate scan ctx ~memo ~trace:probe_trace ~cls:`H
         ~changes_of:(fun i -> [ (arc, vals.(i)) ])
         n_vals
     in
@@ -177,15 +197,19 @@ let run ?w0 ?iters ?on_progress rng cfg problem =
       stall := 0
     end
     else incr stall;
+    tell Trace.Str_scan ~iteration ~detail:arc ~before ~prev;
     if !stall >= cfg.Search_config.diversify_after then begin
+      let before = Problem.objective !current in
       let w =
         Weights.perturb rng ~fraction:cfg.Search_config.g1 !current.Problem.wh
       in
       let changes = Problem.weight_changes !current.Problem.wh w in
       let d = Problem.eval_delta problem ctx ~cls:`H ~changes in
+      let prev = !current in
       current := Problem.commit_delta problem ctx d;
       observe !current;
-      stall := 0
+      stall := 0;
+      tell Trace.Diversify ~iteration ~detail:(-1) ~before ~prev
     end;
     match on_progress with
     | None -> ()

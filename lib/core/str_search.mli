@@ -44,12 +44,16 @@ val run :
   ?w0:int array ->
   ?iters:int ->
   ?on_progress:(int -> Dtr_cost.Lexico.t -> unit) ->
+  ?trace:Trace.t ->
   Dtr_util.Prng.t ->
   Search_config.t ->
   Problem.t ->
   report
 (** [w0] defaults to mid-range uniform weights; [iters] to
-    {!default_iters}. *)
+    {!default_iters}.  With an enabled [trace], one [Str_scan] event is
+    recorded per iteration ([detail] = scanned arc) and one [Diversify]
+    event per perturbation ([detail] = -1); every field but the
+    timestamp is identical for every [scan_jobs] value. *)
 
 val relaxed_best : report -> epsilon:float -> archive_point option
 (** Best (lowest) [Φ_L] among archive points with

@@ -1,0 +1,233 @@
+module Lexico = Dtr_cost.Lexico
+
+type kind =
+  | Str_scan
+  | Find_h
+  | Find_l
+  | Mtr_pass
+  | Anneal_step
+  | Probe
+  | Diversify
+  | Phase_done
+  | Restart_done
+
+let kind_name = function
+  | Str_scan -> "str_scan"
+  | Find_h -> "find_h"
+  | Find_l -> "find_l"
+  | Mtr_pass -> "mtr_pass"
+  | Anneal_step -> "anneal_step"
+  | Probe -> "probe"
+  | Diversify -> "diversify"
+  | Phase_done -> "phase_done"
+  | Restart_done -> "restart_done"
+
+type event = {
+  seq : int;
+  restart : int;
+  kind : kind;
+  iteration : int;
+  detail : int;
+  accepted : bool;
+  before : float array;
+  after : float array;
+  best : float array;
+  evaluations : int;
+  full_evals : int;
+  delta_evals : int;
+  memo_hits : int;
+  memo_misses : int;
+  value : float;
+  time_us : float;
+}
+
+(* A bounded ring degenerates to a growable array until [cap] events
+   are held, then overwrites the oldest slot. *)
+type ring_state = {
+  mutable buf : event option array;
+  mutable len : int;  (* events held *)
+  mutable head : int;  (* index of the oldest event once saturated *)
+  cap : int;
+}
+
+type sink =
+  | Null
+  | Ring of ring_state
+  | Jsonl of out_channel
+  | Tee of t * t
+
+and t = {
+  sink : sink;
+  mutable seq : int;
+  mutable count : int;
+  mutable last_us : float;
+  t0 : float;
+}
+
+let make sink =
+  { sink; seq = 0; count = 0; last_us = 0.; t0 = Unix.gettimeofday () }
+
+let disabled = make Null
+
+let ring ?(capacity = max_int) () =
+  if capacity < 1 then invalid_arg "Trace.ring: capacity must be positive";
+  make (Ring { buf = Array.make (min capacity 256) None; len = 0; head = 0; cap = capacity })
+
+let jsonl oc = make (Jsonl oc)
+
+let tee a b = make (Tee (a, b))
+
+let rec enabled t =
+  match t.sink with
+  | Null -> false
+  | Ring _ | Jsonl _ -> true
+  | Tee (a, b) -> enabled a || enabled b
+
+(* Forced-monotone elapsed time: wall clocks can step backwards (NTP),
+   and the schema promises a monotone timing field. *)
+let now t =
+  let us = (Unix.gettimeofday () -. t.t0) *. 1e6 in
+  let us = if us > t.last_us then us else t.last_us in
+  t.last_us <- us;
+  us
+
+let float_str x = Printf.sprintf "%.17g" x
+
+let array_str a =
+  let b = Buffer.create 32 in
+  Buffer.add_char b '[';
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (float_str x))
+    a;
+  Buffer.add_char b ']';
+  Buffer.contents b
+
+let to_json (e : event) =
+  Printf.sprintf
+    "{\"seq\":%d,\"restart\":%d,\"kind\":%S,\"iter\":%d,\"detail\":%d,\"accepted\":%b,\"before\":%s,\"after\":%s,\"best\":%s,\"evals\":%d,\"full\":%d,\"delta\":%d,\"memo_hits\":%d,\"memo_misses\":%d,\"value\":%s,\"t_us\":%s}"
+    e.seq e.restart (kind_name e.kind) e.iteration e.detail e.accepted
+    (array_str e.before) (array_str e.after) (array_str e.best) e.evaluations
+    e.full_evals e.delta_evals e.memo_hits e.memo_misses (float_str e.value)
+    (float_str e.time_us)
+
+let ring_push r (e : event) =
+  if r.len < r.cap then begin
+    if r.len = Array.length r.buf then begin
+      (* Grow (still under the capacity bound). *)
+      let buf = Array.make (min r.cap (2 * r.len)) None in
+      Array.blit r.buf 0 buf 0 r.len;
+      r.buf <- buf
+    end;
+    r.buf.(r.len) <- Some e;
+    r.len <- r.len + 1
+  end
+  else begin
+    r.buf.(r.head) <- Some e;
+    r.head <- (r.head + 1) mod r.cap
+  end
+
+(* Record a fully-built event, assigning this sink's [seq] but keeping
+   the caller's [time_us] (used by replay, where the worker's clock
+   already stamped the event). *)
+let rec record t (e : event) =
+  match t.sink with
+  | Null -> ()
+  | Ring r ->
+      let e = { e with seq = t.seq } in
+      t.seq <- t.seq + 1;
+      t.count <- t.count + 1;
+      ring_push r e
+  | Jsonl oc ->
+      let e = { e with seq = t.seq } in
+      t.seq <- t.seq + 1;
+      t.count <- t.count + 1;
+      output_string oc (to_json e);
+      output_char oc '\n'
+  | Tee (a, b) ->
+      record a e;
+      record b e
+
+let emit t ~kind ?(restart = -1) ~iteration ?(detail = -1) ?(accepted = false)
+    ?(before = [||]) ?(after = [||]) ?(best = [||]) ?(evaluations = 0)
+    ?(full = 0) ?(delta = 0) ?(memo_hits = 0) ?(memo_misses = 0) ?(value = 0.)
+    () =
+  match t.sink with
+  | Null -> ()
+  | _ ->
+      record t
+        {
+          seq = 0;
+          restart;
+          kind;
+          iteration;
+          detail;
+          accepted;
+          before;
+          after;
+          best;
+          evaluations;
+          full_evals = full;
+          delta_evals = delta;
+          memo_hits;
+          memo_misses;
+          value;
+          time_us = now t;
+        }
+
+let length t = t.count
+
+let events t =
+  match t.sink with
+  | Ring r ->
+      let get i =
+        match r.buf.((r.head + i) mod Array.length r.buf) with
+        | Some e -> e
+        | None -> assert false
+      in
+      (* Before saturation head = 0 and the modulo is the identity. *)
+      List.init r.len get
+  | Null | Jsonl _ | Tee _ -> []
+
+let replay t ~into ~restart =
+  List.iter (fun e -> record into { e with restart }) (events t)
+
+let pair (l : Lexico.t) = [| l.Lexico.primary; l.Lexico.secondary |]
+
+(* Exact lexicographic order on equal-length objective vectors; the
+   arrays the searches emit never contain NaN. *)
+let vec_lt a b =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go i =
+    if i >= n then Array.length a < Array.length b
+    else if a.(i) < b.(i) then true
+    else if a.(i) > b.(i) then false
+    else go (i + 1)
+  in
+  go 0
+
+let convergence evs =
+  let acc = ref [] in
+  let best = ref [||] in
+  let base = ref 0 in
+  let segment = ref min_int in
+  let seg_last = ref 0 in
+  List.iter
+    (fun e ->
+      if Array.length e.best > 0 then begin
+        (* Restart segments each count evaluations from zero; offset
+           them by the budget the previous segments spent. *)
+        if e.restart <> !segment then begin
+          if !segment <> min_int then base := !base + !seg_last;
+          segment := e.restart;
+          seg_last := 0
+        end;
+        if e.evaluations > !seg_last then seg_last := e.evaluations;
+        if Array.length !best = 0 || vec_lt e.best !best then begin
+          best := e.best;
+          acc := (!base + e.evaluations, e.best) :: !acc
+        end
+      end)
+    evs;
+  List.rev !acc

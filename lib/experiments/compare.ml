@@ -6,6 +6,7 @@ module Objective = Dtr_routing.Objective
 module Problem = Dtr_core.Problem
 module Str_search = Dtr_core.Str_search
 module Dtr_search = Dtr_core.Dtr_search
+module Trace = Dtr_core.Trace
 
 type point = {
   target_util : float;
@@ -21,15 +22,23 @@ let ratio ~num ~den =
   if den <= eps then if num <= eps then 1. else Float.infinity
   else num /. den
 
-let run_point ?(cfg = Dtr_core.Search_config.default) ?(seed = 0) inst ~model
-    ~target_util =
+let run_point ?(cfg = Dtr_core.Search_config.default) ?(seed = 0)
+    ?(trace = Trace.disabled) inst ~model ~target_util =
   let inst = Scenario.scale_to_utilization inst ~target:target_util in
   let problem = Scenario.problem inst ~model in
   let root = Prng.create (seed + (inst.Scenario.spec.Scenario.seed * 7919)) in
   let str_rng = Prng.split root in
   let dtr_rng = Prng.split root in
-  let str = Str_search.run str_rng cfg problem in
-  let dtr = Dtr_search.run dtr_rng cfg problem in
+  (* Each search records into its own ring; the merged stream tags STR
+     events [restart = 0] and DTR events [restart = 1]. *)
+  let str_ring = if Trace.enabled trace then Trace.ring () else Trace.disabled in
+  let dtr_ring = if Trace.enabled trace then Trace.ring () else Trace.disabled in
+  let str = Str_search.run ~trace:str_ring str_rng cfg problem in
+  let dtr = Dtr_search.run ~trace:dtr_ring dtr_rng cfg problem in
+  if Trace.enabled trace then begin
+    Trace.replay str_ring ~into:trace ~restart:0;
+    Trace.replay dtr_ring ~into:trace ~restart:1
+  end;
   let measured_util =
     Evaluate.avg_utilization
       str.Str_search.best.Problem.result.Objective.eval

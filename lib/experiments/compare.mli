@@ -18,12 +18,18 @@ val ratio : num:float -> den:float -> float
 val run_point :
   ?cfg:Dtr_core.Search_config.t ->
   ?seed:int ->
+  ?trace:Dtr_core.Trace.t ->
   Scenario.instance ->
   model:Dtr_routing.Objective.model ->
   target_util:float ->
   point
 (** Scale the instance to [target_util], then run both searches
-    (independent PRNG streams derived from [seed], default 0). *)
+    (independent PRNG streams derived from [seed], default 0).
+
+    With an enabled [trace], both searches record their events (each
+    into a private ring, replayed afterwards so ordering never depends
+    on scheduling): STR events carry [restart = 0], DTR events
+    [restart = 1]. *)
 
 val sweep :
   ?cfg:Dtr_core.Search_config.t ->

@@ -33,6 +33,8 @@ let expected_to_destination g ~dag ~arc_delay =
   done;
   xi
 
+type pair_delay = Reachable of float | Unreachable
+
 let pair_delays g ~dags ~arc_delay ~pairs =
   (* Compute expectations lazily, one destination at a time. *)
   let n = Graph.node_count g in
@@ -47,7 +49,9 @@ let pair_delays g ~dags ~arc_delay ~pairs =
   in
   List.map
     (fun (s, t) ->
-      if dags.(t).Spf.dist.(s) = Dijkstra.unreachable then
-        invalid_arg (Printf.sprintf "Delay.pair_delays: no path %d -> %d" s t);
-      (s, t, (xi_for t).(s)))
+      (* A disconnected pair is data, not a programming error: failure
+         sweeps evaluate deliberately cut topologies, and one severed
+         pair must not abort the whole sweep. *)
+      if dags.(t).Spf.dist.(s) = Dijkstra.unreachable then (s, t, Unreachable)
+      else (s, t, Reachable (xi_for t).(s)))
     pairs

@@ -19,11 +19,15 @@ val expected_to_destination :
     evenly at every ECMP hop; [xi.(dst) = 0.]; [nan] for unreachable
     nodes. *)
 
+type pair_delay = Reachable of float | Unreachable
+(** A disconnected SD pair is a data condition (failure sweeps evaluate
+    deliberately cut topologies), not an error. *)
+
 val pair_delays :
   Dtr_graph.Graph.t ->
   dags:Dtr_graph.Spf.dag array ->
   arc_delay:float array ->
   pairs:(int * int) list ->
-  (int * int * float) list
-(** Expected delays for specific SD pairs.
-    @raise Invalid_argument if a pair is unreachable. *)
+  (int * int * pair_delay) list
+(** Expected delays for specific SD pairs; [Unreachable] for pairs with
+    no path instead of raising mid-sweep. *)

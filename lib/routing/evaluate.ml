@@ -70,19 +70,33 @@ type sla = {
   pair_delays : (int * int * float) list;
   lambda : float;
   violations : int;
+  unreachable : int;
   worst_delay : float;
 }
 
 let evaluate_sla params t ~th =
   let arc_delay = Delay.arc_delays params t.graph ~phi_h_per_arc:t.phi_h_per_arc in
   let pairs = List.map (fun (s, d, _) -> (s, d)) (Matrix.pairs th) in
-  let pair_delays = Delay.pair_delays t.graph ~dags:t.dags_h ~arc_delay ~pairs in
+  let raw = Delay.pair_delays t.graph ~dags:t.dags_h ~arc_delay ~pairs in
+  (* Encode a severed pair as an infinite delay: the penalty (and so
+     Λ) becomes infinite — any routing that reconnects the pair
+     compares strictly better — without aborting the sweep. *)
+  let pair_delays =
+    List.map
+      (fun (s, d, pd) ->
+        match pd with
+        | Delay.Reachable x -> (s, d, x)
+        | Delay.Unreachable -> (s, d, Float.infinity))
+      raw
+  in
   let lambda = ref 0. and violations = ref 0 and worst = ref 0. in
+  let unreachable = ref 0 in
   List.iter
     (fun (_, _, d) ->
       let p = Sla.penalty params ~delay:d in
       lambda := !lambda +. p;
       if Sla.violated params ~delay:d then incr violations;
+      if d = Float.infinity then incr unreachable;
       if d > !worst then worst := d)
     pair_delays;
   {
@@ -90,5 +104,6 @@ let evaluate_sla params t ~th =
     pair_delays;
     lambda = !lambda;
     violations = !violations;
+    unreachable = !unreachable;
     worst_delay = !worst;
   }

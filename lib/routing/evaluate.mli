@@ -56,12 +56,18 @@ val max_utilization : t -> float
 type sla = {
   arc_delay : float array;  (** Eq. (3) per-arc mean delay, ms *)
   pair_delays : (int * int * float) list;
-      (** expected end-to-end delays of all high-priority SD pairs *)
-  lambda : float;  (** [Λ = Σ penalties] *)
+      (** expected end-to-end delays of all high-priority SD pairs;
+          [infinity] for a pair with no path *)
+  lambda : float;  (** [Λ = Σ penalties]; [infinity] iff a pair is severed *)
   violations : int;  (** number of pairs exceeding the bound *)
+  unreachable : int;  (** number of pairs with no path (counted among
+                          [violations] too) *)
   worst_delay : float;  (** max pair delay; 0. with no pairs *)
 }
 
 val evaluate_sla : Dtr_cost.Sla.params -> t -> th:Dtr_traffic.Matrix.t -> sla
 (** SLA view over high-priority pairs (entries of [th] with positive
-    demand), using the high-priority DAGs and loads from [t]. *)
+    demand), using the high-priority DAGs and loads from [t].  A
+    disconnected pair does not raise: it contributes an infinite
+    penalty (so any reconnecting routing compares strictly better) and
+    is counted in [unreachable]. *)

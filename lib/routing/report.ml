@@ -52,14 +52,32 @@ let per_pair_delay_table ?top ?(node_name = string_of_int) (sla : Evaluate.sla)
     (fun i (s, t, d) ->
       if i < limit then
         Table.add_row table
-          [
-            node_name s;
-            node_name t;
-            Printf.sprintf "%.2f" d;
-            (if Sla.violated params ~delay:d then "VIOLATED" else "ok");
-            Printf.sprintf "%.1f" (Sla.penalty params ~delay:d);
-          ])
+          (if d = Float.infinity then
+             [ node_name s; node_name t; "-"; "UNREACHABLE"; "inf" ]
+           else
+             [
+               node_name s;
+               node_name t;
+               Printf.sprintf "%.2f" d;
+               (if Sla.violated params ~delay:d then "VIOLATED" else "ok");
+               Printf.sprintf "%.1f" (Sla.penalty params ~delay:d);
+             ]))
     pairs;
+  table
+
+let convergence_table ?(title = "Convergence (best objective vs. evaluations)")
+    curve =
+  let table =
+    Table.create ~title ~columns:[ "evaluations"; "objective" ]
+  in
+  List.iter
+    (fun (evals, obj) ->
+      let obj_str =
+        String.concat " / "
+          (Array.to_list (Array.map (Printf.sprintf "%.6g") obj))
+      in
+      Table.add_row table [ string_of_int evals; obj_str ])
+    curve;
   table
 
 let summary_table (e : Evaluate.t) =

@@ -17,6 +17,12 @@ val per_pair_delay_table :
     their SLA verdicts.  [node_name] renders endpoints (default: the
     node id). *)
 
+val convergence_table :
+  ?title:string -> (int * float array) list -> Dtr_util.Table.t
+(** Render a best-so-far convergence curve — [(evaluations, objective
+    vector)] points, e.g. from [Dtr_core.Trace.convergence] — one row
+    per improvement, the objective components joined with [" / "]. *)
+
 val summary_table : Evaluate.t -> Dtr_util.Table.t
 (** Aggregates: Φ_H, Φ_L, average/max utilization, overloaded-arc
     count (utilization > 1). *)

@@ -10,6 +10,29 @@ let to_string g =
     (Graph.arcs g);
   Buffer.contents buf
 
+(* Field separator: any run of blanks, so tab-separated (and, via
+   String.trim, CRLF-terminated) files parse the same as
+   space-separated ones. *)
+let is_blank c = c = ' ' || c = '\t' || c = '\r' || c = '\012'
+
+let split_fields line =
+  let n = String.length line in
+  let fields = ref [] in
+  let start = ref (-1) in
+  for i = n - 1 downto 0 do
+    if is_blank line.[i] then begin
+      if !start >= 0 then begin
+        fields := String.sub line (i + 1) (!start - i) :: !fields;
+        start := -1
+      end
+    end
+    else begin
+      if !start < 0 then start := i;
+      if i = 0 then fields := String.sub line 0 (!start + 1) :: !fields
+    end
+  done;
+  !fields
+
 let of_string s =
   let lines = String.split_on_char '\n' s in
   let nodes = ref None in
@@ -19,15 +42,16 @@ let of_string s =
     (fun lineno line ->
       if !error = None then begin
         let line = String.trim line in
+        let fail fmt =
+          Printf.ksprintf (fun msg -> error := Some msg) ("line %d: " ^^ fmt)
+            (lineno + 1)
+        in
         if line <> "" && not (String.length line > 0 && line.[0] = '#') then begin
-          let parts =
-            List.filter (fun p -> p <> "") (String.split_on_char ' ' line)
-          in
-          match parts with
+          match split_fields line with
           | [ "nodes"; n ] -> (
               match int_of_string_opt n with
               | Some n when n > 0 -> nodes := Some n
-              | _ -> error := Some (Printf.sprintf "line %d: bad node count" (lineno + 1)))
+              | _ -> fail "bad node count")
           | [ "arc"; src; dst; cap; delay ] -> (
               match
                 ( int_of_string_opt src,
@@ -36,9 +60,23 @@ let of_string s =
                   float_of_string_opt delay )
               with
               | Some src, Some dst, Some capacity, Some delay ->
-                  arcs := { Graph.src; dst; capacity; delay } :: !arcs
-              | _ -> error := Some (Printf.sprintf "line %d: bad arc" (lineno + 1)))
-          | _ -> error := Some (Printf.sprintf "line %d: unknown directive" (lineno + 1))
+                  (* Reject values that would only blow up deep inside a
+                     search (Φ with capacity 0, NaN propagating through
+                     every load sum) — a parse error with a line number
+                     beats an exception mid-sweep. *)
+                  if Float.is_nan capacity || Float.is_nan delay then
+                    fail "arc has NaN field"
+                  else if
+                    capacity = Float.infinity || capacity = Float.neg_infinity
+                    || delay = Float.infinity || delay = Float.neg_infinity
+                  then fail "arc has infinite field"
+                  else if capacity <= 0. then
+                    fail "arc capacity must be positive (got %.17g)" capacity
+                  else if delay < 0. then
+                    fail "arc delay must be non-negative (got %.17g)" delay
+                  else arcs := { Graph.src; dst; capacity; delay } :: !arcs
+              | _ -> fail "bad arc")
+          | _ -> fail "unknown directive"
         end
       end)
     lines;

@@ -94,6 +94,17 @@ let prop_phi_monotone_in_capacity =
       Fortz.phi ~load ~capacity:(capacity +. delta)
       <= Fortz.phi ~load ~capacity +. 1e-9)
 
+let prop_phi_saturated_finite_monotone =
+  (* The saturated-residual case the search feeds in: C = 0 exactly.
+     Must stay finite (never NaN) and non-decreasing in load. *)
+  QCheck.Test.make ~name:"phi at zero capacity is finite and monotone"
+    ~count:500
+    QCheck.(pair (float_range 0. 1e6) (float_range 0. 1e6))
+    (fun (load, delta) ->
+      let a = Fortz.phi ~load ~capacity:0. in
+      let b = Fortz.phi ~load:(load +. delta) ~capacity:0. in
+      Float.is_finite a && Float.is_finite b && b >= a)
+
 let prop_phi_convex_in_load =
   QCheck.Test.make ~name:"phi is convex in load (midpoint rule)" ~count:500
     QCheck.(triple (float_range 0. 20.) (float_range 0. 20.) (float_range 0.1 10.))
@@ -253,6 +264,7 @@ let () =
           Alcotest.test_case "uncapacitated" `Quick test_phi_uncapacitated;
           qc prop_phi_monotone_in_load;
           qc prop_phi_monotone_in_capacity;
+          qc prop_phi_saturated_finite_monotone;
           qc prop_phi_convex_in_load;
           qc prop_phi_scale_invariant;
         ] );

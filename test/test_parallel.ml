@@ -371,6 +371,106 @@ let test_scan_memo_exact_counts () =
     [ 1; 3 ]
 
 (* ------------------------------------------------------------------ *)
+(* Trace determinism: the event stream (not just the result) must be
+   identical at every jobs/scan_jobs value once t_us is normalized. *)
+
+module Trace = Dtr_core.Trace
+
+let norm_event (e : Trace.event) = Trace.to_json { e with Trace.time_us = 0. }
+
+let check_same_trace a b =
+  Alcotest.(check (list string)) "same events (t_us normalized)"
+    (List.map norm_event (Trace.events a))
+    (List.map norm_event (Trace.events b))
+
+let test_str_trace_scan_jobs_invariance () =
+  List.iter
+    (fun model ->
+      let p = ring_problem ~model () in
+      let run scan_jobs =
+        let ring = Trace.ring () in
+        ignore
+          (Str_search.run ~trace:ring (Prng.create 7)
+             (with_scan_jobs tiny_config scan_jobs) p);
+        ring
+      in
+      let a = run 1 in
+      Alcotest.(check bool) "trace not empty" true (Trace.length a > 0);
+      check_same_trace a (run 4))
+    [ Objective.Load; Objective.Sla Dtr_cost.Sla.default ]
+
+let test_dtr_trace_scan_jobs_invariance () =
+  let p = ring_problem () in
+  let run scan_jobs =
+    let ring = Trace.ring () in
+    ignore
+      (Dtr_search.run ~trace:ring (Prng.create 9)
+         (with_scan_jobs tiny_config scan_jobs) p);
+    ring
+  in
+  let a = run 1 in
+  Alcotest.(check bool) "trace not empty" true (Trace.length a > 0);
+  check_same_trace a (run 4)
+
+let test_multistart_trace_jobs_invariance () =
+  let p = ring_problem () in
+  List.iter
+    (fun algo ->
+      let run jobs =
+        let ring = Trace.ring () in
+        ignore
+          (Multistart.run ~jobs ~trace:ring ~restarts:3 ~algo (Prng.create 11)
+             tiny_config p);
+        ring
+      in
+      let a = run 1 in
+      Alcotest.(check bool) "trace not empty" true (Trace.length a > 0);
+      (* Worker-domain events must come back tagged with their restart
+         and serialized in restart order. *)
+      let restarts_seen =
+        List.map (fun (e : Trace.event) -> e.Trace.restart) (Trace.events a)
+      in
+      Alcotest.(check bool) "restart order non-decreasing" true
+        (List.for_all2 ( <= ) restarts_seen (List.tl restarts_seen @ [ 2 ]));
+      check_same_trace a (run 2))
+    [ Multistart.Str; Multistart.Dtr ]
+
+let test_trace_disabled_noop () =
+  Alcotest.(check bool) "disabled" false (Trace.enabled Trace.disabled);
+  Trace.emit Trace.disabled ~kind:Trace.Str_scan ~iteration:0 ();
+  Alcotest.(check int) "still empty" 0 (Trace.length Trace.disabled);
+  Alcotest.(check (list string)) "no events" []
+    (List.map norm_event (Trace.events Trace.disabled))
+
+let test_trace_convergence_monotone () =
+  let p = ring_problem () in
+  let ring = Trace.ring () in
+  let report = Str_search.run ~trace:ring (Prng.create 13) tiny_config p in
+  let curve = Trace.convergence (Trace.events ring) in
+  Alcotest.(check bool) "curve not empty" true (curve <> []);
+  let rec check = function
+    | (e1, o1) :: ((e2, o2) :: _ as rest) ->
+        Alcotest.(check bool) "evaluations increase" true (e1 < e2);
+        Alcotest.(check bool) "objective strictly improves" true (o2 < o1);
+        check rest
+    | _ -> ()
+  in
+  check curve;
+  let _, last = List.nth curve (List.length curve - 1) in
+  Alcotest.(check bool) "curve ends at the reported optimum" true
+    (last = Trace.pair report.Str_search.objective)
+
+let test_trace_ring_capacity () =
+  let ring = Trace.ring ~capacity:4 () in
+  for i = 0 to 9 do
+    Trace.emit ring ~kind:Trace.Probe ~iteration:i ()
+  done;
+  let evs = Trace.events ring in
+  Alcotest.(check int) "bounded" 4 (List.length evs);
+  Alcotest.(check (list int)) "keeps the most recent" [ 6; 7; 8; 9 ]
+    (List.map (fun (e : Trace.event) -> e.Trace.iteration) evs)
+
+(* ------------------------------------------------------------------ *)
 (* Anneal energy cache: evaluation count and trajectory *)
 
 let light_schedule =
@@ -475,5 +575,20 @@ let () =
             test_anneal_one_eval_per_move;
           Alcotest.test_case "deterministic with energy cache" `Quick
             test_anneal_deterministic;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "str trace scan-jobs invariant" `Slow
+            test_str_trace_scan_jobs_invariance;
+          Alcotest.test_case "dtr trace scan-jobs invariant" `Slow
+            test_dtr_trace_scan_jobs_invariance;
+          Alcotest.test_case "multistart trace jobs invariant" `Slow
+            test_multistart_trace_jobs_invariance;
+          Alcotest.test_case "disabled sink is a no-op" `Quick
+            test_trace_disabled_noop;
+          Alcotest.test_case "convergence curve monotone" `Quick
+            test_trace_convergence_monotone;
+          Alcotest.test_case "bounded ring keeps latest" `Quick
+            test_trace_ring_capacity;
         ] );
     ]

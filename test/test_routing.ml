@@ -347,7 +347,25 @@ let test_pair_delays () =
   let arc_delay = Array.make (Graph.arc_count g) 1. in
   let out = Delay.pair_delays g ~dags ~arc_delay ~pairs:[ (0, 2); (2, 0) ] in
   Alcotest.(check int) "two pairs" 2 (List.length out);
-  List.iter (fun (_, _, d) -> checkf "two unit hops" 2. d) out
+  List.iter
+    (fun (_, _, d) ->
+      match d with
+      | Delay.Reachable d -> checkf "two unit hops" 2. d
+      | Delay.Unreachable -> Alcotest.fail "pair reported unreachable")
+    out
+
+let test_pair_delays_unreachable () =
+  (* 0 -> 1 only; the (2, 0) pair has no path and must be reported as
+     data, not raised. *)
+  let g = Graph.build ~n:3 [ arc 0 1; arc 1 0; arc 1 2 ] in
+  let w = Weights.uniform g 1 in
+  let dags = Spf.all_destinations g ~weights:w in
+  let arc_delay = Array.make (Graph.arc_count g) 1. in
+  let out = Delay.pair_delays g ~dags ~arc_delay ~pairs:[ (0, 2); (2, 0) ] in
+  match out with
+  | [ (0, 2, Delay.Reachable d); (2, 0, Delay.Unreachable) ] ->
+      checkf "reachable pair delay" 2. d
+  | _ -> Alcotest.fail "expected one reachable and one unreachable pair"
 
 (* ------------------------------------------------------------------ *)
 (* Evaluate *)
@@ -379,6 +397,73 @@ let test_evaluate_residual_clamped () =
     (fun i h ->
       if h > 0. then checkf "clamped to zero" 0. e.Evaluate.residual.(i))
     e.Evaluate.h_loads
+
+let test_evaluate_saturated_finite () =
+  (* High-priority load above capacity: residual clamps to 0, the
+     low-priority Φ lands on the steepest Fortz segment, and nothing
+     anywhere becomes NaN — Λ included. *)
+  let g = Classic.line 3 ~capacity:1. in
+  let th = single_dest_matrix 3 [ (0, 2, 5.) ] in
+  let tl = single_dest_matrix 3 [ (0, 2, 2.) ] in
+  let w = Weights.uniform g 1 in
+  let e = Evaluate.evaluate g ~wh:w ~wl:w ~th ~tl in
+  Array.iteri
+    (fun i h -> if h > 0. then checkf "residual clamped" 0. e.Evaluate.residual.(i))
+    e.Evaluate.h_loads;
+  Alcotest.(check bool) "phi_h finite" true (Float.is_finite e.Evaluate.phi_h);
+  Alcotest.(check bool) "phi_l finite" true (Float.is_finite e.Evaluate.phi_l);
+  (* phi at zero capacity is pure slope: 5000 * load on each loaded arc. *)
+  Array.iteri
+    (fun i l ->
+      if l > 0. then checkf "steepest segment" (5000. *. l) e.Evaluate.phi_l_per_arc.(i))
+    e.Evaluate.l_loads;
+  let s = Evaluate.evaluate_sla Sla.default e ~th in
+  Alcotest.(check bool) "lambda not nan" false (Float.is_nan s.Evaluate.lambda);
+  Alcotest.(check bool) "lambda finite" true (Float.is_finite s.Evaluate.lambda);
+  List.iter
+    (fun (_, _, d) ->
+      Alcotest.(check bool) "pair delay finite" true (Float.is_finite d))
+    s.Evaluate.pair_delays;
+  (* The combined objective must stay orderable. *)
+  let obj = { Lexico.primary = e.Evaluate.phi_h; secondary = s.Evaluate.lambda } in
+  Alcotest.(check int) "lexico self-compare" 0 (Lexico.compare obj obj)
+
+let test_evaluate_saturated_monotone () =
+  (* More low-priority demand on a saturated link must cost strictly
+     more, not overflow or go flat. *)
+  let g = Classic.line 3 ~capacity:1. in
+  let th = single_dest_matrix 3 [ (0, 2, 5.) ] in
+  let w = Weights.uniform g 1 in
+  let phi_l demand =
+    let tl = single_dest_matrix 3 [ (0, 2, demand) ] in
+    (Evaluate.evaluate g ~wh:w ~wl:w ~th ~tl).Evaluate.phi_l
+  in
+  let prev = ref (phi_l 0.) in
+  List.iter
+    (fun d ->
+      let v = phi_l d in
+      Alcotest.(check bool) "finite" true (Float.is_finite v);
+      Alcotest.(check bool) "strictly increasing" true (v > !prev);
+      prev := v)
+    [ 0.5; 1.; 2.; 8.; 64. ]
+
+let test_evaluate_sla_unreachable () =
+  (* A severed high-priority pair is reported (infinite Λ, counted)
+     rather than raised — failure sweeps evaluate cut topologies. *)
+  let g = Graph.build ~n:3 [ arc 2 0; arc 0 1; arc 1 0 ] in
+  let w = Weights.uniform g 1 in
+  let dags = Spf.all_destinations g ~weights:w in
+  let th = single_dest_matrix 3 [ (0, 2, 1.); (1, 0, 1.) ] in
+  let h_loads = Loads.of_matrix ~drop_unroutable:true g ~dags th in
+  let l_loads = Array.make (Graph.arc_count g) 0. in
+  let e = Evaluate.assemble g ~dags_h:dags ~h_loads ~dags_l:dags ~l_loads in
+  let s = Evaluate.evaluate_sla Sla.default e ~th in
+  Alcotest.(check int) "one unreachable" 1 s.Evaluate.unreachable;
+  Alcotest.(check bool) "lambda infinite" true (s.Evaluate.lambda = Float.infinity);
+  Alcotest.(check bool) "lambda not nan" false (Float.is_nan s.Evaluate.lambda);
+  Alcotest.(check bool) "at least the severed violation" true
+    (s.Evaluate.violations >= 1);
+  checkf "worst delay infinite" Float.infinity s.Evaluate.worst_delay
 
 let test_evaluate_str_shares_dags () =
   let g, th, tl = two_class_line () in
@@ -770,12 +855,20 @@ let () =
           Alcotest.test_case "unreachable nan" `Quick test_delay_unreachable_nan;
           Alcotest.test_case "arc delay formula" `Quick test_arc_delays_formula;
           Alcotest.test_case "pair delays" `Quick test_pair_delays;
+          Alcotest.test_case "pair delays unreachable" `Quick
+            test_pair_delays_unreachable;
         ] );
       ( "evaluate",
         [
           Alcotest.test_case "residual capacity" `Quick test_evaluate_residual;
           Alcotest.test_case "residual clamped at zero" `Quick
             test_evaluate_residual_clamped;
+          Alcotest.test_case "saturated links stay finite" `Quick
+            test_evaluate_saturated_finite;
+          Alcotest.test_case "saturated phi_l monotone" `Quick
+            test_evaluate_saturated_monotone;
+          Alcotest.test_case "SLA severed pair" `Quick
+            test_evaluate_sla_unreachable;
           Alcotest.test_case "STR shares DAGs" `Quick
             test_evaluate_str_shares_dags;
           Alcotest.test_case "phi sums" `Quick test_evaluate_phi_sums;

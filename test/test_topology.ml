@@ -409,6 +409,77 @@ let test_io_errors () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected unknown directive error"
 
+let test_io_whitespace_variants () =
+  (* Tabs, CRLF line endings, and runs of blanks parse identically to
+     the canonical single-space form. *)
+  let canonical = "nodes 3\narc 0 1 10 1.5\narc 1 2 20 2.5\n" in
+  let messy = "nodes\t3\r\n\r\narc\t0  1\t10   1.5\r\narc 1\t2 20\t2.5\r\n" in
+  match (Topo_io.of_string canonical, Topo_io.of_string messy) with
+  | Ok a, Ok b ->
+      Alcotest.(check string) "same graph" (Topo_io.to_string a)
+        (Topo_io.to_string b)
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+let test_io_crlf_tab_roundtrip () =
+  (* Rewrite a full canonical serialization with CRLF endings and tab
+     separators: it must parse back to the byte-identical canonical
+     form. *)
+  let g = Isp.generate () in
+  let s = Topo_io.to_string g in
+  let buf = Buffer.create (String.length s * 2) in
+  String.iter
+    (function
+      | ' ' -> Buffer.add_char buf '\t'
+      | '\n' -> Buffer.add_string buf "\r\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  match Topo_io.of_string (Buffer.contents buf) with
+  | Error e -> Alcotest.fail e
+  | Ok g' -> Alcotest.(check string) "identical" s (Topo_io.to_string g')
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_io_rejects_invalid_values () =
+  (* Corpus of files that used to parse and then blow up deep inside a
+     search; each must now fail at parse time with a line number. *)
+  let cases =
+    [
+      ("nodes 2\narc 0 1 0 1\n", "line 2");
+      ("nodes 2\narc 0 1 -5 1\n", "line 2");
+      ("nodes 2\narc 0 1 10 -1\n", "line 2");
+      ("nodes 2\narc 0 1 nan 1\n", "line 2");
+      ("nodes 2\narc 0 1 10 nan\n", "line 2");
+      ("nodes 2\narc 0 1 inf 1\n", "line 2");
+      ("nodes 2\narc 0 1 10 inf\n", "line 2");
+      ("nodes 2\narc 0 1 -inf 1\n", "line 2");
+      ("nodes 0\n", "line 1");
+      ("nodes -3\n", "line 1");
+      ("nodes 2\n# comment\n\narc 0 1 0 1\n", "line 4");
+      ("nodes 2\narc 0 1 1\n", "line 2");
+      ("nodes 2\narc 0 1 1 1 1\n", "line 2");
+    ]
+  in
+  List.iter
+    (fun (src, frag) ->
+      match Topo_io.of_string src with
+      | Ok _ -> Alcotest.failf "accepted %S" src
+      | Error e ->
+          if not (contains_substring e frag) then
+            Alcotest.failf "error %S for %S does not mention %S" e src frag)
+    cases
+
+let prop_io_never_raises =
+  (* Arbitrary input must come back as Ok or Error, never an
+     exception. *)
+  QCheck.Test.make ~name:"of_string never raises on arbitrary input"
+    ~count:300
+    QCheck.(string_of_size Gen.(int_range 0 80))
+    (fun s ->
+      match Topo_io.of_string s with Ok _ | Error _ -> true)
+
 let prop_io_roundtrip_random_graphs =
   QCheck.Test.make ~name:"serialization roundtrips any generated graph"
     ~count:60
@@ -529,7 +600,14 @@ let () =
           Alcotest.test_case "comments and blanks" `Quick
             test_io_comments_and_blanks;
           Alcotest.test_case "errors" `Quick test_io_errors;
+          Alcotest.test_case "whitespace variants" `Quick
+            test_io_whitespace_variants;
+          Alcotest.test_case "CRLF/tab roundtrip" `Quick
+            test_io_crlf_tab_roundtrip;
+          Alcotest.test_case "invalid value corpus" `Quick
+            test_io_rejects_invalid_values;
           Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
+          QCheck_alcotest.to_alcotest prop_io_never_raises;
           QCheck_alcotest.to_alcotest prop_io_roundtrip_random_graphs;
           QCheck_alcotest.to_alcotest prop_weights_io_roundtrip;
         ] );
