@@ -301,6 +301,7 @@ let run_eval_bench () =
     Printf.fprintf oc
       "{\n\
       \  \"benchmark\": \"eval-1change\",\n\
+      \  \"manifest\": %s,\n\
       \  \"topology\": { \"nodes\": %d, \"arcs\": %d },\n\
       \  \"seed\": %d,\n\
       \  \"reps\": %d,\n\
@@ -308,7 +309,7 @@ let run_eval_bench () =
       \  \"delta_ns_per_eval_median\": %.1f,\n\
       \  \"speedup_median\": %.2f\n\
        }\n"
-      n m !seed reps full_med delta_med speedup;
+      (Meta.json ~seed:!seed) n m !seed reps full_med delta_med speedup;
     close_out oc;
     Printf.printf "wrote BENCH_eval.json\n\n%!"
   end
@@ -408,6 +409,7 @@ let run_scan_bench () =
     Printf.fprintf oc
       "{\n\
       \  \"benchmark\": \"scan-engine\",\n\
+      \  \"manifest\": %s,\n\
       \  \"topology\": { \"nodes\": %d, \"arcs\": %d },\n\
       \  \"seed\": %d,\n\
       \  \"candidates_per_scan\": %d,\n\
@@ -422,8 +424,8 @@ let run_scan_bench () =
       \  \"memo_misses\": %d,\n\
       \  \"memo_hit_rate\": %.3f\n\
        }\n"
-      n m !seed n_vals reps jobs cores seq_med par_med speedup !identical hits
-      misses hit_rate;
+      (Meta.json ~seed:!seed) n m !seed n_vals reps jobs cores seq_med par_med
+      speedup !identical hits misses hit_rate;
     close_out oc;
     Printf.printf "wrote BENCH_scan.json\n\n%!"
   end
@@ -484,6 +486,7 @@ let run_parallel_bench () =
     Printf.fprintf oc
       "{\n\
       \  \"benchmark\": \"multistart-dtr\",\n\
+      \  \"manifest\": %s,\n\
       \  \"preset\": %S,\n\
       \  \"seed\": %d,\n\
       \  \"restarts\": %d,\n\
@@ -494,7 +497,8 @@ let run_parallel_bench () =
       \  \"speedup\": %.2f,\n\
       \  \"bit_identical\": %b\n\
        }\n"
-      !preset_name !seed restarts jobs cores seq_s par_s speedup identical;
+      (Meta.json ~seed:!seed) !preset_name !seed restarts jobs cores seq_s par_s
+      speedup identical;
     close_out oc;
     Printf.printf "wrote BENCH_parallel.json\n\n%!"
   end
@@ -591,6 +595,7 @@ let run_trace_bench () =
     Printf.fprintf oc
       "{\n\
       \  \"benchmark\": \"trace-sink\",\n\
+      \  \"manifest\": %s,\n\
       \  \"topology\": { \"nodes\": %d, \"arcs\": %d },\n\
       \  \"seed\": %d,\n\
       \  \"iters\": %d,\n\
@@ -604,10 +609,95 @@ let run_trace_bench () =
       \  \"ring_probes_events\": %d,\n\
       \  \"dtr_convergence\": [\n%s\n  ]\n\
        }\n"
-      n (Graph.arc_count g) !seed iters reps disabled_ns ring_ns probes_ns
-      ring_pct probes_pct !ring_events !probe_events curve_json;
+      (Meta.json ~seed:!seed) n (Graph.arc_count g) !seed iters reps disabled_ns
+      ring_ns probes_ns ring_pct probes_pct !ring_events !probe_events
+      curve_json;
     close_out oc;
     Printf.printf "wrote BENCH_trace.json\n\n%!"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Metrics overhead: the same short STR run with the metrics registry
+   off vs on.  Disabled instrumentation is one predicted branch per
+   counter site (the same discipline as the disabled trace sink), so
+   the disabled run must not be measurably slower than pre-metrics
+   baselines — the guard fails the bench if it exceeds the enabled run
+   by more than noise, which would mean a call site allocates or locks
+   while disabled. *)
+
+let run_metrics_bench () =
+  Gc.compact ();
+  let module Metrics = Dtr_util.Metrics in
+  let module Str_search = Dtr_core.Str_search in
+  (* Same 50-node random topology as the delta-vs-full bench. *)
+  let root = Prng.create !seed in
+  let topo_rng = Prng.split root in
+  let traffic_rng = Prng.split root in
+  let g =
+    Dtr_topology.Random_topo.generate topo_rng
+      { Dtr_topology.Random_topo.default with nodes = 50; links = 250 }
+  in
+  let n = Graph.node_count g in
+  let tl = Dtr_traffic.Gravity.generate traffic_rng ~n Dtr_traffic.Gravity.default in
+  let pairs = Dtr_traffic.Highpri.random_pairs traffic_rng ~n ~density:0.10 in
+  let th = Dtr_traffic.Highpri.volumes traffic_rng ~low:tl ~fraction:0.30 ~pairs in
+  let problem = Problem.create ~graph:g ~th ~tl ~model:Objective.Load in
+  let iters = 80 in
+  let str_run () =
+    ignore (Str_search.run ~iters (Prng.create !seed) Search_config.quick problem)
+  in
+  str_run ();
+  let reps = 7 in
+  let sample f = median (Array.init reps (fun _ -> time_per_call f ~batch:1)) in
+  Metrics.set_enabled false;
+  let disabled_ns = sample str_run in
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  let enabled_ns = sample str_run in
+  (* One clean instrumented run for the artifact's counter snapshot. *)
+  Metrics.reset ();
+  str_run ();
+  let value name =
+    Metrics.counter_value (Metrics.counter ~help:"(bench lookup)" name)
+  in
+  let spf_runs = value "dtr_spf_runs_total" in
+  let probes = value "dtr_eval_probes_total" in
+  Metrics.set_enabled false;
+  Metrics.reset ();
+  let overhead_pct = (enabled_ns -. disabled_ns) /. disabled_ns *. 100. in
+  Printf.printf
+    "=== metrics registry: %d-iter STR, disabled vs enabled (%d nodes, %d \
+     arcs) ===\n"
+    iters n (Graph.arc_count g);
+  Printf.printf "%-36s %14.1f ns/run (median of %d)\n" "str-metrics-disabled"
+    disabled_ns reps;
+  Printf.printf "%-36s %14.1f ns/run (%+.1f%%)\n" "str-metrics-enabled"
+    enabled_ns overhead_pct;
+  Printf.printf "%-36s %8d SPF runs, %d probes per run\n\n%!"
+    "counters (1 run)" spf_runs probes;
+  (* Disabled-cost guard, mirroring the trace bench's. *)
+  if enabled_ns > 0. && disabled_ns > enabled_ns *. 1.5 then
+    failwith "disabled-metrics run slower than enabled run: guard broken";
+  if !json then begin
+    let oc = open_out "BENCH_metrics.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"benchmark\": \"metrics-registry\",\n\
+      \  \"manifest\": %s,\n\
+      \  \"topology\": { \"nodes\": %d, \"arcs\": %d },\n\
+      \  \"seed\": %d,\n\
+      \  \"iters\": %d,\n\
+      \  \"reps\": %d,\n\
+      \  \"disabled_ns_median\": %.1f,\n\
+      \  \"enabled_ns_median\": %.1f,\n\
+      \  \"enabled_overhead_pct\": %.2f,\n\
+      \  \"spf_runs_per_run\": %d,\n\
+      \  \"probes_per_run\": %d\n\
+       }\n"
+      (Meta.json ~seed:!seed) n (Graph.arc_count g) !seed iters reps disabled_ns
+      enabled_ns overhead_pct spf_runs probes;
+    close_out oc;
+    Printf.printf "wrote BENCH_metrics.json\n\n%!"
   end
 
 let () =
@@ -619,12 +709,14 @@ let () =
       run_scan_bench ();
       run_parallel_bench ();
       run_trace_bench ();
+      run_metrics_bench ();
       run_micro ()
   | Micro_only ->
       run_eval_bench ();
       run_scan_bench ();
       run_parallel_bench ();
       run_trace_bench ();
+      run_metrics_bench ();
       run_micro ()
   | Experiments_only -> run_experiments ());
   print_endline "bench: done"

@@ -1,0 +1,12 @@
+(* Provenance stamp shared by every BENCH_*.json artifact: which
+   source revision, toolchain, machine shape and seed produced the
+   numbers, so a checked-in benchmark file is comparable (or known
+   incomparable) with a rerun. *)
+
+let json ~seed =
+  Printf.sprintf
+    "{ \"git_rev\": %S, \"ocaml\": %S, \"cores\": %d, \"seed\": %d }"
+    (Dtr_core.Manifest.git_rev ())
+    Sys.ocaml_version
+    (Domain.recommended_domain_count ())
+    seed

@@ -166,11 +166,42 @@ let topo_cmd =
 
 let optimize_cmd =
   let run topology model fraction density util preset seed restarts jobs
-      scan_jobs save_weights trace_file =
+      scan_jobs save_weights trace_file trace_no_time metrics_file =
     let module Trace = Dtr_core.Trace in
+    let module Metrics = Dtr_util.Metrics in
     let preset = with_scan_jobs preset scan_jobs in
+    if metrics_file <> None then begin
+      Metrics.set_enabled true;
+      Metrics.reset ()
+    end;
     let spec = make_spec topology fraction density seed in
     let inst = Scenario.make spec in
+    (* One provenance record shared by every artifact of this run. *)
+    let manifest () =
+      Dtr_core.Manifest.to_json ~seed ~jobs ~restarts
+        ~model:(Objective.model_name model)
+        ~topology:(Scenario.topology_name topology)
+        ~config:preset ~graph:inst.Scenario.graph ()
+    in
+    let write_artifacts () =
+      (match metrics_file with
+      | None -> ()
+      | Some path ->
+          let put p s =
+            let oc = open_out p in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc s)
+          in
+          put path (Metrics.to_prometheus ());
+          put (path ^ ".json") (Metrics.to_json ());
+          Dtr_core.Manifest.write ~path:(path ^ ".manifest.json") (manifest ());
+          Printf.printf "metrics written to %s (+.json, +.manifest.json)\n" path);
+      match trace_file with
+      | None -> ()
+      | Some path ->
+          Dtr_core.Manifest.write ~path:(path ^ ".manifest.json") (manifest ())
+    in
     Printf.printf "scenario: %s topology, %s cost, f=%.0f%%, k=%.0f%%, target util %.2f\n%!"
       (Scenario.topology_name topology)
       (Objective.model_name model)
@@ -186,7 +217,9 @@ let optimize_cmd =
        for the convergence summaries printed at the end. *)
     let trace_oc = Option.map open_out trace_file in
     let jsonl =
-      match trace_oc with Some oc -> Trace.jsonl oc | None -> Trace.disabled
+      match trace_oc with
+      | Some oc -> Trace.jsonl ~timestamps:(not trace_no_time) oc
+      | None -> Trace.disabled
     in
     let str_ring =
       match trace_oc with Some _ -> Trace.ring () | None -> Trace.disabled
@@ -253,7 +286,8 @@ let optimize_cmd =
           (List.filter (fun (e : Trace.event) -> e.Trace.restart = 0) evs)
         ~dtr_evs:
           (List.filter (fun (e : Trace.event) -> e.Trace.restart = 1) evs);
-      save_dtr point.Dtr_experiments.Compare.dtr.Dtr_core.Dtr_search.best
+      save_dtr point.Dtr_experiments.Compare.dtr.Dtr_core.Dtr_search.best;
+      write_artifacts ()
     end
     else begin
       (* Multi-start: same PRNG derivation as Compare.run_point, with
@@ -299,7 +333,8 @@ let optimize_cmd =
            ~den:dtr.Multistart.objective.Lexico.secondary);
       print_convergence ~str_evs:(Trace.events str_ring)
         ~dtr_evs:(Trace.events dtr_ring);
-      save_dtr dtr.Multistart.best
+      save_dtr dtr.Multistart.best;
+      write_artifacts ()
     end
   in
   let restarts_arg =
@@ -328,6 +363,29 @@ let optimize_cmd =
             "Write one JSONL search-telemetry event per line to FILE \
              and print best-so-far convergence tables.  Every field \
              except the trailing t_us timestamp is byte-identical for \
+             every --jobs and --scan-jobs value.  A FILE.manifest.json \
+             provenance record is written alongside.")
+  in
+  let trace_no_time_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "trace-no-time" ]
+          ~doc:
+            "Zero the t_us timestamp field of every trace event at \
+             emission, making the JSONL output fully deterministic \
+             (byte-diffable without post-processing).")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Enable runtime metrics and write them to FILE \
+             (Prometheus text format) and FILE.json on exit, with a \
+             FILE.manifest.json provenance record.  Counter values \
+             above the nondeterministic marker are bit-identical for \
              every --jobs and --scan-jobs value.")
   in
   Cmd.v
@@ -335,7 +393,8 @@ let optimize_cmd =
     Term.(
       const run $ topology_arg $ model_arg $ fraction_arg $ density_arg
       $ util_arg $ preset_arg $ seed_arg $ restarts_arg $ jobs_arg
-      $ scan_jobs_arg $ save_arg $ trace_arg)
+      $ scan_jobs_arg $ save_arg $ trace_arg $ trace_no_time_arg
+      $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                         *)
@@ -479,22 +538,49 @@ let mtospf_cmd =
 (* inspect                                                            *)
 
 let inspect_cmd =
-  let run topology model fraction density util preset seed top scan_jobs =
+  let run topology model fraction density util preset seed top scan_jobs
+      weights_file =
+    let module Report = Dtr_routing.Report in
     let preset = with_scan_jobs preset scan_jobs in
     let spec = make_spec topology fraction density seed in
     let inst = Scenario.make spec in
     let inst = Scenario.scale_to_utilization inst ~target:util in
-    let problem = Scenario.problem inst ~model in
-    Printf.printf "optimizing DTR weights...\n%!";
-    let report =
-      Dtr_core.Dtr_search.run (Dtr_util.Prng.create seed) preset problem
+    let result =
+      match weights_file with
+      | Some path -> (
+          (* Inspect a deployed weight setting as-is — no search. *)
+          match Dtr_routing.Weights_io.load path with
+          | Error msg -> failwith msg
+          | Ok [| w |] ->
+              Objective.evaluate model inst.Scenario.graph ~wh:w ~wl:w
+                ~th:inst.Scenario.th ~tl:inst.Scenario.tl
+          | Ok [| wh; wl |] ->
+              Objective.evaluate model inst.Scenario.graph ~wh ~wl
+                ~th:inst.Scenario.th ~tl:inst.Scenario.tl
+          | Ok sets ->
+              failwith
+                (Printf.sprintf
+                   "%s: expected 1 or 2 weight topologies, found %d" path
+                   (Array.length sets)))
+      | None ->
+          let problem = Scenario.problem inst ~model in
+          Printf.printf "optimizing DTR weights...\n%!";
+          let report =
+            Dtr_core.Dtr_search.run (Dtr_util.Prng.create seed) preset problem
+          in
+          report.Dtr_core.Dtr_search.best.Problem.result
     in
-    let sol = report.Dtr_core.Dtr_search.best in
-    let eval = sol.Problem.result.Dtr_routing.Objective.eval in
-    print_endline (Dtr_util.Table.to_string (Dtr_routing.Report.summary_table eval));
+    let eval = result.Dtr_routing.Objective.eval in
+    let sla = result.Dtr_routing.Objective.sla in
     print_endline
-      (Dtr_util.Table.to_string (Dtr_routing.Report.per_link_table ~top eval));
-    match (model, sol.Problem.result.Dtr_routing.Objective.sla) with
+      (Dtr_util.Table.to_string (Report.summary_table ?sla eval));
+    print_endline
+      (Dtr_util.Table.to_string (Report.utilization_percentiles_table eval));
+    print_endline
+      (Dtr_util.Table.to_string (Report.per_link_table ~top eval));
+    print_endline
+      (Dtr_util.Table.to_string (Report.top_phi_table ~top eval));
+    match (model, sla) with
     | Objective.Sla params, Some sla ->
         let node_name =
           match topology with
@@ -506,7 +592,7 @@ let inspect_cmd =
         in
         print_endline
           (Dtr_util.Table.to_string
-             (Dtr_routing.Report.per_pair_delay_table ~top ~node_name sla params))
+             (Report.per_pair_delay_table ~top ~node_name sla params))
     | _ -> ()
   in
   let top_arg =
@@ -515,19 +601,56 @@ let inspect_cmd =
       & opt int 15
       & info [ "top" ] ~docv:"N" ~doc:"Rows per table.")
   in
+  let weights_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "weights" ] ~docv:"FILE"
+          ~doc:
+            "Inspect this saved weight setting (1 topology = STR, 2 = \
+             DTR) on the scenario instead of optimizing one.")
+  in
   Cmd.v
-    (Cmd.info "inspect" ~doc:"Optimize a scenario and print per-link/per-pair reports")
+    (Cmd.info "inspect"
+       ~doc:
+         "Print the network state of a weight setting: summary, \
+          utilization percentiles, per-link and costliest-link tables, \
+          per-pair SLA margins")
     Term.(
       const run $ topology_arg $ model_arg $ fraction_arg $ density_arg
-      $ util_arg $ preset_arg $ seed_arg $ top_arg $ scan_jobs_arg)
+      $ util_arg $ preset_arg $ seed_arg $ top_arg $ scan_jobs_arg
+      $ weights_arg)
+
+(* ------------------------------------------------------------------ *)
+(* version                                                            *)
+
+let version_cmd =
+  let run () = print_endline (Dtr_core.Manifest.build_info ()) in
+  Cmd.v
+    (Cmd.info "version" ~doc:"Print version, source revision and build info")
+    Term.(const run $ const ())
 
 let main_cmd =
   let info =
-    Cmd.info "dtr" ~version:"1.0.0"
+    Cmd.info "dtr" ~version:Dtr_core.Manifest.version
       ~doc:"Dual-topology routing for service differentiation (CoNEXT 2007 reproduction)"
   in
   Cmd.group info
     [ topo_cmd; optimize_cmd; experiment_cmd; simulate_cmd; mtospf_cmd;
-      inspect_cmd ]
+      inspect_cmd; version_cmd ]
 
-let () = exit (Cmd.eval main_cmd)
+(* Exit codes: 0 success, 1 runtime failure (bad input file, invalid
+   scenario, I/O error — one line on stderr), 2 usage error (Cmdliner
+   already printed the diagnostic). *)
+let () =
+  try
+    match Cmd.eval_value ~catch:false main_cmd with
+    | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
+    | Error _ -> exit 2
+  with
+  | Invalid_argument msg | Failure msg | Sys_error msg ->
+      Printf.eprintf "dtr: error: %s\n" msg;
+      exit 1
+  | e ->
+      Printf.eprintf "dtr: error: %s\n" (Printexc.to_string e);
+      exit 1

@@ -1,0 +1,50 @@
+(** Run manifests: provenance records emitted alongside trace, metrics
+    and bench artifacts.
+
+    A manifest ties a result file to the code revision, build, machine
+    shape, configuration, seed and topology that produced it, so an
+    artifact found in CI storage (or a colleague's scratch directory)
+    is self-describing.  Manifests contain no wall-clock timestamps:
+    re-running the same build on the same inputs writes byte-identical
+    manifests, which keeps them diffable in CI alongside the
+    deterministic metrics snapshot. *)
+
+val version : string
+(** Tool version string (matches the CLI's advertised version). *)
+
+val git_rev : unit -> string
+(** Source revision: the [DTR_GIT_REV] environment variable if set,
+    else [GITHUB_SHA], else [git rev-parse HEAD], else ["unknown"]. *)
+
+val build_info : unit -> string
+(** One-line human summary — version, revision, OCaml version, core
+    count — used by [dtr_cli --version]. *)
+
+val topology_digest : Dtr_graph.Graph.t -> string
+(** 16-hex-digit structural fingerprint of a graph: node/arc counts
+    and every arc's endpoints, capacity and delay (as IEEE bit
+    patterns) folded in arc-id order through {!Dtr_util.Vhash.combine}.
+    Equal graphs always digest equal; distinct graphs collide with
+    probability ~2{^-63}. *)
+
+val config_json : Search_config.t -> string
+(** JSON object with every field of a search configuration. *)
+
+val to_json :
+  ?seed:int ->
+  ?jobs:int ->
+  ?restarts:int ->
+  ?model:string ->
+  ?topology:string ->
+  ?config:Search_config.t ->
+  ?graph:Dtr_graph.Graph.t ->
+  unit ->
+  string
+(** One-line JSON manifest.  Always includes tool name, version, git
+    revision, OCaml version, OS type and core count; each optional
+    argument adds the corresponding field ([graph] adds node count,
+    arc count and {!topology_digest}). *)
+
+val write : path:string -> string -> unit
+(** Write a manifest (or any one-line JSON payload) to [path],
+    newline-terminated. *)

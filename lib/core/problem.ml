@@ -53,6 +53,16 @@ let eval_count = Atomic.make 0
 let full_count = Atomic.make 0
 let delta_count = Atomic.make 0
 
+module Metrics = Dtr_util.Metrics
+
+let m_full =
+  Metrics.counter ~help:"Full (from-scratch) objective evaluations."
+    "dtr_eval_full_total"
+
+let m_delta =
+  Metrics.counter ~help:"Incremental (delta) objective evaluations."
+    "dtr_eval_delta_total"
+
 type domain_counts = {
   mutable dc_eval : int;
   mutable dc_full : int;
@@ -65,6 +75,7 @@ let domain_counts_key =
 let count_full () =
   Atomic.incr eval_count;
   Atomic.incr full_count;
+  Metrics.incr_counter m_full;
   let c = Domain.DLS.get domain_counts_key in
   c.dc_eval <- c.dc_eval + 1;
   c.dc_full <- c.dc_full + 1
@@ -72,6 +83,7 @@ let count_full () =
 let count_delta () =
   Atomic.incr eval_count;
   Atomic.incr delta_count;
+  Metrics.incr_counter m_delta;
   let c = Domain.DLS.get domain_counts_key in
   c.dc_eval <- c.dc_eval + 1;
   c.dc_delta <- c.dc_delta + 1

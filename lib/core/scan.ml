@@ -2,6 +2,24 @@ module Pool = Dtr_util.Pool
 module Vhash = Dtr_util.Vhash
 module Vmemo = Dtr_util.Vmemo
 module Lexico = Dtr_cost.Lexico
+module Metrics = Dtr_util.Metrics
+
+let m_dispatches =
+  Metrics.counter ~help:"Neighborhood scans served by the scan engine."
+    "dtr_scan_dispatches_total"
+
+let m_candidates =
+  Metrics.counter ~help:"Candidates submitted to the scan engine."
+    "dtr_scan_candidates_total"
+
+let m_memo_served =
+  Metrics.counter ~help:"Scan candidates short-circuited by the memo."
+    "dtr_scan_memo_served_total"
+
+let m_batch =
+  Metrics.histogram
+    ~help:"Candidates actually evaluated (memo misses) per scan dispatch."
+    "dtr_scan_batch"
 
 type summary = { objective : Lexico.t; phi_h : float; phi_l : float }
 
@@ -99,6 +117,13 @@ let evaluate t ctx ?memo ?(trace = Trace.disabled) ~cls ~changes_of n =
     results.(i) <- Some s
   in
   let k = Array.length miss in
+  if Metrics.enabled () then begin
+    Metrics.incr_counter m_dispatches;
+    Metrics.add m_candidates n;
+    Metrics.add m_memo_served (n - k);
+    Metrics.observe m_batch (float_of_int k)
+  end;
+  Metrics.span "scan" @@ fun () ->
   (match t.pool with
   | Some pool when k > 1 ->
       let jobs = Pool.jobs pool in

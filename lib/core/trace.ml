@@ -62,18 +62,27 @@ and t = {
   mutable count : int;
   mutable last_us : float;
   t0 : float;
+  stamps : bool;
 }
 
-let make sink =
-  { sink; seq = 0; count = 0; last_us = 0.; t0 = Unix.gettimeofday () }
+let make ?(timestamps = true) sink =
+  {
+    sink;
+    seq = 0;
+    count = 0;
+    last_us = 0.;
+    t0 = Unix.gettimeofday ();
+    stamps = timestamps;
+  }
 
 let disabled = make Null
 
-let ring ?(capacity = max_int) () =
+let ring ?(capacity = max_int) ?timestamps () =
   if capacity < 1 then invalid_arg "Trace.ring: capacity must be positive";
-  make (Ring { buf = Array.make (min capacity 256) None; len = 0; head = 0; cap = capacity })
+  make ?timestamps
+    (Ring { buf = Array.make (min capacity 256) None; len = 0; head = 0; cap = capacity })
 
-let jsonl oc = make (Jsonl oc)
+let jsonl ?timestamps oc = make ?timestamps (Jsonl oc)
 
 let tee a b = make (Tee (a, b))
 
@@ -135,12 +144,16 @@ let rec record t (e : event) =
   match t.sink with
   | Null -> ()
   | Ring r ->
-      let e = { e with seq = t.seq } in
+      let e =
+        { e with seq = t.seq; time_us = (if t.stamps then e.time_us else 0.) }
+      in
       t.seq <- t.seq + 1;
       t.count <- t.count + 1;
       ring_push r e
   | Jsonl oc ->
-      let e = { e with seq = t.seq } in
+      let e =
+        { e with seq = t.seq; time_us = (if t.stamps then e.time_us else 0.) }
+      in
       t.seq <- t.seq + 1;
       t.count <- t.count + 1;
       output_string oc (to_json e);

@@ -71,14 +71,19 @@ val enabled : t -> bool
     payloads (the objective arrays) are never allocated when tracing
     is off. *)
 
-val ring : ?capacity:int -> unit -> t
+val ring : ?capacity:int -> ?timestamps:bool -> unit -> t
 (** In-memory sink.  Unbounded by default (it grows by doubling); with
     [capacity] it keeps only the most recent [capacity] events.
+    With [~timestamps:false] the sink zeroes [time_us] at recording,
+    making its output fully deterministic (byte-diffable in CI without
+    any post-processing).  Default [true].
     @raise Invalid_argument on [capacity < 1]. *)
 
-val jsonl : out_channel -> t
+val jsonl : ?timestamps:bool -> out_channel -> t
 (** Streaming sink: one JSON object per event per line, written at
-    emission.  The channel is not closed by the sink. *)
+    emission.  The channel is not closed by the sink.  [~timestamps]
+    as for {!ring}: [false] zeroes [t_us] on every emitted line,
+    including events replayed from worker rings. *)
 
 val tee : t -> t -> t
 (** Emit into both sinks (each assigns its own [seq]/[time_us]).

@@ -1,5 +1,22 @@
 let unreachable = max_int
 
+module Metrics = Dtr_util.Metrics
+
+(* Shared with Spf_delta (registration is idempotent by name): every
+   full per-destination SPF — initial builds and delta rebuilds alike
+   — counts here, with its bucket-queue traffic. *)
+let m_spf_runs =
+  Metrics.counter ~help:"Full single-destination SPF (Dijkstra) runs."
+    "dtr_spf_runs_total"
+
+let m_bucket_adds =
+  Metrics.counter ~help:"Bucket-queue insertions across all SPF runs."
+    "dtr_spf_bucket_adds_total"
+
+let m_bucket_pops =
+  Metrics.counter ~help:"Bucket-queue pops across all SPF runs."
+    "dtr_spf_bucket_pops_total"
+
 let validate_weights g ~weights =
   if Array.length weights <> Graph.arc_count g then
     invalid_arg "Dijkstra: weights length mismatch";
@@ -21,6 +38,10 @@ let validate g ~weights ~node =
    keys.  Lazy deletion as before; [adj v] lists candidate arc ids at
    [v], [other id] is the neighbor reached through arc [id]. *)
 let run n ~adj ~other ~weights ~start =
+  (* Hoisted metrics guard: when disabled the loop body pays one
+     predicted branch per queue op; totals are added once per run. *)
+  let mon = Metrics.enabled () in
+  let adds = ref 1 and pops = ref 0 in
   let dist = Array.make n unreachable in
   let settled = Array.make n false in
   let q = Dtr_util.Bucket_queue.create () in
@@ -31,6 +52,7 @@ let run n ~adj ~other ~weights ~start =
     match Dtr_util.Bucket_queue.pop_min q with
     | None -> continue := false
     | Some (_, v) ->
+        if mon then incr pops;
         if not settled.(v) then begin
           settled.(v) <- true;
           Array.iter
@@ -40,12 +62,18 @@ let run n ~adj ~other ~weights ~start =
                 let cand = dist.(v) + weights.(id) in
                 if cand < dist.(u) then begin
                   dist.(u) <- cand;
+                  if mon then incr adds;
                   Dtr_util.Bucket_queue.add q ~prio:cand u
                 end
               end)
             (adj v)
         end
   done;
+  if mon then begin
+    Metrics.incr_counter m_spf_runs;
+    Metrics.add m_bucket_adds !adds;
+    Metrics.add m_bucket_pops !pops
+  end;
   dist
 
 (* Binary-heap Dijkstra, kept as an independent reference

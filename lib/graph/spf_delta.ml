@@ -33,6 +33,40 @@ let classify dag ~u ~v ~before ~after =
     else Clean
   end
 
+module Metrics = Dtr_util.Metrics
+
+let m_updates =
+  Metrics.counter ~help:"Delta-SPF update calls (one per probe per group)."
+    "dtr_spf_delta_updates_total"
+
+let m_rebuilds =
+  Metrics.counter
+    ~help:"Destinations fully rebuilt by delta-SPF updates."
+    "dtr_spf_delta_rebuilds_total"
+
+let m_patches =
+  Metrics.counter
+    ~help:"Destinations patched (membership-only) by delta-SPF updates."
+    "dtr_spf_delta_patches_total"
+
+(* Same names as Dijkstra's counters: rebuild traffic is SPF traffic. *)
+let m_spf_runs =
+  Metrics.counter ~help:"Full single-destination SPF (Dijkstra) runs."
+    "dtr_spf_runs_total"
+
+let m_bucket_adds =
+  Metrics.counter ~help:"Bucket-queue insertions across all SPF runs."
+    "dtr_spf_bucket_adds_total"
+
+let m_bucket_pops =
+  Metrics.counter ~help:"Bucket-queue pops across all SPF runs."
+    "dtr_spf_bucket_pops_total"
+
+let m_dirty =
+  Metrics.histogram
+    ~help:"Dirty destinations (rebuilt or patched) per delta-SPF update."
+    "dtr_spf_delta_dirty"
+
 type workspace = {
   mutable settled : bool array;
   queue : Dtr_util.Bucket_queue.t;
@@ -47,6 +81,8 @@ let workspace () = { settled = [||]; queue = Dtr_util.Bucket_queue.create () }
    shortest-path distances, so they match Dijkstra.distances_to
    exactly. *)
 let distances_into ws g ~weights ~dst =
+  let mon = Metrics.enabled () in
+  let adds = ref 1 and pops = ref 0 in
   let n = Graph.node_count g in
   if Array.length ws.settled < n then ws.settled <- Array.make n false
   else Array.fill ws.settled 0 n false;
@@ -61,6 +97,7 @@ let distances_into ws g ~weights ~dst =
     match Dtr_util.Bucket_queue.pop_min q with
     | None -> continue := false
     | Some (_, v) ->
+        if mon then incr pops;
         if not settled.(v) then begin
           settled.(v) <- true;
           Array.iter
@@ -70,12 +107,18 @@ let distances_into ws g ~weights ~dst =
                 let cand = dist.(v) + weights.(id) in
                 if cand < dist.(u) then begin
                   dist.(u) <- cand;
+                  if mon then incr adds;
                   Dtr_util.Bucket_queue.add q ~prio:cand u
                 end
               end)
             (Graph.in_arcs g v)
         end
   done;
+  if mon then begin
+    Metrics.incr_counter m_spf_runs;
+    Metrics.add m_bucket_adds !adds;
+    Metrics.add m_bucket_pops !pops
+  end;
   dist
 
 let rebuild ws g ~weights ~dst =
@@ -118,6 +161,8 @@ let update ?ws g ~weights ~prev ~changes =
           (c, a.Graph.src, a.Graph.dst))
         changes
     in
+    let mon = Metrics.enabled () in
+    let rebuilt = ref 0 and patched = ref 0 in
     let n = Graph.node_count g in
     let dags = Array.copy prev in
     let dirty = ref [] in
@@ -140,12 +185,20 @@ let update ?ws g ~weights ~prev ~changes =
         endpoints;
       if !rebuilds > 0 || !patches > 1 then begin
         dags.(t) <- rebuild ws g ~weights ~dst:t;
+        if mon then incr rebuilt;
         dirty := t :: !dirty
       end
       else if !patches = 1 then begin
         dags.(t) <- patch_node g ~weights dag ~u:!patch_u;
+        if mon then incr patched;
         dirty := t :: !dirty
       end
     done;
+    if mon then begin
+      Metrics.incr_counter m_updates;
+      Metrics.add m_rebuilds !rebuilt;
+      Metrics.add m_patches !patched;
+      Metrics.observe m_dirty (float_of_int (!rebuilt + !patched))
+    end;
     (dags, !dirty)
   end

@@ -3,6 +3,27 @@ module Spf = Dtr_graph.Spf
 module Spf_delta = Dtr_graph.Spf_delta
 module Matrix = Dtr_traffic.Matrix
 module Fortz = Dtr_cost.Fortz
+module Metrics = Dtr_util.Metrics
+
+let m_probes =
+  Metrics.counter ~help:"Incremental probes built by evaluation contexts."
+    "dtr_eval_probes_total"
+
+let m_commits =
+  Metrics.counter ~help:"Probes committed into evaluation contexts."
+    "dtr_eval_commits_total"
+
+(* Clone/sync traffic scales with --scan-jobs (one clone per worker,
+   one sync per parallel scan per worker), so it is honest but
+   scheduling-dependent. *)
+let m_clones =
+  Metrics.counter ~det:false ~help:"Evaluation-context clones (one per scan worker)."
+    "dtr_eval_clones"
+
+let m_syncs =
+  Metrics.counter ~det:false
+    ~help:"Evaluation-context resynchronizations (blit-only, per parallel scan)."
+    "dtr_eval_syncs"
 
 type t = {
   graph : Graph.t;
@@ -151,6 +172,7 @@ let create ?dags g ~weights ~matrices =
    worker's probes; they are resynchronized from the original with
    [sync] (pure blits) instead of being rebuilt. *)
 let clone t =
+  Metrics.incr_counter m_clones;
   {
     t with
     group_w = Array.copy t.group_w;
@@ -169,6 +191,7 @@ let sync ~src ~dst =
     || Array.length src.group_w <> Array.length dst.group_w
     || class_count src <> class_count dst
   then invalid_arg "Eval_ctx.sync: incompatible contexts";
+  Metrics.incr_counter m_syncs;
   Array.blit src.group_w 0 dst.group_w 0 (Array.length src.group_w);
   Array.blit src.group_dags 0 dst.group_dags 0 (Array.length src.group_dags);
   for k = 0 to class_count src - 1 do
@@ -199,6 +222,7 @@ let probe t ~klass ~changes =
   if klass < 0 || klass >= class_count t then
     invalid_arg "Eval_ctx.probe: class out of range";
   t.probes <- t.probes + 1;
+  Metrics.incr_counter m_probes;
   let group = t.class_group.(klass) in
   let w = t.group_w.(group) in
   let spf_changes =
@@ -336,7 +360,8 @@ let commit (t : t) (p : probe) =
   List.iter (fun (k, row) -> t.phi_per_arc.(k) <- row) p.p_phi_rows;
   t.phi <- p.p_phi;
   t.generation <- t.generation + 1;
-  t.commits <- t.commits + 1
+  t.commits <- t.commits + 1;
+  Metrics.incr_counter m_commits
 
 let abort _t _p = ()
 

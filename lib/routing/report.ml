@@ -1,5 +1,6 @@
 module Graph = Dtr_graph.Graph
 module Table = Dtr_util.Table
+module Stats = Dtr_util.Stats
 module Sla = Dtr_cost.Sla
 
 let per_link_table ?top (e : Evaluate.t) =
@@ -46,23 +47,74 @@ let per_pair_delay_table ?top ?(node_name = string_of_int) (sla : Evaluate.sla)
       ~title:
         (Printf.sprintf "High-priority pair delays (SLA bound %.1f ms)"
            params.Sla.theta)
-      ~columns:[ "src"; "dst"; "delay (ms)"; "verdict"; "penalty" ]
+      ~columns:[ "src"; "dst"; "delay (ms)"; "margin (ms)"; "verdict"; "penalty" ]
   in
   List.iteri
     (fun i (s, t, d) ->
       if i < limit then
         Table.add_row table
           (if d = Float.infinity then
-             [ node_name s; node_name t; "-"; "UNREACHABLE"; "inf" ]
+             [ node_name s; node_name t; "-"; "-inf"; "UNREACHABLE"; "inf" ]
            else
              [
                node_name s;
                node_name t;
                Printf.sprintf "%.2f" d;
+               (* Slack against the SLA bound: positive = headroom. *)
+               Printf.sprintf "%+.2f" (params.Sla.theta -. d);
                (if Sla.violated params ~delay:d then "VIOLATED" else "ok");
                Printf.sprintf "%.1f" (Sla.penalty params ~delay:d);
              ]))
     pairs;
+  table
+
+let utilization_percentiles_table (e : Evaluate.t) =
+  let util = Evaluate.utilization e in
+  let h_util = Evaluate.h_utilization e in
+  let table =
+    Table.create ~title:"Link-utilization percentiles"
+      ~columns:[ "percentile"; "total util"; "H util" ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row table
+        [
+          (if Float.is_integer p then Printf.sprintf "p%.0f" p
+           else Printf.sprintf "p%g" p);
+          Printf.sprintf "%.3f" (Stats.percentile util p);
+          Printf.sprintf "%.3f" (Stats.percentile h_util p);
+        ])
+    [ 10.; 25.; 50.; 75.; 90.; 95.; 99.; 100. ];
+  table
+
+let top_phi_table ?top (e : Evaluate.t) =
+  let g = e.Evaluate.graph in
+  let m = Graph.arc_count g in
+  let cost id = e.Evaluate.phi_h_per_arc.(id) +. e.Evaluate.phi_l_per_arc.(id) in
+  let total = e.Evaluate.phi_h +. e.Evaluate.phi_l in
+  let ids = Array.init m (fun i -> i) in
+  Array.sort (fun a b -> Float.compare (cost b) (cost a)) ids;
+  let limit = match top with Some t -> min t m | None -> m in
+  let table =
+    Table.create ~title:"Costliest links (by total Fortz cost Phi_H + Phi_L)"
+      ~columns:[ "arc"; "link"; "util"; "PhiH"; "PhiL"; "total"; "share" ]
+  in
+  let util = Evaluate.utilization e in
+  for i = 0 to limit - 1 do
+    let id = ids.(i) in
+    let a = Graph.arc g id in
+    Table.add_row table
+      [
+        string_of_int id;
+        Printf.sprintf "%d->%d" a.Graph.src a.Graph.dst;
+        Printf.sprintf "%.3f" util.(id);
+        Printf.sprintf "%.1f" e.Evaluate.phi_h_per_arc.(id);
+        Printf.sprintf "%.1f" e.Evaluate.phi_l_per_arc.(id);
+        Printf.sprintf "%.1f" (cost id);
+        (if total > 0. then Printf.sprintf "%.1f%%" (100. *. cost id /. total)
+         else "-");
+      ]
+  done;
   table
 
 let convergence_table ?(title = "Convergence (best objective vs. evaluations)")
@@ -80,7 +132,7 @@ let convergence_table ?(title = "Convergence (best objective vs. evaluations)")
     curve;
   table
 
-let summary_table (e : Evaluate.t) =
+let summary_table ?sla (e : Evaluate.t) =
   let util = Evaluate.utilization e in
   let overloaded = Array.fold_left (fun acc u -> if u > 1. then acc + 1 else acc) 0 util in
   let table = Table.create ~title:"Evaluation summary" ~columns:[ "metric"; "value" ] in
@@ -91,4 +143,14 @@ let summary_table (e : Evaluate.t) =
   Table.add_row table
     [ "max utilization"; Printf.sprintf "%.3f" (Evaluate.max_utilization e) ];
   Table.add_row table [ "overloaded arcs (>1.0)"; string_of_int overloaded ];
+  (match sla with
+  | None -> ()
+  | Some (s : Evaluate.sla) ->
+      Table.add_row table [ "Lambda"; Printf.sprintf "%.4g" s.Evaluate.lambda ];
+      Table.add_row table
+        [ "SLA violations"; string_of_int s.Evaluate.violations ];
+      Table.add_row table
+        [ "unreachable pairs"; string_of_int s.Evaluate.unreachable ];
+      Table.add_row table
+        [ "worst pair delay (ms)"; Printf.sprintf "%.2f" s.Evaluate.worst_delay ]);
   table

@@ -14,8 +14,19 @@ val per_pair_delay_table :
   Dtr_cost.Sla.params ->
   Dtr_util.Table.t
 (** High-priority SD pairs sorted by decreasing expected delay, with
-    their SLA verdicts.  [node_name] renders endpoints (default: the
-    node id). *)
+    their slack against the SLA bound θ (positive margin = headroom)
+    and verdicts.  [node_name] renders endpoints (default: the node
+    id). *)
+
+val utilization_percentiles_table : Evaluate.t -> Dtr_util.Table.t
+(** Distribution of per-link utilization (total and high-priority
+    alone) at the p10/p25/p50/p75/p90/p95/p99/p100 order statistics —
+    the load-balance view of a routing. *)
+
+val top_phi_table : ?top:int -> Evaluate.t -> Dtr_util.Table.t
+(** Links sorted by their total Fortz cost [Φ_{H,l} + Φ_{L,l}], with
+    each link's share of the network-wide cost — where the objective
+    is actually being paid.  [top] limits the row count. *)
 
 val convergence_table :
   ?title:string -> (int * float array) list -> Dtr_util.Table.t
@@ -23,6 +34,7 @@ val convergence_table :
     vector)] points, e.g. from [Dtr_core.Trace.convergence] — one row
     per improvement, the objective components joined with [" / "]. *)
 
-val summary_table : Evaluate.t -> Dtr_util.Table.t
+val summary_table : ?sla:Evaluate.sla -> Evaluate.t -> Dtr_util.Table.t
 (** Aggregates: Φ_H, Φ_L, average/max utilization, overloaded-arc
-    count (utilization > 1). *)
+    count (utilization > 1); with [?sla] also Λ, violation /
+    unreachable-pair counts and the worst pair delay. *)

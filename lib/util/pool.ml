@@ -23,16 +23,35 @@ type t = {
 
 let jobs t = t.pool_jobs
 
+let m_batches =
+  Metrics.counter ~det:false
+    ~help:"Batches submitted to domain pools (task counts scale with the worker count)."
+    "dtr_pool_batches"
+
+let m_tasks =
+  Metrics.counter ~det:false ~help:"Tasks run by domain pools."
+    "dtr_pool_tasks"
+
 (* Claim-and-run loop shared by workers and the submitting domain.
    Task completion is recorded under the mutex so the submitter can
-   sleep on [batch_done] instead of spinning. *)
+   sleep on [batch_done] instead of spinning.  With metrics on, the
+   time each domain spends inside task bodies is accumulated under
+   "pool/busy" (the waiting side is "pool/wait", measured in
+   [worker]). *)
 let drain t batch =
+  let busy = Metrics.enabled () in
   let continue = ref true in
   while !continue do
     let i = Atomic.fetch_and_add batch.next 1 in
     if i >= batch.n then continue := false
     else begin
-      batch.run i;
+      if busy then begin
+        let t0 = Unix.gettimeofday () in
+        batch.run i;
+        Metrics.record "pool/busy" (Unix.gettimeofday () -. t0);
+        Metrics.incr_counter m_tasks
+      end
+      else batch.run i;
       Mutex.lock t.mutex;
       batch.completed <- batch.completed + 1;
       if batch.completed = batch.n then Condition.broadcast t.batch_done;
@@ -41,10 +60,12 @@ let drain t batch =
   done
 
 let rec worker t last_generation =
+  let t0 = if Metrics.enabled () then Unix.gettimeofday () else 0. in
   Mutex.lock t.mutex;
   while (not t.stopped) && t.generation = last_generation do
     Condition.wait t.work_ready t.mutex
   done;
+  if t0 > 0. then Metrics.record "pool/wait" (Unix.gettimeofday () -. t0);
   if t.stopped then Mutex.unlock t.mutex
   else begin
     let generation = t.generation in
@@ -96,6 +117,7 @@ let map t n ~f =
         invalid_arg "Pool.map: a batch is already in flight"
     | None -> ());
     t.batch <- Some batch;
+    Metrics.incr_counter m_batches;
     t.generation <- t.generation + 1;
     Condition.broadcast t.work_ready;
     Mutex.unlock t.mutex;

@@ -32,3 +32,8 @@ let vector ~cls w =
 
 let shift h ~cls ~arc ~before ~after =
   h lxor cell ~cls ~arc ~value:before lxor cell ~cls ~arc ~value:after
+
+(* Order-dependent chaining for digests of heterogeneous data (e.g. a
+   topology fingerprint): unlike the XOR-of-cells scheme this absorbs
+   arbitrary 63-bit words, at the price of losing incrementality. *)
+let combine h x = mix (h lxor mix x)

@@ -22,3 +22,8 @@ val shift : int -> cls:int -> arc:int -> before:int -> after:int -> int
 (** [shift h ~cls ~arc ~before ~after] is the hash of the vector
     hashing to [h] with [arc]'s value changed from [before] to
     [after]. *)
+
+val combine : int -> int -> int
+(** [combine h x] folds an arbitrary word into a digest — an
+    order-dependent mixing chain (not incremental, unlike {!shift}).
+    Used for whole-structure fingerprints such as topology digests. *)

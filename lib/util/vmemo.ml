@@ -18,6 +18,19 @@ type 'a t = {
   mutable misses : int;
 }
 
+let m_hits =
+  Metrics.counter ~help:"Memo lookups served from the table." "dtr_memo_hits_total"
+
+let m_misses =
+  Metrics.counter ~help:"Memo lookups that missed." "dtr_memo_misses_total"
+
+let m_inserts =
+  Metrics.counter ~help:"Entries added to memo tables." "dtr_memo_inserts_total"
+
+let m_grows =
+  Metrics.counter ~help:"Memo table growth events (load factor 1/2 reached)."
+    "dtr_memo_grows_total"
+
 let rec pow2_at_least c n = if n >= c then n else pow2_at_least c (2 * n)
 
 let create ?(capacity = 1024) () =
@@ -68,10 +81,12 @@ let find t signature =
   let i = slot t signature in
   if t.occupied.(i) then begin
     t.hits <- t.hits + 1;
+    Metrics.incr_counter m_hits;
     t.values.(i)
   end
   else begin
     t.misses <- t.misses + 1;
+    Metrics.incr_counter m_misses;
     None
   end
 
@@ -80,7 +95,11 @@ let add t signature v =
   if not t.occupied.(i) then begin
     t.signatures.(i) <- signature;
     t.occupied.(i) <- true;
-    t.size <- t.size + 1
+    t.size <- t.size + 1;
+    Metrics.incr_counter m_inserts
   end;
   t.values.(i) <- Some v;
-  if 2 * t.size > Array.length t.signatures then grow t
+  if 2 * t.size > Array.length t.signatures then begin
+    Metrics.incr_counter m_grows;
+    grow t
+  end

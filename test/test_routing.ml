@@ -808,7 +808,9 @@ let test_report_pair_delays () =
   match Table.rows t with
   | [ row ] ->
       Alcotest.(check string) "named source" "n0" (List.nth row 0);
-      Alcotest.(check string) "ok verdict" "ok" (List.nth row 3)
+      Alcotest.(check bool) "positive margin" true
+        (String.length (List.nth row 3) > 0 && (List.nth row 3).[0] = '+');
+      Alcotest.(check string) "ok verdict" "ok" (List.nth row 4)
   | _ -> Alcotest.fail "expected one row"
 
 let () =
