@@ -315,6 +315,85 @@ let run_eval_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Failure sweep: a full single-link failure sweep on the 50-node ISP
+   scenario through the delta engine (arc-suppression probes against a
+   live context) vs the from-scratch oracle (reduced graph + remapped
+   weights per link).  The two must agree bitwise, outcome for
+   outcome; the bench reports median wall times and the speedup. *)
+
+let run_failure_bench () =
+  Gc.compact ();
+  let module Failure_sweep = Dtr_routing.Failure_sweep in
+  let module Eval_ctx = Dtr_routing.Eval_ctx in
+  let root = Prng.create !seed in
+  let topo_rng = Prng.split root in
+  let traffic_rng = Prng.split root in
+  let weight_rng = Prng.split root in
+  let g =
+    Dtr_topology.Random_topo.generate topo_rng
+      { Dtr_topology.Random_topo.default with nodes = 50; links = 250 }
+  in
+  let n = Graph.node_count g in
+  let tl = Dtr_traffic.Gravity.generate traffic_rng ~n Dtr_traffic.Gravity.default in
+  let pairs = Dtr_traffic.Highpri.random_pairs traffic_rng ~n ~density:0.10 in
+  let th = Dtr_traffic.Highpri.volumes traffic_rng ~low:tl ~fraction:0.30 ~pairs in
+  let wh = Weights.random weight_rng g in
+  let wl = Weights.random weight_rng g in
+  let ctx = Eval_ctx.create g ~weights:[| wh; wl |] ~matrices:[| th; tl |] in
+  let links = Graph.undirected_link_pairs g in
+  let delta = Failure_sweep.sweep ~th ctx in
+  let oracle = Failure_sweep.oracle_sweep g ~wh ~wl ~th ~tl in
+  let identical =
+    Array.length delta = Array.length oracle
+    && Array.for_all2
+         (fun (a : Failure_sweep.outcome) (b : Failure_sweep.outcome) ->
+           Dtr_cost.Lexico.compare a.Failure_sweep.cost b.Failure_sweep.cost = 0
+           && a.Failure_sweep.unreachable_pairs
+              = b.Failure_sweep.unreachable_pairs)
+         delta oracle
+  in
+  let delta_once () = ignore (Failure_sweep.sweep ~th ctx) in
+  let oracle_once () = ignore (Failure_sweep.oracle_sweep g ~wh ~wl ~th ~tl) in
+  let reps = 5 in
+  let delta_ns = Array.init reps (fun _ -> time_per_call delta_once ~batch:1) in
+  let oracle_ns = Array.init reps (fun _ -> time_per_call oracle_once ~batch:1) in
+  let delta_med = median delta_ns and oracle_med = median oracle_ns in
+  let speedup = oracle_med /. delta_med in
+  let infinite = Failure_sweep.infinite_count delta in
+  Printf.printf
+    "=== failure sweep: %d-link single-failure sweep, delta vs from-scratch \
+     (%d nodes, %d arcs) ===\n"
+    (Array.length links) n (Graph.arc_count g);
+  Printf.printf "%-36s %14.2f ms/sweep (median of %d)\n" "failure-sweep-delta"
+    (delta_med /. 1e6) reps;
+  Printf.printf "%-36s %14.2f ms/sweep (median of %d)\n" "failure-sweep-oracle"
+    (oracle_med /. 1e6) reps;
+  Printf.printf "%-36s %14.2fx\n" "speedup" speedup;
+  Printf.printf "%-36s %14d\n" "infinite outcomes" infinite;
+  Printf.printf "%-36s %14b\n\n%!" "bit-identical outcomes" identical;
+  if not identical then failwith "failure sweep diverged from oracle";
+  if !json then begin
+    let oc = open_out "BENCH_failure.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"benchmark\": \"failure-sweep\",\n\
+      \  \"manifest\": %s,\n\
+      \  \"topology\": { \"nodes\": %d, \"arcs\": %d, \"links\": %d },\n\
+      \  \"seed\": %d,\n\
+      \  \"reps\": %d,\n\
+      \  \"delta_sweep_ms_median\": %.2f,\n\
+      \  \"oracle_sweep_ms_median\": %.2f,\n\
+      \  \"speedup_median\": %.2f,\n\
+      \  \"infinite_outcomes\": %d,\n\
+      \  \"bit_identical\": %b\n\
+       }\n"
+      (Meta.json ~seed:!seed) n (Graph.arc_count g) (Array.length links) !seed
+      reps (delta_med /. 1e6) (oracle_med /. 1e6) speedup infinite identical;
+    close_out oc;
+    Printf.printf "wrote BENCH_failure.json\n\n%!"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Scan engine: wall time of one full single-arc value scan (the STR
    hot loop) through Scan.evaluate at 1 domain vs N, a bit-identity
    check of the summaries, and the memo hit rate of a short STR run.
@@ -706,6 +785,7 @@ let () =
   | Both ->
       run_experiments ();
       run_eval_bench ();
+      run_failure_bench ();
       run_scan_bench ();
       run_parallel_bench ();
       run_trace_bench ();
@@ -713,6 +793,7 @@ let () =
       run_micro ()
   | Micro_only ->
       run_eval_bench ();
+      run_failure_bench ();
       run_scan_bench ();
       run_parallel_bench ();
       run_trace_bench ();

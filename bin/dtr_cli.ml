@@ -88,6 +88,53 @@ let scan_jobs_arg =
 let with_scan_jobs preset scan_jobs =
   { preset with Dtr_core.Search_config.scan_jobs }
 
+let robust_arg =
+  let mode_conv =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "single-link" -> Ok ()
+      | _ -> Error (`Msg "expected: single-link")
+    in
+    Arg.conv (parse, fun ppf () -> Format.pp_print_string ppf "single-link")
+  in
+  Arg.(
+    value
+    & opt (some mode_conv) None
+    & info [ "robust" ] ~docv:"MODE"
+        ~doc:
+          "Optimize the robust objective J = normal + alpha * penalty, \
+           where the penalty is the mean of the top-k worst finite \
+           single-link post-failure costs of a candidate (MODE: \
+           single-link).  Disconnecting failures are priced as \
+           infinite but excluded from the penalty — single-link \
+           reachability does not depend on the weights.")
+
+let alpha_arg =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "alpha" ] ~docv:"A"
+        ~doc:"Failure-penalty weight for --robust (default 1).")
+
+let top_k_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "top-k" ] ~docv:"K"
+        ~doc:
+          "How many worst finite failures the --robust penalty \
+           averages (default 1 = pure worst case).")
+
+let with_robust preset robust ~alpha ~top_k =
+  match robust with
+  | None -> preset
+  | Some () ->
+      {
+        preset with
+        Dtr_core.Search_config.robust =
+          Some { Dtr_core.Search_config.alpha; top_k };
+      }
+
 let topology_arg =
   Arg.(
     value
@@ -166,10 +213,12 @@ let topo_cmd =
 
 let optimize_cmd =
   let run topology model fraction density util preset seed restarts jobs
-      scan_jobs save_weights trace_file trace_no_time metrics_file =
+      scan_jobs robust alpha top_k save_weights trace_file trace_no_time
+      metrics_file =
     let module Trace = Dtr_core.Trace in
     let module Metrics = Dtr_util.Metrics in
     let preset = with_scan_jobs preset scan_jobs in
+    let preset = with_robust preset robust ~alpha ~top_k in
     if metrics_file <> None then begin
       Metrics.set_enabled true;
       Metrics.reset ()
@@ -267,6 +316,22 @@ let optimize_cmd =
       in
       pr "STR" point.Dtr_experiments.Compare.str.Dtr_core.Str_search.objective;
       pr "DTR" point.Dtr_experiments.Compare.dtr.Dtr_core.Dtr_search.objective;
+      (match preset.Dtr_core.Search_config.robust with
+      | None -> ()
+      | Some r ->
+          (* In robust mode the reported objective is J; show the
+             normal-cost share so the penalty is visible. *)
+          let prj name (best : Problem.solution) (j : Lexico.t) =
+            let n = Problem.objective best in
+            Printf.printf
+              "%-4s robust: J primary=%.6g (normal %.6g, alpha=%g, top-k=%d)\n"
+              name j.Lexico.primary n.Lexico.primary
+              r.Dtr_core.Search_config.alpha r.Dtr_core.Search_config.top_k
+          in
+          prj "STR" point.Dtr_experiments.Compare.str.Dtr_core.Str_search.best
+            point.Dtr_experiments.Compare.str.Dtr_core.Str_search.objective;
+          prj "DTR" point.Dtr_experiments.Compare.dtr.Dtr_core.Dtr_search.best
+            point.Dtr_experiments.Compare.dtr.Dtr_core.Dtr_search.objective);
       let prm name ~hits ~misses =
         Printf.printf "%-4s memo: %d hits / %d misses\n" name hits misses
       in
@@ -321,6 +386,18 @@ let optimize_cmd =
       in
       pr "STR" str;
       pr "DTR" dtr;
+      (match preset.Dtr_core.Search_config.robust with
+      | None -> ()
+      | Some r ->
+          let prj name (ms : Multistart.report) =
+            let n = Problem.objective ms.Multistart.best in
+            Printf.printf
+              "%-4s robust: J primary=%.6g (normal %.6g, alpha=%g, top-k=%d)\n"
+              name ms.Multistart.objective.Lexico.primary n.Lexico.primary
+              r.Dtr_core.Search_config.alpha r.Dtr_core.Search_config.top_k
+          in
+          prj "STR" str;
+          prj "DTR" dtr);
       Printf.printf "measured avg utilization: %.3f\n"
         (Dtr_routing.Evaluate.avg_utilization
            str.Multistart.best.Problem.result.Objective.eval);
@@ -393,8 +470,8 @@ let optimize_cmd =
     Term.(
       const run $ topology_arg $ model_arg $ fraction_arg $ density_arg
       $ util_arg $ preset_arg $ seed_arg $ restarts_arg $ jobs_arg
-      $ scan_jobs_arg $ save_arg $ trace_arg $ trace_no_time_arg
-      $ metrics_arg)
+      $ scan_jobs_arg $ robust_arg $ alpha_arg $ top_k_arg $ save_arg
+      $ trace_arg $ trace_no_time_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                         *)
@@ -545,18 +622,22 @@ let inspect_cmd =
     let spec = make_spec topology fraction density seed in
     let inst = Scenario.make spec in
     let inst = Scenario.scale_to_utilization inst ~target:util in
-    let result =
+    let wh, wl, result =
       match weights_file with
       | Some path -> (
           (* Inspect a deployed weight setting as-is — no search. *)
           match Dtr_routing.Weights_io.load path with
           | Error msg -> failwith msg
           | Ok [| w |] ->
-              Objective.evaluate model inst.Scenario.graph ~wh:w ~wl:w
-                ~th:inst.Scenario.th ~tl:inst.Scenario.tl
+              ( w,
+                w,
+                Objective.evaluate model inst.Scenario.graph ~wh:w ~wl:w
+                  ~th:inst.Scenario.th ~tl:inst.Scenario.tl )
           | Ok [| wh; wl |] ->
-              Objective.evaluate model inst.Scenario.graph ~wh ~wl
-                ~th:inst.Scenario.th ~tl:inst.Scenario.tl
+              ( wh,
+                wl,
+                Objective.evaluate model inst.Scenario.graph ~wh ~wl
+                  ~th:inst.Scenario.th ~tl:inst.Scenario.tl )
           | Ok sets ->
               failwith
                 (Printf.sprintf
@@ -568,7 +649,8 @@ let inspect_cmd =
           let report =
             Dtr_core.Dtr_search.run (Dtr_util.Prng.create seed) preset problem
           in
-          report.Dtr_core.Dtr_search.best.Problem.result
+          let best = report.Dtr_core.Dtr_search.best in
+          (best.Problem.wh, best.Problem.wl, best.Problem.result)
     in
     let eval = result.Dtr_routing.Objective.eval in
     let sla = result.Dtr_routing.Objective.sla in
@@ -580,6 +662,17 @@ let inspect_cmd =
       (Dtr_util.Table.to_string (Report.per_link_table ~top eval));
     print_endline
       (Dtr_util.Table.to_string (Report.top_phi_table ~top eval));
+    (* Single-link robustness of the inspected setting: one delta
+       sweep against a live context. *)
+    let ctx =
+      Dtr_routing.Eval_ctx.create inst.Scenario.graph ~weights:[| wh; wl |]
+        ~matrices:[| inst.Scenario.th; inst.Scenario.tl |]
+    in
+    let outcomes = Dtr_routing.Failure_sweep.sweep ~model ~th:inst.Scenario.th ctx in
+    print_endline
+      (Dtr_util.Table.to_string
+         (Report.robustness_table
+            ~baseline:result.Dtr_routing.Objective.objective outcomes));
     match (model, sla) with
     | Objective.Sla params, Some sla ->
         let node_name =

@@ -150,6 +150,12 @@ let run ?w0 ?on_progress ?(trace = Trace.disabled) rng cfg problem =
      is replaced by a full evaluation instead of a committed delta. *)
   let ctx = ref (Problem.ctx_of_solution problem !current) in
   let best = ref !current in
+  let robust = cfg.Search_config.robust in
+  (* The robust best's objective J = normal + alpha * penalty; in
+     normal mode it mirrors the best's normal objective, so the report
+     and phase summaries can read it unconditionally. *)
+  let best_j = ref (Problem.objective !best) in
+  let stall = ref 0 in
   let notify phase iteration =
     match on_progress with
     | None -> ()
@@ -182,19 +188,78 @@ let run ?w0 ?on_progress ?(trace = Trace.disabled) rng cfg problem =
         ~memo_misses:(Vmemo.misses memo) ()
     end
   in
+  let tell_sweep ~iteration ~detail ~normal ~(rp : Problem.robust_price)
+      ~accepted =
+    if Trace.enabled trace then begin
+      let e, f, d = Problem.domain_eval_counts () in
+      Trace.emit trace ~kind:Trace.Robust_sweep ~iteration ~detail
+        ~accepted ~before:(Trace.pair normal)
+        ~after:(Trace.pair rp.Problem.rp_objective) ~best:(Trace.pair !best_j)
+        ~evaluations:(e - eval0) ~full:(f - full0) ~delta:(d - delta0)
+        ~memo_hits:(Vmemo.hits memo) ~memo_misses:(Vmemo.misses memo)
+        ~value:rp.Problem.rp_penalty.Lexico.primary ()
+    end
+  in
+  (* Robust-mode incumbent update, shared by all three routines.  A
+     candidate is swept only when its normal cost beats the robust
+     best: J >= normal componentwise, so nothing better can hide
+     behind a worse normal cost, and sweeps grow rarer as the robust
+     best tightens.  [moved] skips candidates the pass left in place;
+     [count] distinguishes loop sites (improvement/stall bookkeeping)
+     from the inter-routine reconciliation, which keeps none. *)
+  let consider_best ~iteration ~detail ~moved ~count =
+    let on_improve () =
+      if count then begin
+        incr improvements;
+        stall := 0
+      end
+    in
+    let on_reject () = if count then incr stall in
+    match robust with
+    | None ->
+        if lex_lt (Problem.objective !current) (Problem.objective !best) then begin
+          best := !current;
+          best_j := Problem.objective !best;
+          on_improve ()
+        end
+        else on_reject ()
+    | Some r ->
+        let normal = Problem.objective !current in
+        if moved && lex_lt normal !best_j then begin
+          let rp =
+            Problem.robust_price problem !ctx ~alpha:r.Search_config.alpha
+              ~top_k:r.Search_config.top_k ~normal
+          in
+          let improved = lex_lt rp.Problem.rp_objective !best_j in
+          if improved then begin
+            best := !current;
+            best_j := rp.Problem.rp_objective
+          end;
+          tell_sweep ~iteration ~detail ~normal ~rp ~accepted:improved;
+          if improved then on_improve () else on_reject ()
+        end
+        else on_reject ()
+  in
+  (* Price the starting point so the robust best is comparable from
+     iteration one. *)
+  (match robust with
+  | None -> ()
+  | Some r ->
+      let normal = Problem.objective !current in
+      let rp =
+        Problem.robust_price problem !ctx ~alpha:r.Search_config.alpha
+          ~top_k:r.Search_config.top_k ~normal
+      in
+      best_j := rp.Problem.rp_objective;
+      tell_sweep ~iteration:0 ~detail:0 ~normal ~rp ~accepted:true);
 
   (* Routine 1: optimize W_H with W_L frozen. *)
-  let stall = ref 0 in
+  stall := 0;
   for iteration = 1 to cfg.Search_config.n_iters do
     let before = Problem.objective !current in
     let prev = !current in
     current := find_h_ctx scan ~memo ~trace:probe_trace rng cfg problem !ctx !current;
-    if lex_lt (Problem.objective !current) (Problem.objective !best) then begin
-      best := !current;
-      incr improvements;
-      stall := 0
-    end
-    else incr stall;
+    consider_best ~iteration ~detail:0 ~moved:(not (prev == !current)) ~count:true;
     tell Trace.Find_h ~iteration ~detail:0 ~before ~prev;
     if !stall >= cfg.Search_config.diversify_after then begin
       let before = Problem.objective !current in
@@ -210,7 +275,7 @@ let run ?w0 ?on_progress ?(trace = Trace.disabled) rng cfg problem =
     end;
     notify Optimize_h iteration
   done;
-  phase_objectives := (Optimize_h, Problem.objective !best) :: !phase_objectives;
+  phase_objectives := (Optimize_h, !best_j) :: !phase_objectives;
   phase_done ~iteration:cfg.Search_config.n_iters ~detail:0;
 
   (* Routine 2: freeze the best W_H, optimize W_L. *)
@@ -219,19 +284,13 @@ let run ?w0 ?on_progress ?(trace = Trace.disabled) rng cfg problem =
       ~h:(Problem.h_routing_of !best)
       ~l:(Problem.l_routing_of !current);
   ctx := Problem.ctx_of_solution problem !current;
-  if lex_lt (Problem.objective !current) (Problem.objective !best) then
-    best := !current;
+  consider_best ~iteration:0 ~detail:1 ~moved:true ~count:false;
   stall := 0;
   for iteration = 1 to cfg.Search_config.n_iters do
     let before = Problem.objective !current in
     let prev = !current in
     current := find_l_ctx scan ~memo ~trace:probe_trace rng cfg problem !ctx !current;
-    if lex_lt (Problem.objective !current) (Problem.objective !best) then begin
-      best := !current;
-      incr improvements;
-      stall := 0
-    end
-    else incr stall;
+    consider_best ~iteration ~detail:1 ~moved:(not (prev == !current)) ~count:true;
     tell Trace.Find_l ~iteration ~detail:1 ~before ~prev;
     if !stall >= cfg.Search_config.diversify_after then begin
       let before = Problem.objective !current in
@@ -247,7 +306,7 @@ let run ?w0 ?on_progress ?(trace = Trace.disabled) rng cfg problem =
     end;
     notify Optimize_l iteration
   done;
-  phase_objectives := (Optimize_l, Problem.objective !best) :: !phase_objectives;
+  phase_objectives := (Optimize_l, !best_j) :: !phase_objectives;
   phase_done ~iteration:cfg.Search_config.n_iters ~detail:1;
 
   (* Routine 3: joint refinement around the incumbent. *)
@@ -262,12 +321,9 @@ let run ?w0 ?on_progress ?(trace = Trace.disabled) rng cfg problem =
     let before_l = Problem.objective !current in
     let prev_l = !current in
     current := find_l_ctx scan ~memo ~trace:probe_trace rng cfg problem !ctx !current;
-    if lex_lt (Problem.objective !current) (Problem.objective !best) then begin
-      best := !current;
-      incr improvements;
-      stall := 0
-    end
-    else incr stall;
+    consider_best ~iteration ~detail:2
+      ~moved:(not (prev_h == !current) || not (prev_l == !current))
+      ~count:true;
     tell Trace.Find_l ~iteration ~detail:2 ~before:before_l ~prev:prev_l;
     if !stall >= cfg.Search_config.diversify_after then begin
       (* Restart from the incumbent, slightly perturbed on both sides. *)
@@ -286,12 +342,12 @@ let run ?w0 ?on_progress ?(trace = Trace.disabled) rng cfg problem =
     end;
     notify Refine iteration
   done;
-  phase_objectives := (Refine, Problem.objective !best) :: !phase_objectives;
+  phase_objectives := (Refine, !best_j) :: !phase_objectives;
   phase_done ~iteration:cfg.Search_config.k_iters ~detail:2;
 
   {
     best = !best;
-    objective = Problem.objective !best;
+    objective = !best_j;
     evaluations = Problem.domain_evaluations () - eval0;
     improvements = !improvements;
     memo_hits = Vmemo.hits memo;

@@ -379,3 +379,31 @@ let commit_delta t ctx d =
 
 let abort_delta ctx d =
   match d.d_probe with Some p -> Eval_ctx.abort ctx.ec p | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Failure-robust pricing: one single-link sweep against the context's
+   current weights, aggregated into the robust objective
+   J = normal + alpha * penalty.  The sweep runs sequentially on the
+   calling domain (its cost is bounded by the pruning rule in the
+   search loops: J >= normal, so only candidates whose normal cost
+   beats the robust best are ever swept). *)
+
+module Failure_sweep = Dtr_routing.Failure_sweep
+
+type robust_price = {
+  rp_objective : Lexico.t;  (* J = normal + alpha * penalty *)
+  rp_penalty : Lexico.t;  (* mean of the top_k worst finite failures *)
+  rp_infinite : int;  (* failures priced as infinite (severed demand) *)
+}
+
+let failure_outcomes ?pool t ctx =
+  Failure_sweep.sweep ?pool ~model:t.model ~th:t.th ctx.ec
+
+let robust_price t ctx ~alpha ~top_k ~normal =
+  let outcomes = failure_outcomes t ctx in
+  let penalty = Failure_sweep.penalty ~top_k outcomes in
+  {
+    rp_objective = Lexico.add normal (Lexico.scale alpha penalty);
+    rp_penalty = penalty;
+    rp_infinite = Failure_sweep.infinite_count outcomes;
+  }

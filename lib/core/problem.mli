@@ -159,6 +159,39 @@ val commit_delta : t -> ctx -> delta -> solution
 val abort_delta : ctx -> delta -> unit
 (** Discard a candidate (no-op; closes the apply/undo protocol). *)
 
+val failure_outcomes :
+  ?pool:Dtr_util.Pool.t ->
+  t ->
+  ctx ->
+  Dtr_routing.Failure_sweep.outcome array
+(** Price every single-link failure against the context's current
+    weights under the problem's cost model
+    ({!Dtr_routing.Failure_sweep.sweep}).  The context is not
+    modified; outcomes are in
+    {!Dtr_graph.Graph.undirected_link_pairs} order and identical for
+    every pool width. *)
+
+type robust_price = {
+  rp_objective : Dtr_cost.Lexico.t;
+      (** the robust objective [J = normal + alpha * penalty] *)
+  rp_penalty : Dtr_cost.Lexico.t;
+      (** mean of the [top_k] worst finite post-failure costs *)
+  rp_infinite : int;
+      (** failures priced as infinite (they sever positive demand) *)
+}
+
+val robust_price :
+  t ->
+  ctx ->
+  alpha:float ->
+  top_k:int ->
+  normal:Dtr_cost.Lexico.t ->
+  robust_price
+(** One sequential single-link sweep against the context's current
+    weights, aggregated into the robust objective.  [normal] is the
+    caller's current normal-cost objective (already known to every
+    search loop; not recomputed).  Pure: the context is unchanged. *)
+
 val evaluations : unit -> int
 (** Process-wide count of objective evaluations performed through this
     module (monotonic; used to report search effort).  Total: every

@@ -1,3 +1,9 @@
+(* Robust (failure-aware) search mode: optimize
+   normal_cost + alpha * penalty, where the penalty is the mean of the
+   top_k worst finite single-link post-failure costs
+   (Failure_sweep.penalty).  top_k = 1 is the pure worst case. *)
+type robust = { alpha : float; top_k : int }
+
 type t = {
   n_iters : int;
   k_iters : int;
@@ -12,6 +18,7 @@ type t = {
   seed_split : int;
   scan_jobs : int;
   trace_probes : bool;
+  robust : robust option;
 }
 
 let paper =
@@ -29,6 +36,7 @@ let paper =
     seed_split = 0;
     scan_jobs = 1;
     trace_probes = true;
+    robust = None;
   }
 
 let default =
@@ -74,4 +82,11 @@ let validate t =
   if t.tau < 0. then invalid_arg "Search_config: tau must be non-negative";
   if t.max_step < 1 then invalid_arg "Search_config: max_step must be positive";
   frac "scan_probability" t.scan_probability;
-  if t.scan_jobs < 1 then invalid_arg "Search_config: scan_jobs must be positive"
+  if t.scan_jobs < 1 then invalid_arg "Search_config: scan_jobs must be positive";
+  match t.robust with
+  | None -> ()
+  | Some r ->
+      if not (r.alpha >= 0.) then
+        invalid_arg "Search_config: robust alpha must be non-negative";
+      if r.top_k < 1 then
+        invalid_arg "Search_config: robust top_k must be positive"

@@ -5,6 +5,18 @@
     presets below reach the same qualitative STR/DTR gap in seconds.
     EXPERIMENTS.md records the preset used for every reported number. *)
 
+type robust = {
+  alpha : float;
+      (** weight of the failure penalty in the robust objective
+          [J = normal + alpha * penalty]; must be non-negative *)
+  top_k : int;
+      (** failures averaged by the penalty: the mean of the [top_k]
+          worst {e finite} single-link post-failure costs
+          ({!Dtr_routing.Failure_sweep.penalty}); [1] is the pure
+          worst case *)
+}
+(** Failure-robust search mode (CLI [--robust single-link]). *)
+
 type t = {
   n_iters : int;  (** [N]: iterations of routines 1 and 2 each *)
   k_iters : int;  (** [K]: iterations of the refinement routine *)
@@ -37,6 +49,15 @@ type t = {
           roughly [m_neighbors] (or 29, on a value scan) events per
           iteration — so long runs may want them off.  Ignored (zero
           cost) when tracing is disabled.  Default [true]. *)
+  robust : robust option;
+      (** when set, the searches pick their incumbent best by the
+          robust objective [J = normal + alpha * penalty(single-link
+          sweep)] instead of the normal cost alone.  Inner-loop scans
+          still descend the normal cost; a sweep only runs when a
+          candidate's normal cost beats the robust best (since
+          [J >= normal], nothing better can hide behind a worse
+          normal cost).  Default [None] — and with [None] every
+          search path is bit-identical to the non-robust build. *)
 }
 
 val paper : t

@@ -130,6 +130,11 @@ let run ?w0 ?iters ?on_progress ?(trace = Trace.disabled) rng cfg problem =
   let ctx = Problem.ctx_of_solution problem !current in
   observe !current;
   let best = ref !current in
+  let robust = cfg.Search_config.robust in
+  (* The robust best's objective J = normal + alpha * penalty; in
+     normal mode it simply mirrors the best's normal objective, so the
+     report can read it unconditionally. *)
+  let best_j = ref (Problem.objective !best) in
   let improvements = ref 0 in
   let stall = ref 0 in
   let n_vals = Weights.max_weight - Weights.min_weight in
@@ -149,6 +154,64 @@ let run ?w0 ?iters ?on_progress ?(trace = Trace.disabled) rng cfg problem =
         ~memo_hits:(Vmemo.hits memo) ~memo_misses:(Vmemo.misses memo) ()
     end
   in
+  let tell_sweep ~iteration ~normal ~(rp : Problem.robust_price) ~accepted =
+    if Trace.enabled trace then begin
+      let e, f, d = Problem.domain_eval_counts () in
+      Trace.emit trace ~kind:Trace.Robust_sweep ~iteration
+        ~detail:rp.Problem.rp_infinite ~accepted ~before:(Trace.pair normal)
+        ~after:(Trace.pair rp.Problem.rp_objective) ~best:(Trace.pair !best_j)
+        ~evaluations:(e - eval0) ~full:(f - full0) ~delta:(d - delta0)
+        ~memo_hits:(Vmemo.hits memo) ~memo_misses:(Vmemo.misses memo)
+        ~value:rp.Problem.rp_penalty.Dtr_cost.Lexico.primary ()
+    end
+  in
+  (* Robust-mode incumbent update.  A candidate is swept only when its
+     normal cost beats the robust best: J >= normal componentwise, so
+     nothing better can hide behind a worse normal cost, and the sweep
+     frequency decays as the robust best tightens.  [moved] skips
+     candidates the iteration left in place (their J was priced when
+     they were accepted). *)
+  let consider_best ~iteration ~moved =
+    match robust with
+    | None ->
+        if lex_lt (Problem.objective !current) (Problem.objective !best) then begin
+          best := !current;
+          best_j := Problem.objective !best;
+          incr improvements;
+          stall := 0
+        end
+        else incr stall
+    | Some r ->
+        let normal = Problem.objective !current in
+        if moved && lex_lt normal !best_j then begin
+          let rp =
+            Problem.robust_price problem ctx ~alpha:r.Search_config.alpha
+              ~top_k:r.Search_config.top_k ~normal
+          in
+          let improved = lex_lt rp.Problem.rp_objective !best_j in
+          if improved then begin
+            best := !current;
+            best_j := rp.Problem.rp_objective;
+            incr improvements;
+            stall := 0
+          end
+          else incr stall;
+          tell_sweep ~iteration ~normal ~rp ~accepted:improved
+        end
+        else incr stall
+  in
+  (* Price the starting point so the robust best is comparable from
+     iteration one. *)
+  (match robust with
+  | None -> ()
+  | Some r ->
+      let normal = Problem.objective !current in
+      let rp =
+        Problem.robust_price problem ctx ~alpha:r.Search_config.alpha
+          ~top_k:r.Search_config.top_k ~normal
+      in
+      best_j := rp.Problem.rp_objective;
+      tell_sweep ~iteration:0 ~normal ~rp ~accepted:true);
   for iteration = 1 to iters do
     let arc = pick_arc rng cfg ctx problem in
     let before = Problem.objective !current in
@@ -191,12 +254,7 @@ let run ?w0 ?iters ?on_progress ?(trace = Trace.disabled) rng cfg problem =
        let s = summaries.(!best_i) in
        if lex_lt s.Scan.objective (Problem.objective !current) then
          current := Scan.commit scan ctx ~cls:`H ~changes:[ (arc, vals.(!best_i)) ]);
-    if lex_lt (Problem.objective !current) (Problem.objective !best) then begin
-      best := !current;
-      incr improvements;
-      stall := 0
-    end
-    else incr stall;
+    consider_best ~iteration ~moved:(not (prev == !current));
     tell Trace.Str_scan ~iteration ~detail:arc ~before ~prev;
     if !stall >= cfg.Search_config.diversify_after then begin
       let before = Problem.objective !current in
@@ -217,7 +275,7 @@ let run ?w0 ?iters ?on_progress ?(trace = Trace.disabled) rng cfg problem =
   done;
   {
     best = !best;
-    objective = Problem.objective !best;
+    objective = !best_j;
     evaluations = Problem.domain_evaluations () - eval0;
     improvements = !improvements;
     memo_hits = Vmemo.hits memo;

@@ -10,6 +10,7 @@ type kind =
   | Diversify
   | Phase_done
   | Restart_done
+  | Robust_sweep
 
 let kind_name = function
   | Str_scan -> "str_scan"
@@ -21,6 +22,7 @@ let kind_name = function
   | Diversify -> "diversify"
   | Phase_done -> "phase_done"
   | Restart_done -> "restart_done"
+  | Robust_sweep -> "robust_sweep"
 
 type event = {
   seq : int;

@@ -33,6 +33,12 @@ type kind =
   | Diversify  (** stall-triggered perturbation *)
   | Phase_done  (** end of a search routine ([detail] = phase ordinal) *)
   | Restart_done  (** end of a multi-start restart ([detail] = index) *)
+  | Robust_sweep
+      (** one single-link failure sweep in robust mode ([detail] =
+          failures priced as infinite; [value] = failure penalty's
+          primary component; [before]/[after] = normal vs. robust
+          objective of the swept candidate; [accepted] = became the
+          robust best) *)
 
 val kind_name : kind -> string
 

@@ -23,6 +23,8 @@ let min ?rel_tol a b = if lt ?rel_tol b a then b else a
 let add a b =
   { primary = a.primary +. b.primary; secondary = a.secondary +. b.secondary }
 
+let scale f t = { primary = f *. t.primary; secondary = f *. t.secondary }
+
 let zero = { primary = 0.; secondary = 0. }
 
 let infinity = { primary = Float.infinity; secondary = Float.infinity }

@@ -28,6 +28,10 @@ val add : t -> t -> t
 (** Componentwise sum (used to accumulate per-link lexicographic link
     costs). *)
 
+val scale : float -> t -> t
+(** Componentwise scaling (used to weight the failure penalty in the
+    robust objective). *)
+
 val zero : t
 
 val infinity : t

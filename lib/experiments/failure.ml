@@ -4,73 +4,19 @@ module Pool = Dtr_util.Pool
 module Graph = Dtr_graph.Graph
 module Lexico = Dtr_cost.Lexico
 module Objective = Dtr_routing.Objective
+module Eval_ctx = Dtr_routing.Eval_ctx
+module Failure_sweep = Dtr_routing.Failure_sweep
 module Problem = Dtr_core.Problem
 module Search_config = Dtr_core.Search_config
 
-let fail_link g ~arc =
-  if arc < 0 || arc >= Graph.arc_count g then
-    invalid_arg "Failure.fail_link: arc out of range";
-  let target = Graph.arc g arc in
-  let drop (a : Graph.arc) =
-    (a.Graph.src = target.Graph.src && a.Graph.dst = target.Graph.dst)
-    || (a.Graph.src = target.Graph.dst && a.Graph.dst = target.Graph.src)
-  in
-  let survivors = ref [] and mapping = ref [] in
-  Array.iteri
-    (fun id a ->
-      if not (drop a) then begin
-        survivors := a :: !survivors;
-        mapping := id :: !mapping
-      end)
-    (Graph.arcs g);
-  let reduced = Graph.build ~n:(Graph.node_count g) (List.rev !survivors) in
-  if Graph.is_strongly_connected reduced then
-    Some (reduced, Array.of_list (List.rev !mapping))
-  else None
+let fail_link = Failure_sweep.fail_link
 
-let remap_weights w mapping = Array.map (fun orig -> w.(orig)) mapping
-
-(* Each link failure is an independent evaluation on its own reduced
-   graph, so the sweep parallelizes trivially: results are collected by
-   link index, which keeps the cost list (and hence the table) identical
-   for every [jobs] value. *)
-let post_failure_costs ?pool inst ~wh ~wl =
-  let g = inst.Scenario.graph in
-  let links = Graph.undirected_link_pairs g in
-  let eval_link i =
-    let a, _ = links.(i) in
-    match fail_link g ~arc:a with
-    | None -> None
-    | Some (reduced, mapping) ->
-        let wh' = remap_weights wh mapping in
-        let wl' = remap_weights wl mapping in
-        let r =
-          Objective.evaluate Objective.Load reduced ~wh:wh' ~wl:wl'
-            ~th:inst.Scenario.th ~tl:inst.Scenario.tl
-        in
-        Some r.Objective.objective
+let post_failure_costs ?pool ?(model = Objective.Load) inst ~wh ~wl =
+  let ctx =
+    Eval_ctx.create inst.Scenario.graph ~weights:[| wh; wl |]
+      ~matrices:[| inst.Scenario.th; inst.Scenario.tl |]
   in
-  let outcomes =
-    match pool with
-    | Some p -> Pool.map p (Array.length links) ~f:eval_link
-    | None ->
-        (* Explicit ascending loop: Array.init's order is unspecified. *)
-        let out = Array.make (Array.length links) None in
-        for i = 0 to Array.length links - 1 do
-          out.(i) <- eval_link i
-        done;
-        out
-  in
-  let costs = Array.fold_right (fun o acc ->
-      match o with Some c -> c :: acc | None -> acc)
-      outcomes []
-  in
-  let skipped =
-    Array.fold_left
-      (fun n o -> match o with None -> n + 1 | Some _ -> n)
-      0 outcomes
-  in
-  (costs, skipped)
+  Failure_sweep.sweep ?pool ~model ~th:inst.Scenario.th ctx
 
 let run ?(cfg = Search_config.quick) ?(jobs = 1) ?(seed = 79)
     ?(target_util = 0.55) () =
@@ -92,13 +38,40 @@ let run ?(cfg = Search_config.quick) ?(jobs = 1) ?(seed = 79)
       ~title:
         "Extension: single-link failure robustness without re-optimization (ISP, load cost)"
       ~columns:
-        [ "scheme"; "class"; "no-failure cost"; "mean post-failure"; "worst post-failure" ]
+        [
+          "scheme";
+          "class";
+          "no-failure cost";
+          "mean finite post-failure";
+          "worst post-failure";
+          "disconnecting";
+        ]
   in
   Pool.with_pool ~jobs @@ fun pool ->
   let describe name ~wh ~wl (baseline : Lexico.t) =
-    let costs, skipped = post_failure_costs ~pool inst ~wh ~wl in
-    let primaries = Array.of_list (List.map (fun c -> c.Lexico.primary) costs) in
-    let secondaries = Array.of_list (List.map (fun c -> c.Lexico.secondary) costs) in
+    let outcomes = post_failure_costs ~pool inst ~wh ~wl in
+    let finite =
+      Array.to_list outcomes
+      |> List.filter Failure_sweep.is_finite
+      |> List.map (fun (o : Failure_sweep.outcome) -> o.Failure_sweep.cost)
+    in
+    let infinite = Failure_sweep.infinite_count outcomes in
+    let severed =
+      Array.fold_left
+        (fun n (o : Failure_sweep.outcome) ->
+          n + o.Failure_sweep.unreachable_pairs)
+        0 outcomes
+    in
+    let primaries = Array.of_list (List.map (fun c -> c.Lexico.primary) finite) in
+    let secondaries =
+      Array.of_list (List.map (fun c -> c.Lexico.secondary) finite)
+    in
+    let disco =
+      if infinite = 0 then "0"
+      else Printf.sprintf "%d (%d pairs severed)" infinite severed
+    in
+    (* A disconnecting failure makes the worst-case cost infinite for
+       every weight setting — the honest number, not a skip. *)
     let row klass base arr =
       Table.add_row table
         [
@@ -106,30 +79,18 @@ let run ?(cfg = Search_config.quick) ?(jobs = 1) ?(seed = 79)
           klass;
           Printf.sprintf "%.4g" base;
           Printf.sprintf "%.4g" (Dtr_util.Stats.mean arr);
-          Printf.sprintf "%.4g" (Array.fold_left Float.max 0. arr);
+          (if infinite > 0 then "inf"
+           else Printf.sprintf "%.4g" (Array.fold_left Float.max 0. arr));
+          disco;
         ]
     in
     row "high" baseline.Lexico.primary primaries;
-    row "low" baseline.Lexico.secondary secondaries;
-    skipped
+    row "low" baseline.Lexico.secondary secondaries
   in
   let str_sol = str.Dtr_core.Str_search.best in
   let dtr_sol = dtr.Dtr_core.Dtr_search.best in
-  let s1 =
-    describe "STR" ~wh:str_sol.Problem.wh ~wl:str_sol.Problem.wl
-      str.Dtr_core.Str_search.objective
-  in
-  let s2 =
-    describe "DTR" ~wh:dtr_sol.Problem.wh ~wl:dtr_sol.Problem.wl
-      dtr.Dtr_core.Dtr_search.objective
-  in
-  if s1 + s2 > 0 then
-    Table.add_row table
-      [
-        "(skipped)";
-        "-";
-        Printf.sprintf "%d disconnecting failures" (s1 + s2);
-        "-";
-        "-";
-      ];
+  describe "STR" ~wh:str_sol.Problem.wh ~wl:str_sol.Problem.wl
+    str.Dtr_core.Str_search.objective;
+  describe "DTR" ~wh:dtr_sol.Problem.wh ~wl:dtr_sol.Problem.wl
+    dtr.Dtr_core.Dtr_search.objective;
   table

@@ -4,15 +4,23 @@
     OSPF/MT-OSPF reacts to a failure by re-running SPF on the surviving
     topology with the {e same} weights — no re-optimization.  This
     experiment optimizes STR and DTR weights on the ISP backbone, then
-    fails each physical (bidirectional) link in turn and re-evaluates
-    both classes on the reduced graph.  Reported per scheme: the
-    no-failure cost and the mean and worst post-failure costs.
+    fails each physical (bidirectional) link in turn and re-prices both
+    classes on the surviving topology.  Reported per scheme: the
+    no-failure cost, the mean over finite post-failure costs, the worst
+    post-failure cost, and the disconnecting-failure count.
 
-    Failures that disconnect the network are skipped (and counted).
+    Failures that sever positive demand are {e not} skipped: they are
+    priced as infinite outcomes (with their severed-pair counts), so
+    the worst-case column reads [inf] whenever the topology has a
+    demand-carrying cut link.  The sweep itself runs on the delta
+    engine ({!Dtr_routing.Failure_sweep.sweep}): each failure is an
+    arc-suppression probe against a live evaluation context, patching
+    only the destinations whose shortest-path DAGs used the failed
+    link.
 
     The per-link sweep is embarrassingly parallel; [?jobs] sets the
-    domain-pool width (default 1 = sequential).  Costs are collected by
-    link index, so the table is byte-identical for every [jobs]. *)
+    domain-pool width (default 1 = sequential).  Outcomes are collected
+    by link index, so the table is byte-identical for every [jobs]. *)
 
 val run :
   ?cfg:Dtr_core.Search_config.t ->
@@ -24,21 +32,26 @@ val run :
 
 val fail_link :
   Dtr_graph.Graph.t ->
-  arc:int ->
-  (Dtr_graph.Graph.t * int array) option
-(** Remove the physical link containing [arc] (both directions).
-    Returns the reduced graph and, for each surviving arc, its original
-    arc id (for weight remapping) — or [None] if the reduced graph is
-    no longer strongly connected.  Exposed for tests. *)
+  link:int * int ->
+  Dtr_graph.Graph.t * int array
+(** {!Dtr_routing.Failure_sweep.fail_link}: remove exactly the
+    undirected link [(a, b)] — arc [a] and its reverse twin [b] as
+    paired by {!Dtr_graph.Graph.undirected_link_pairs}, never any
+    parallel arcs between the same endpoints.  Returns the reduced
+    graph and, for each surviving arc, its original arc id (for weight
+    remapping).  The reduced graph may be disconnected; callers decide
+    what that means.  Exposed for tests. *)
 
 val post_failure_costs :
   ?pool:Dtr_util.Pool.t ->
+  ?model:Dtr_routing.Objective.model ->
   Scenario.instance ->
   wh:int array ->
   wl:int array ->
-  Dtr_cost.Lexico.t list * int
-(** Fail every physical link of the instance's graph in turn and
-    re-evaluate [(wh, wl)] on each surviving topology, on [pool] if
-    given.  Returns the per-link objectives in link-index order plus
-    the number of disconnecting (skipped) failures.  Exposed for
-    tests. *)
+  Dtr_routing.Failure_sweep.outcome array
+(** Price every single-link failure of the instance's graph against
+    [(wh, wl)] on the delta engine, on [pool] if given (default model:
+    [Load]).  One outcome per physical link in
+    {!Dtr_graph.Graph.undirected_link_pairs} order — disconnecting
+    failures appear as infinite-cost outcomes with their severed-pair
+    counts.  Identical for every pool width.  Exposed for tests. *)

@@ -1,5 +1,12 @@
 let unreachable = max_int
 
+(* Arcs carrying this weight are treated as absent.  The sentinel is
+   positive (so weight validation passes) but must never enter the
+   relaxation arithmetic: [dist + suppressed] wraps negative and would
+   win every comparison, so each kernel skips suppressed arcs
+   explicitly. *)
+let suppressed = max_int
+
 module Metrics = Dtr_util.Metrics
 
 (* Shared with Spf_delta (registration is idempotent by name): every
@@ -58,7 +65,7 @@ let run n ~adj ~other ~weights ~start =
           Array.iter
             (fun id ->
               let u = other id in
-              if not settled.(u) then begin
+              if (not settled.(u)) && weights.(id) <> suppressed then begin
                 let cand = dist.(v) + weights.(id) in
                 if cand < dist.(u) then begin
                   dist.(u) <- cand;
@@ -94,7 +101,7 @@ let run_heap n ~adj ~other ~weights ~start =
           Array.iter
             (fun id ->
               let u = other id in
-              if not settled.(u) then begin
+              if (not settled.(u)) && weights.(id) <> suppressed then begin
                 let cand = dist.(v) + weights.(id) in
                 if cand < dist.(u) then begin
                   dist.(u) <- cand;
@@ -144,7 +151,7 @@ let bellman_ford_to g ~weights ~dst =
     incr rounds;
     for id = 0 to m - 1 do
       let a = Graph.arc g id in
-      if dist.(a.dst) <> unreachable then begin
+      if dist.(a.dst) <> unreachable && weights.(id) <> suppressed then begin
         let cand = dist.(a.dst) + weights.(id) in
         if cand < dist.(a.src) then begin
           dist.(a.src) <- cand;

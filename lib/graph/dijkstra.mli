@@ -14,6 +14,14 @@
 val unreachable : int
 (** Sentinel distance ([max_int]). *)
 
+val suppressed : int
+(** Sentinel weight ([max_int]) marking an arc as failed/absent: every
+    kernel skips such arcs entirely, so a weight vector with
+    suppressed entries computes distances on the surviving subgraph.
+    Positive by construction, so it passes {!validate_weights} — the
+    failure machinery relies on that to reuse unmodified validation
+    paths. *)
+
 val distances_to : Graph.t -> weights:int array -> dst:int -> int array
 (** [distances_to g ~weights ~dst] returns [d] with [d.(v)] the least
     total weight of a directed path from [v] to [dst] ([0] for [dst]

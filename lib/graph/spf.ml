@@ -13,15 +13,22 @@ let node_next_arcs g ~weights ~dist v =
   Array.iter
     (fun id ->
       let d = dist.((Graph.arc g id).dst) in
-      if d <> Dijkstra.unreachable && weights.(id) + d = dist.(v) then
-        incr count)
+      if
+        d <> Dijkstra.unreachable
+        && weights.(id) <> Dijkstra.suppressed
+        && weights.(id) + d = dist.(v)
+      then incr count)
     out;
   let keep = Array.make !count 0 in
   let pos = ref 0 in
   Array.iter
     (fun id ->
       let d = dist.((Graph.arc g id).dst) in
-      if d <> Dijkstra.unreachable && weights.(id) + d = dist.(v) then begin
+      if
+        d <> Dijkstra.unreachable
+        && weights.(id) <> Dijkstra.suppressed
+        && weights.(id) + d = dist.(v)
+      then begin
         keep.(!pos) <- id;
         incr pos
       end)

@@ -8,6 +8,11 @@ type effect =
               tail node gains or loses that arc in its next-hop set *)
   | Rebuild  (* distances may move: full per-destination recompute *)
 
+(* [after = Dijkstra.suppressed] (arc failure) rides the weight-
+   increase branch below without special-casing: the branch never adds
+   [after] to anything, it only asks whether the arc was tight under
+   [before] — exactly the question "did any shortest path use the
+   failed arc?". *)
 let classify dag ~u ~v ~before ~after =
   let dv = dag.Spf.dist.(v) in
   if dv = Dijkstra.unreachable then Clean
@@ -103,7 +108,8 @@ let distances_into ws g ~weights ~dst =
           Array.iter
             (fun id ->
               let u = (Graph.arc g id).src in
-              if not settled.(u) then begin
+              if (not settled.(u)) && weights.(id) <> Dijkstra.suppressed
+              then begin
                 let cand = dist.(v) + weights.(id) in
                 if cand < dist.(u) then begin
                   dist.(u) <- cand;

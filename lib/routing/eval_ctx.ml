@@ -1,6 +1,7 @@
 module Graph = Dtr_graph.Graph
 module Spf = Dtr_graph.Spf
 module Spf_delta = Dtr_graph.Spf_delta
+module Dijkstra = Dtr_graph.Dijkstra
 module Matrix = Dtr_traffic.Matrix
 module Fortz = Dtr_cost.Fortz
 module Metrics = Dtr_util.Metrics
@@ -218,6 +219,74 @@ type probe = {
 
 let probe_phi p = Array.copy p.p_phi
 
+(* Shared patch tail of {!probe} and {!fail_probe}: given re-projected
+   per-destination contributions (tagged by class) and the arcs whose
+   contribution moved, rebuild the affected load totals, the residual-
+   capacity cascade and the Fortz rows.  Every touched arc is re-summed
+   over all destinations in ascending order and every touched Φ row is
+   re-folded whole, reproducing the from-scratch association exactly.
+   Classes without overrides are untouched, so callers may iterate all
+   classes or just one group's — the result is identical. *)
+let patch_rows t ~touched_list ~p_contrib =
+  let n = Graph.node_count t.graph in
+  let classes = class_count t in
+  let p_loads = ref [] in
+  for k = classes - 1 downto 0 do
+    let overrides = List.filter (fun (k', _, _) -> k' = k) p_contrib in
+    if overrides <> [] then begin
+      let view = Array.copy t.contrib.(k) in
+      List.iter (fun (_, dst, nc) -> view.(dst) <- nc) overrides;
+      let row = Array.copy t.loads.(k) in
+      List.iter
+        (fun a ->
+          let s = ref 0. in
+          for dst = 0 to n - 1 do
+            let c = view.(dst) in
+            if Array.length c > 0 then s := !s +. c.(a)
+          done;
+          row.(a) <- !s)
+        touched_list;
+      p_loads := (k, row) :: !p_loads
+    end
+  done;
+  let p_loads = !p_loads in
+  let load_row k =
+    match List.assoc_opt k p_loads with Some r -> r | None -> t.loads.(k)
+  in
+  (* Residual-capacity cascade and Fortz costs, patched downward from
+     the highest-priority class whose load moved (an H change reshapes
+     the residual every lower class is charged against). *)
+  let kmin = List.fold_left (fun acc (k, _) -> min acc k) classes p_loads in
+  let p_capacity = ref [] and p_phi_rows = ref [] in
+  let p_phi = Array.copy t.phi in
+  if kmin < classes then begin
+    let cap_rows = Array.make classes [||] in
+    for k = 0 to classes - 1 do
+      cap_rows.(k) <- t.capacity_seen.(k)
+    done;
+    for k = kmin + 1 to classes - 1 do
+      let row = Array.copy t.capacity_seen.(k) in
+      let above_cap = cap_rows.(k - 1) in
+      let above_load = load_row (k - 1) in
+      List.iter
+        (fun a -> row.(a) <- Float.max (above_cap.(a) -. above_load.(a)) 0.)
+        touched_list;
+      cap_rows.(k) <- row;
+      p_capacity := (k, row) :: !p_capacity
+    done;
+    for k = kmin to classes - 1 do
+      let loads_k = load_row k in
+      let caps_k = cap_rows.(k) in
+      let row = Array.copy t.phi_per_arc.(k) in
+      List.iter
+        (fun a -> row.(a) <- Fortz.phi ~load:loads_k.(a) ~capacity:caps_k.(a))
+        touched_list;
+      p_phi_rows := (k, row) :: !p_phi_rows;
+      p_phi.(k) <- fold_row row
+    done
+  end;
+  (p_loads, !p_capacity, !p_phi_rows, p_phi)
+
 let probe t ~klass ~changes =
   if klass < 0 || klass >= class_count t then
     invalid_arg "Eval_ctx.probe: class out of range";
@@ -243,9 +312,7 @@ let probe t ~klass ~changes =
       ~prev:t.group_dags.(group) ~changes:spf_changes
   in
   let g = t.graph in
-  let n = Graph.node_count g in
   let m = Graph.arc_count g in
-  let classes = class_count t in
   (* Re-project dirty destinations of every class in the group and mark
      the arcs whose contribution actually moved. *)
   let p_contrib = ref [] in
@@ -275,67 +342,9 @@ let probe t ~klass ~changes =
     t.group_classes.(group);
   let touched_list = !touched_list in
   let p_contrib = !p_contrib in
-  (* Patch per-class totals: every touched arc is re-summed over all
-     destinations in ascending order, reproducing the from-scratch
-     association exactly. *)
-  let p_loads = ref [] in
-  Array.iter
-    (fun k ->
-      let overrides = List.filter (fun (k', _, _) -> k' = k) p_contrib in
-      if overrides <> [] then begin
-        let view = Array.copy t.contrib.(k) in
-        List.iter (fun (_, dst, nc) -> view.(dst) <- nc) overrides;
-        let row = Array.copy t.loads.(k) in
-        List.iter
-          (fun a ->
-            let s = ref 0. in
-            for dst = 0 to n - 1 do
-              let c = view.(dst) in
-              if Array.length c > 0 then s := !s +. c.(a)
-            done;
-            row.(a) <- !s)
-          touched_list;
-        p_loads := (k, row) :: !p_loads
-      end)
-    t.group_classes.(group);
-  let p_loads = !p_loads in
-  let load_row k =
-    match List.assoc_opt k p_loads with Some r -> r | None -> t.loads.(k)
+  let p_loads, p_capacity, p_phi_rows, p_phi =
+    patch_rows t ~touched_list ~p_contrib
   in
-  (* Residual-capacity cascade and Fortz costs, patched downward from
-     the highest-priority class whose load moved (an H change reshapes
-     the residual every lower class is charged against). *)
-  let kmin =
-    List.fold_left (fun acc (k, _) -> min acc k) classes p_loads
-  in
-  let p_capacity = ref [] and p_phi_rows = ref [] in
-  let p_phi = Array.copy t.phi in
-  if kmin < classes then begin
-    let cap_rows = Array.make classes [||] in
-    for k = 0 to classes - 1 do
-      cap_rows.(k) <- t.capacity_seen.(k)
-    done;
-    for k = kmin + 1 to classes - 1 do
-      let row = Array.copy t.capacity_seen.(k) in
-      let above_cap = cap_rows.(k - 1) in
-      let above_load = load_row (k - 1) in
-      List.iter
-        (fun a -> row.(a) <- Float.max (above_cap.(a) -. above_load.(a)) 0.)
-        touched_list;
-      cap_rows.(k) <- row;
-      p_capacity := (k, row) :: !p_capacity
-    done;
-    for k = kmin to classes - 1 do
-      let loads_k = load_row k in
-      let caps_k = cap_rows.(k) in
-      let row = Array.copy t.phi_per_arc.(k) in
-      List.iter
-        (fun a -> row.(a) <- Fortz.phi ~load:loads_k.(a) ~capacity:caps_k.(a))
-        touched_list;
-      p_phi_rows := (k, row) :: !p_phi_rows;
-      p_phi.(k) <- fold_row row
-    done
-  end;
   {
     generation = t.generation;
     group;
@@ -344,8 +353,8 @@ let probe t ~klass ~changes =
     p_dirty;
     p_contrib;
     p_loads;
-    p_capacity = !p_capacity;
-    p_phi_rows = !p_phi_rows;
+    p_capacity;
+    p_phi_rows;
     p_phi;
   }
 
@@ -365,7 +374,160 @@ let commit (t : t) (p : probe) =
 
 let abort _t _p = ()
 
+(* ------------------------------------------------------------------ *)
+(* Failure probes: evaluate the context's current weights with one or
+   more arcs suppressed (a link failure), without touching committed
+   state.  Unlike {!probe} a failure hits every topology at once, so
+   the suppression delta runs through every group's DAGs; unlike
+   weight probes the result may be infinite — a failure that severs a
+   positive-demand pair cannot be priced by flow re-projection at all
+   ([Loads.propagate] would silently drop the severed demand,
+   reproducing the optimistic-cost bug one level down), so severed
+   probes short-circuit to an infinite objective with the severed-pair
+   count attached. *)
+
+let m_fail_probes =
+  Metrics.counter ~help:"Failure probes (link-failure delta evaluations)."
+    "dtr_eval_fail_probes_total"
+
+type failure = {
+  f_unreachable : int;  (* severed positive-demand (class, src, dst) pairs *)
+  f_dirty : int;  (* dirty destinations summed over groups *)
+  f_group_dags : Spf.dag array array;  (* group -> post-failure DAGs *)
+  f_phi_rows : float array array;  (* class -> post-failure Fortz row *)
+  f_phi : float array;  (* class -> post-failure Φ; all ∞ when severed *)
+}
+
+let failure_unreachable f = f.f_unreachable
+
+let failure_dirty f = f.f_dirty
+
+let failure_phi f = Array.copy f.f_phi
+
+let failure_dags t f k =
+  if k < 0 || k >= class_count t then
+    invalid_arg "Eval_ctx.failure_dags: class out of range";
+  f.f_group_dags.(t.class_group.(k))
+
+let failure_phi_row f k =
+  if k < 0 || k >= Array.length f.f_phi_rows then
+    invalid_arg "Eval_ctx.failure_phi_row: class out of range";
+  if f.f_unreachable > 0 then
+    invalid_arg "Eval_ctx.failure_phi_row: disconnecting failure has no rows";
+  f.f_phi_rows.(k)
+
+let fail_probe t ~arcs =
+  if arcs = [] then invalid_arg "Eval_ctx.fail_probe: no arcs";
+  List.iter
+    (fun a ->
+      if a < 0 || a >= Graph.arc_count t.graph then
+        invalid_arg "Eval_ctx.fail_probe: arc out of range")
+    arcs;
+  Metrics.incr_counter m_fail_probes;
+  let g = t.graph in
+  let n = Graph.node_count g in
+  let m = Graph.arc_count g in
+  let classes = class_count t in
+  let groups = Array.length t.group_w in
+  let group_dags = Array.make groups [||] in
+  let group_dirty = Array.make groups [] in
+  for gi = 0 to groups - 1 do
+    let w = t.group_w.(gi) in
+    let changes =
+      List.map
+        (fun arc ->
+          { Spf_delta.arc; before = w.(arc); after = Dijkstra.suppressed })
+        arcs
+    in
+    let new_w = Array.copy w in
+    List.iter (fun a -> new_w.(a) <- Dijkstra.suppressed) arcs;
+    let dags, dirty =
+      Spf_delta.update ~ws:t.ws g ~weights:new_w ~prev:t.group_dags.(gi)
+        ~changes
+    in
+    group_dags.(gi) <- dags;
+    group_dirty.(gi) <- dirty
+  done;
+  let f_dirty =
+    Array.fold_left (fun acc l -> acc + List.length l) 0 group_dirty
+  in
+  (* Severed positive-demand pairs.  Only dirty destinations can change
+     reachability, and demand rows were fixed against the no-failure
+     topology, so a positive entry at a now-unreachable source is
+     exactly a pair this failure cuts off. *)
+  let unreachable = ref 0 in
+  for k = 0 to classes - 1 do
+    let dags = group_dags.(t.class_group.(k)) in
+    List.iter
+      (fun dst ->
+        let dem = t.demand.(k).(dst) in
+        if Array.length dem > 0 then begin
+          let dist = dags.(dst).Spf.dist in
+          for s = 0 to n - 1 do
+            if dem.(s) > 0. && dist.(s) = Dijkstra.unreachable then
+              incr unreachable
+          done
+        end)
+      group_dirty.(t.class_group.(k))
+  done;
+  if !unreachable > 0 then
+    {
+      f_unreachable = !unreachable;
+      f_dirty;
+      f_group_dags = group_dags;
+      f_phi_rows = [||];
+      f_phi = Array.make classes Float.infinity;
+    }
+  else begin
+    (* Same re-projection discipline as {!probe}, over every group. *)
+    let p_contrib = ref [] in
+    let touched = Array.make m false in
+    let touched_list = ref [] in
+    for k = 0 to classes - 1 do
+      let dags = group_dags.(t.class_group.(k)) in
+      List.iter
+        (fun dst ->
+          let dem = t.demand.(k).(dst) in
+          if Array.length dem > 0 then begin
+            let nc =
+              Loads.destination_loads g ~dag:dags.(dst) ~demand_to_dst:dem
+            in
+            let oc = t.contrib.(k).(dst) in
+            let changed = ref false in
+            for a = 0 to m - 1 do
+              if nc.(a) <> oc.(a) then begin
+                changed := true;
+                if not touched.(a) then begin
+                  touched.(a) <- true;
+                  touched_list := a :: !touched_list
+                end
+              end
+            done;
+            if !changed then p_contrib := (k, dst, nc) :: !p_contrib
+          end)
+        group_dirty.(t.class_group.(k))
+    done;
+    let _, _, p_phi_rows, p_phi =
+      patch_rows t ~touched_list:!touched_list ~p_contrib:!p_contrib
+    in
+    let f_phi_rows =
+      Array.init classes (fun k ->
+          match List.assoc_opt k p_phi_rows with
+          | Some r -> r
+          | None -> t.phi_per_arc.(k))
+    in
+    {
+      f_unreachable = 0;
+      f_dirty;
+      f_group_dags = group_dags;
+      f_phi_rows;
+      f_phi = p_phi;
+    }
+  end
+
 let phi t = Array.copy t.phi
+
+let graph t = t.graph
 
 let weights t k =
   if k < 0 || k >= class_count t then invalid_arg "Eval_ctx.weights: class out of range";

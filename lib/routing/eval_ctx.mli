@@ -75,7 +75,51 @@ val abort : t -> probe -> unit
 (** Discard a probe.  A no-op — probes never touch the context — but
     marks the reject branch of the apply/undo protocol explicitly. *)
 
+type failure
+(** A link-failure evaluation: the full consequence of suppressing one
+    physical link's arcs in {e every} topology at once, computed
+    against — but never installed into — the context. *)
+
+val fail_probe : t -> arcs:int list -> failure
+(** [fail_probe t ~arcs] evaluates the context's current weights with
+    [arcs] removed from every class's topology (arc suppression via
+    {!Dtr_graph.Dijkstra.suppressed}; no graph rebuild, no weight
+    remapping).  Only destinations whose shortest-path DAGs used a
+    failed arc are re-screened and re-projected.  If the failure
+    severs any positive-demand pair the probe short-circuits: the
+    per-class objective is infinite and {!failure_unreachable} counts
+    the severed pairs.  Otherwise all patched quantities are bitwise
+    identical to a from-scratch evaluation of the reduced graph.
+    The context is not modified, and failure probes cannot be
+    committed.
+    @raise Invalid_argument on an empty list or arc id out of range. *)
+
+val failure_unreachable : failure -> int
+(** Severed positive-demand (class, source, destination) pairs; [0]
+    exactly when the failure leaves every demand routable. *)
+
+val failure_dirty : failure -> int
+(** Destinations re-screened as dirty (patched or rebuilt), summed
+    over weight-vector groups. *)
+
+val failure_phi : failure -> float array
+(** Post-failure per-class objective vector [Φ_k] (fresh copy); every
+    entry is [Float.infinity] for a disconnecting failure. *)
+
+val failure_dags : t -> failure -> int -> Dtr_graph.Spf.dag array
+(** Post-failure per-destination DAGs of a class (shared with the
+    context for untouched destinations; treat as immutable). *)
+
+val failure_phi_row : failure -> int -> float array
+(** Post-failure per-arc Fortz costs of a class — failed arcs carry
+    zero load and zero cost.  Feeds the SLA delay walk.
+    @raise Invalid_argument for a disconnecting failure (the rows are
+    not computed: severed demand cannot be projected). *)
+
 val class_count : t -> int
+
+val graph : t -> Dtr_graph.Graph.t
+(** The (shared) graph the context evaluates on. *)
 
 val phi : t -> float array
 (** Current per-class objective vector (fresh copy). *)

@@ -154,3 +154,47 @@ let summary_table ?sla (e : Evaluate.t) =
       Table.add_row table
         [ "worst pair delay (ms)"; Printf.sprintf "%.2f" s.Evaluate.worst_delay ]);
   table
+
+let robustness_table ~baseline outcomes =
+  let module Lexico = Dtr_cost.Lexico in
+  let finite =
+    Array.to_list outcomes
+    |> List.filter Failure_sweep.is_finite
+    |> List.map (fun (o : Failure_sweep.outcome) -> o.Failure_sweep.cost)
+  in
+  let infinite = Failure_sweep.infinite_count outcomes in
+  let severed =
+    Array.fold_left
+      (fun n (o : Failure_sweep.outcome) -> n + o.Failure_sweep.unreachable_pairs)
+      0 outcomes
+  in
+  let table =
+    Table.create ~title:"Single-link failure robustness (same weights, no re-optimization)"
+      ~columns:
+        [
+          "class";
+          "no-failure cost";
+          "mean finite post-failure";
+          "worst post-failure";
+          "disconnecting";
+        ]
+  in
+  let disco =
+    if infinite = 0 then "0"
+    else Printf.sprintf "%d (%d pairs severed)" infinite severed
+  in
+  let row klass base select =
+    let arr = Array.of_list (List.map select finite) in
+    Table.add_row table
+      [
+        klass;
+        Printf.sprintf "%.4g" base;
+        Printf.sprintf "%.4g" (Stats.mean arr);
+        (if infinite > 0 then "inf"
+         else Printf.sprintf "%.4g" (Array.fold_left Float.max 0. arr));
+        disco;
+      ]
+  in
+  row "high" baseline.Lexico.primary (fun c -> c.Lexico.primary);
+  row "low" baseline.Lexico.secondary (fun c -> c.Lexico.secondary);
+  table

@@ -38,3 +38,13 @@ val summary_table : ?sla:Evaluate.sla -> Evaluate.t -> Dtr_util.Table.t
 (** Aggregates: Φ_H, Φ_L, average/max utilization, overloaded-arc
     count (utilization > 1); with [?sla] also Λ, violation /
     unreachable-pair counts and the worst pair delay. *)
+
+val robustness_table :
+  baseline:Dtr_cost.Lexico.t ->
+  Failure_sweep.outcome array ->
+  Dtr_util.Table.t
+(** Per-class single-link failure robustness of a weight setting: the
+    no-failure cost against the mean finite and worst post-failure
+    costs over a {!Failure_sweep} outcome array, plus the
+    disconnecting-failure count (worst reads [inf] when positive —
+    never an optimistic skip). *)

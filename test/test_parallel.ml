@@ -11,6 +11,7 @@ module Matrix = Dtr_traffic.Matrix
 module Lexico = Dtr_cost.Lexico
 module Objective = Dtr_routing.Objective
 module Weights = Dtr_routing.Weights
+module Failure_sweep = Dtr_routing.Failure_sweep
 module Search_config = Dtr_core.Search_config
 module Problem = Dtr_core.Problem
 module Scan = Dtr_core.Scan
@@ -175,20 +176,17 @@ let test_failure_sweep_jobs_invariance () =
   let rng = Prng.create 17 in
   let wh = Weights.random rng inst.Scenario.graph in
   let wl = Weights.random rng inst.Scenario.graph in
-  let seq_costs, seq_skipped =
-    Dtr_experiments.Failure.post_failure_costs inst ~wh ~wl
-  in
+  let seq = Dtr_experiments.Failure.post_failure_costs inst ~wh ~wl in
   Pool.with_pool ~jobs:4 @@ fun pool ->
-  let par_costs, par_skipped =
-    Dtr_experiments.Failure.post_failure_costs ~pool inst ~wh ~wl
-  in
-  Alcotest.(check int) "same skipped" seq_skipped par_skipped;
-  Alcotest.(check int) "same count" (List.length seq_costs)
-    (List.length par_costs);
-  List.iter2
-    (fun a b ->
-      Alcotest.(check int) "same cost (exact)" 0 (Lexico.compare a b))
-    seq_costs par_costs
+  let par = Dtr_experiments.Failure.post_failure_costs ~pool inst ~wh ~wl in
+  Alcotest.(check int) "same count" (Array.length seq) (Array.length par);
+  Array.iter2
+    (fun (a : Failure_sweep.outcome) (b : Failure_sweep.outcome) ->
+      Alcotest.(check int) "same severed pairs" a.Failure_sweep.unreachable_pairs
+        b.Failure_sweep.unreachable_pairs;
+      Alcotest.(check int) "same cost (exact)" 0
+        (Lexico.compare a.Failure_sweep.cost b.Failure_sweep.cost))
+    seq par
 
 let test_run_all_jobs_invariance () =
   (* fig1 is search-free, so the whole comparison stays cheap. *)
