@@ -26,7 +26,9 @@
      dune exec bench/main.exe                 # both sections, quick preset
      dune exec bench/main.exe -- --micro      # micro-benchmarks only
      dune exec bench/main.exe -- --experiments  # experiments only
+     dune exec bench/main.exe -- --large        # 1k-10k-node tier only
      dune exec bench/main.exe -- --micro --json # also write BENCH_eval.json
+     dune exec bench/main.exe -- --large --json # also write BENCH_large.json
      dune exec bench/main.exe -- --only fig2a --only fig9
      dune exec bench/main.exe -- --preset default --seed 7 *)
 
@@ -45,7 +47,7 @@ module Scenario = Dtr_experiments.Scenario
 (* ------------------------------------------------------------------ *)
 (* Command line *)
 
-type mode = Both | Micro_only | Experiments_only
+type mode = Both | Micro_only | Experiments_only | Large_only
 
 let mode = ref Both
 
@@ -70,6 +72,9 @@ let parse_args () =
         go rest
     | "--experiments" :: rest ->
         mode := Experiments_only;
+        go rest
+    | "--large" :: rest ->
+        mode := Large_only;
         go rest
     | "--preset" :: p :: rest ->
         (preset :=
@@ -779,6 +784,28 @@ let run_metrics_bench () =
     Printf.printf "wrote BENCH_metrics.json\n\n%!"
   end
 
+(* ------------------------------------------------------------------ *)
+(* Large-topology tier: the 1k-10k-node presets through demand-only
+   evaluation contexts (Dtr_experiments.Large_bench); [--json] writes
+   BENCH_large.json with one row per preset: full-eval time, probe
+   latency percentiles, evals/sec and peak RSS. *)
+
+let run_large_bench () =
+  let module Large_bench = Dtr_experiments.Large_bench in
+  print_endline "=== large-topology tier (1k-10k nodes, demand-only contexts) ===";
+  let names = Dtr_topology.Large.names () in
+  let rows =
+    Large_bench.run ~progress:(Printf.printf "%s\n%!") ~seed:!seed names
+  in
+  print_endline (Dtr_util.Table.to_string (Large_bench.table rows));
+  if !json then begin
+    let oc = open_out "BENCH_large.json" in
+    output_string oc
+      (Large_bench.to_json ~seed:!seed ~probes:Large_bench.default_probes rows);
+    close_out oc;
+    Printf.printf "wrote BENCH_large.json\n\n%!"
+  end
+
 let () =
   parse_args ();
   (match !mode with
@@ -799,5 +826,6 @@ let () =
       run_trace_bench ();
       run_metrics_bench ();
       run_micro ()
-  | Experiments_only -> run_experiments ());
+  | Experiments_only -> run_experiments ()
+  | Large_only -> run_large_bench ());
   print_endline "bench: done"

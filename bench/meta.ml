@@ -1,12 +1,16 @@
 (* Provenance stamp shared by every BENCH_*.json artifact: which
    source revision, toolchain, machine shape and seed produced the
    numbers, so a checked-in benchmark file is comparable (or known
-   incomparable) with a rerun. *)
+   incomparable) with a rerun.  peak_rss_kb is sampled at stamp time —
+   the harness stamps after the measured work, capturing its
+   high-water mark. *)
 
 let json ~seed =
   Printf.sprintf
-    "{ \"git_rev\": %S, \"ocaml\": %S, \"cores\": %d, \"seed\": %d }"
+    "{ \"git_rev\": %S, \"ocaml\": %S, \"cores\": %d, \"seed\": %d, \
+     \"peak_rss_kb\": %d }"
     (Dtr_core.Manifest.git_rev ())
     Sys.ocaml_version
     (Domain.recommended_domain_count ())
     seed
+    (Dtr_util.Metrics.peak_rss_kb ())

@@ -5,7 +5,9 @@
      optimize    run the STR and DTR weight searches on a scenario
      experiment  regenerate a paper figure/table (or all of them)
      simulate    packet-level replay of an optimized scenario
-     mtospf      flood a weight pair through the MT-OSPF control plane *)
+     mtospf      flood a weight pair through the MT-OSPF control plane
+     gen         generate a 1k-10k-node topology preset + PoP demand
+     bench       run the large-topology benchmark tier *)
 
 open Cmdliner
 
@@ -715,6 +717,156 @@ let inspect_cmd =
       $ weights_arg)
 
 (* ------------------------------------------------------------------ *)
+(* gen                                                                *)
+
+let gen_cmd =
+  let run preset_name list seed out dot =
+    let module Large = Dtr_topology.Large in
+    let module Graph = Dtr_graph.Graph in
+    if list then begin
+      Array.iter
+        (fun p ->
+          Printf.printf "%-8s %6d nodes  (%d PoPs)\n" p.Large.name
+            (Large.node_count p) p.Large.pops)
+        Large.presets;
+      `Ok ()
+    end
+    else
+      match preset_name with
+      | None -> `Error (false, "pass a preset name (see --list)")
+      | Some name -> (
+          match Large.find name with
+          | None ->
+              `Error
+                ( false,
+                  Printf.sprintf "unknown preset: %s (expected one of: %s)"
+                    name
+                    (String.concat ", " (Large.names ())) )
+          | Some p ->
+              let root = Dtr_util.Prng.create seed in
+              let topo_rng = Dtr_util.Prng.split root in
+              let traffic_rng = Dtr_util.Prng.split root in
+              let t0 = Unix.gettimeofday () in
+              let g = Large.generate topo_rng p in
+              let gen_s = Unix.gettimeofday () -. t0 in
+              let n = Graph.node_count g in
+              let m = Graph.arc_count g in
+              let degs = Array.make n 0 in
+              for a = 0 to m - 1 do
+                degs.(Graph.src g a) <- degs.(Graph.src g a) + 1
+              done;
+              let dmin = Array.fold_left min max_int degs in
+              let dmax = Array.fold_left max 0 degs in
+              Printf.printf
+                "%s: %d nodes, %d arcs, strongly connected: %b (%.2f s)\n"
+                p.Large.name n m
+                (Graph.is_strongly_connected g)
+                gen_s;
+              Printf.printf "out-degree: min %d, mean %.1f, max %d\n" dmin
+                (float_of_int m /. float_of_int n)
+                dmax;
+              let pops = Large.pop_nodes g p in
+              let tm =
+                Dtr_traffic.Gravity.generate_pop traffic_rng ~n ~pops
+                  Dtr_traffic.Gravity.default
+              in
+              let pairs = ref 0 and volume = ref 0. in
+              Dtr_traffic.Matrix.iter tm (fun _ _ v ->
+                  incr pairs;
+                  volume := !volume +. v);
+              Printf.printf
+                "PoP gravity demand: %d PoPs, %d pairs, total volume %.0f\n"
+                (Array.length pops) !pairs !volume;
+              (match out with
+              | Some path ->
+                  Dtr_topology.Topo_io.save g path;
+                  Printf.printf "saved to %s\n" path
+              | None -> ());
+              if dot then print_string (Graph.to_dot g);
+              `Ok ())
+  in
+  let preset_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"PRESET"
+          ~doc:"Large-topology preset (ts-1k, ts-5k, ts-10k, pl-1k, pl-5k, pl-10k).")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List available presets.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Save the topology to a file.")
+  in
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Print Graphviz output.")
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Generate a real-ISP-scale topology preset (1k-10k nodes) with its \
+          PoP-level gravity demand and print summary statistics")
+    Term.(
+      ret (const run $ preset_arg $ list_arg $ seed_arg $ out_arg $ dot_arg))
+
+(* ------------------------------------------------------------------ *)
+(* bench                                                              *)
+
+let bench_cmd =
+  let run presets seed probes json_out =
+    let module Large_bench = Dtr_experiments.Large_bench in
+    let names =
+      match presets with [] -> Dtr_topology.Large.names () | ps -> ps
+    in
+    let rows =
+      Large_bench.run ~probes ~progress:(Printf.printf "%s\n%!") ~seed names
+    in
+    print_endline (Dtr_util.Table.to_string (Large_bench.table rows));
+    match json_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc (Large_bench.to_json ~seed ~probes rows));
+        Printf.printf "wrote %s\n" path
+  in
+  let presets_arg =
+    Arg.(
+      value
+      & pos_all string []
+      & info [] ~docv:"PRESET"
+          ~doc:
+            "Large-topology presets to benchmark (default: all six, in \
+             ascending node-count order).")
+  in
+  let probes_arg =
+    Arg.(
+      value
+      & opt int Dtr_experiments.Large_bench.default_probes
+      & info [ "probes" ] ~docv:"N"
+          ~doc:"Timed single-weight-change probes per preset.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the rows and a provenance stamp to FILE as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the large-topology benchmark tier: demand-only evaluation \
+          contexts at 1k-10k nodes, full-eval time, probe latency \
+          percentiles, evals/sec and peak RSS per preset")
+    Term.(const run $ presets_arg $ seed_arg $ probes_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
 (* version                                                            *)
 
 let version_cmd =
@@ -730,7 +882,7 @@ let main_cmd =
   in
   Cmd.group info
     [ topo_cmd; optimize_cmd; experiment_cmd; simulate_cmd; mtospf_cmd;
-      inspect_cmd; version_cmd ]
+      inspect_cmd; gen_cmd; bench_cmd; version_cmd ]
 
 (* Exit codes: 0 success, 1 runtime failure (bad input file, invalid
    scenario, I/O error — one line on stderr), 2 usage error (Cmdliner

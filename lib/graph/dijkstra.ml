@@ -39,19 +39,42 @@ let validate g ~weights ~node =
   validate_weights g ~weights;
   validate_node g ~node
 
-(* Dial's algorithm: weights are bounded positive integers, so tentative
-   distances are monotone integer priorities and a bucket queue settles
-   the whole graph in O(m + maxdist) — no comparisons, no boxed float
-   keys.  Lazy deletion as before; [adj v] lists candidate arc ids at
-   [v], [other id] is the neighbor reached through arc [id]. *)
-let run n ~adj ~other ~weights ~start =
+(* Preallocated arena for the per-run scratch state: the settled set
+   and the bucket queue are reused across runs (sized lazily from the
+   graph), so a sweep over all destinations allocates only the
+   distance arrays its dags keep. *)
+type workspace = {
+  mutable settled : bool array;
+  queue : Dtr_util.Bucket_queue.t;
+}
+
+let workspace () = { settled = [||]; queue = Dtr_util.Bucket_queue.create () }
+
+let scratch ws n =
+  if Array.length ws.settled < n then ws.settled <- Array.make n false
+  else Array.fill ws.settled 0 n false;
+  Dtr_util.Bucket_queue.clear ws.queue;
+  (ws.settled, ws.queue)
+
+(* Dial's algorithm over the flat CSR rows: weights are bounded
+   positive integers, so tentative distances are monotone integer
+   priorities and a bucket queue settles the whole graph in
+   O(m + maxdist) — no comparisons, no boxed float keys, no per-node
+   adjacency allocation.  [off]/[ids] are the CSR adjacency for the
+   search direction and [endpoint.(id)] the neighbor reached through
+   arc [id].  The distance array is fresh (callers keep it); settled
+   set and queue come from the workspace when given. *)
+let run_flat ?ws n ~off ~ids ~endpoint ~weights ~start =
   (* Hoisted metrics guard: when disabled the loop body pays one
      predicted branch per queue op; totals are added once per run. *)
   let mon = Metrics.enabled () in
   let adds = ref 1 and pops = ref 0 in
   let dist = Array.make n unreachable in
-  let settled = Array.make n false in
-  let q = Dtr_util.Bucket_queue.create () in
+  let settled, q =
+    match ws with
+    | Some ws -> scratch ws n
+    | None -> (Array.make n false, Dtr_util.Bucket_queue.create ())
+  in
   dist.(start) <- 0;
   Dtr_util.Bucket_queue.add q ~prio:0 start;
   let continue = ref true in
@@ -62,18 +85,19 @@ let run n ~adj ~other ~weights ~start =
         if mon then incr pops;
         if not settled.(v) then begin
           settled.(v) <- true;
-          Array.iter
-            (fun id ->
-              let u = other id in
-              if (not settled.(u)) && weights.(id) <> suppressed then begin
-                let cand = dist.(v) + weights.(id) in
-                if cand < dist.(u) then begin
-                  dist.(u) <- cand;
-                  if mon then incr adds;
-                  Dtr_util.Bucket_queue.add q ~prio:cand u
-                end
-              end)
-            (adj v)
+          let dv = dist.(v) in
+          for k = off.(v) to off.(v + 1) - 1 do
+            let id = ids.(k) in
+            let u = endpoint.(id) in
+            if (not settled.(u)) && weights.(id) <> suppressed then begin
+              let cand = dv + weights.(id) in
+              if cand < dist.(u) then begin
+                dist.(u) <- cand;
+                if mon then incr adds;
+                Dtr_util.Bucket_queue.add q ~prio:cand u
+              end
+            end
+          done
         end
   done;
   if mon then begin
@@ -113,12 +137,10 @@ let run_heap n ~adj ~other ~weights ~start =
   done;
   dist
 
-let distances_to_unchecked g ~weights ~dst =
+let distances_to_unchecked ?ws g ~weights ~dst =
   validate_node g ~node:dst;
-  run (Graph.node_count g)
-    ~adj:(Graph.in_arcs g)
-    ~other:(fun id -> (Graph.arc g id).src)
-    ~weights ~start:dst
+  run_flat ?ws (Graph.node_count g) ~off:(Graph.in_offsets g)
+    ~ids:(Graph.in_arc_ids g) ~endpoint:(Graph.srcs g) ~weights ~start:dst
 
 let distances_to g ~weights ~dst =
   validate_weights g ~weights;
@@ -128,20 +150,19 @@ let distances_to_heap g ~weights ~dst =
   validate g ~weights ~node:dst;
   run_heap (Graph.node_count g)
     ~adj:(Graph.in_arcs g)
-    ~other:(fun id -> (Graph.arc g id).src)
+    ~other:(fun id -> Graph.src g id)
     ~weights ~start:dst
 
 let distances_from g ~weights ~src =
   validate g ~weights ~node:src;
-  run (Graph.node_count g)
-    ~adj:(Graph.out_arcs g)
-    ~other:(fun id -> (Graph.arc g id).dst)
-    ~weights ~start:src
+  run_flat (Graph.node_count g) ~off:(Graph.out_offsets g)
+    ~ids:(Graph.out_arc_ids g) ~endpoint:(Graph.dsts g) ~weights ~start:src
 
 let bellman_ford_to g ~weights ~dst =
   validate g ~weights ~node:dst;
   let n = Graph.node_count g in
   let m = Graph.arc_count g in
+  let srcs = Graph.srcs g and dsts = Graph.dsts g in
   let dist = Array.make n unreachable in
   dist.(dst) <- 0;
   let changed = ref true in
@@ -150,11 +171,10 @@ let bellman_ford_to g ~weights ~dst =
     changed := false;
     incr rounds;
     for id = 0 to m - 1 do
-      let a = Graph.arc g id in
-      if dist.(a.dst) <> unreachable && weights.(id) <> suppressed then begin
-        let cand = dist.(a.dst) + weights.(id) in
-        if cand < dist.(a.src) then begin
-          dist.(a.src) <- cand;
+      if dist.(dsts.(id)) <> unreachable && weights.(id) <> suppressed then begin
+        let cand = dist.(dsts.(id)) + weights.(id) in
+        if cand < dist.(srcs.(id)) then begin
+          dist.(srcs.(id)) <- cand;
           changed := true
         end
       end

@@ -22,6 +22,14 @@ val suppressed : int
     failure machinery relies on that to reuse unmodified validation
     paths. *)
 
+type workspace
+(** Preallocated scratch arena (settled set + bucket queue) reused
+    across runs; the distance arrays themselves are always fresh, so
+    results never alias the workspace. *)
+
+val workspace : unit -> workspace
+(** An empty arena; buffers are sized lazily on first use. *)
+
 val distances_to : Graph.t -> weights:int array -> dst:int -> int array
 (** [distances_to g ~weights ~dst] returns [d] with [d.(v)] the least
     total weight of a directed path from [v] to [dst] ([0] for [dst]
@@ -29,11 +37,13 @@ val distances_to : Graph.t -> weights:int array -> dst:int -> int array
     @raise Invalid_argument if [weights] has the wrong length, contains
     a non-positive weight, or [dst] is out of range. *)
 
-val distances_to_unchecked : Graph.t -> weights:int array -> dst:int -> int array
+val distances_to_unchecked :
+  ?ws:workspace -> Graph.t -> weights:int array -> dst:int -> int array
 (** {!distances_to} without the O(m) weight validation — for callers
     that validate once per weight vector ({!validate_weights}) and
     then sweep every destination ({!Spf.all_destinations}).  The O(1)
-    node-range check is kept.
+    node-range check is kept.  [?ws] reuses the given arena's scratch
+    buffers instead of allocating per call.
     @raise Invalid_argument if [dst] is out of range. *)
 
 val distances_to_heap : Graph.t -> weights:int array -> dst:int -> int array

@@ -1,10 +1,36 @@
+(* CSR-style flat-array graph core.
+
+   Arcs live in four parallel rows indexed by arc id (src, dst,
+   capacity, delay); adjacency is offset-indexed into two flat id
+   arrays (out_ids / in_ids) instead of a per-node array of arrays.
+   Within a node's segment arc ids appear in ascending order — the
+   same enumeration order the previous record-based representation
+   produced — so everything downstream that depends on iteration
+   order (tight-arc lists, load summation) is bit-identical.
+
+   A second per-source index (out_by_dst, sorted by (dst, id) within
+   each segment) backs the binary-search find_arc without disturbing
+   the canonical enumeration order.
+
+   OCaml float arrays are already unboxed flat buffers, so cap/del
+   are the flat per-arc float rows — no Bigarray needed. *)
+
 type arc = { src : int; dst : int; capacity : float; delay : float }
 
 type t = {
   n : int;
-  arcs : arc array;
-  out_adj : int array array;
-  in_adj : int array array;
+  m : int;
+  arc_src : int array;  (* m: source node per arc id *)
+  arc_dst : int array;  (* m: destination node per arc id *)
+  cap : float array;  (* m: capacity per arc id; shared, never mutated *)
+  del : float array;  (* m: delay per arc id; shared, never mutated *)
+  out_off : int array;  (* n+1: segment offsets into out_ids *)
+  out_ids : int array;  (* m: arc ids leaving each node, ascending id *)
+  in_off : int array;  (* n+1: segment offsets into in_ids *)
+  in_ids : int array;  (* m: arc ids entering each node, ascending id *)
+  out_by_dst : int array;
+      (* m: out_ids re-sorted by (dst, id) within each source segment,
+         for binary-search find_arc *)
 }
 
 let validate_arc n a =
@@ -14,59 +40,119 @@ let validate_arc n a =
   if a.capacity <= 0. then invalid_arg "Graph.build: non-positive capacity";
   if a.delay < 0. then invalid_arg "Graph.build: negative delay"
 
+(* Counting sort by endpoint: a stable pass over ascending arc ids, so
+   each node's segment lists its arcs in ascending id order. *)
+let segment_index n m endpoint =
+  let off = Array.make (n + 1) 0 in
+  for id = 0 to m - 1 do
+    let v = endpoint.(id) in
+    off.(v + 1) <- off.(v + 1) + 1
+  done;
+  for v = 1 to n do
+    off.(v) <- off.(v) + off.(v - 1)
+  done;
+  let ids = Array.make m 0 in
+  let pos = Array.sub off 0 n in
+  for id = 0 to m - 1 do
+    let v = endpoint.(id) in
+    ids.(pos.(v)) <- id;
+    pos.(v) <- pos.(v) + 1
+  done;
+  (off, ids)
+
 let build ~n arcs =
   if n <= 0 then invalid_arg "Graph.build: need at least one node";
   let arcs = Array.of_list arcs in
   Array.iter (validate_arc n) arcs;
-  let out_deg = Array.make n 0 and in_deg = Array.make n 0 in
-  Array.iter
-    (fun a ->
-      out_deg.(a.src) <- out_deg.(a.src) + 1;
-      in_deg.(a.dst) <- in_deg.(a.dst) + 1)
-    arcs;
-  let out_adj = Array.init n (fun v -> Array.make out_deg.(v) 0) in
-  let in_adj = Array.init n (fun v -> Array.make in_deg.(v) 0) in
-  let out_pos = Array.make n 0 and in_pos = Array.make n 0 in
+  let m = Array.length arcs in
+  let arc_src = Array.make m 0 and arc_dst = Array.make m 0 in
+  let cap = Array.make m 0. and del = Array.make m 0. in
   Array.iteri
     (fun id a ->
-      out_adj.(a.src).(out_pos.(a.src)) <- id;
-      out_pos.(a.src) <- out_pos.(a.src) + 1;
-      in_adj.(a.dst).(in_pos.(a.dst)) <- id;
-      in_pos.(a.dst) <- in_pos.(a.dst) + 1)
+      arc_src.(id) <- a.src;
+      arc_dst.(id) <- a.dst;
+      cap.(id) <- a.capacity;
+      del.(id) <- a.delay)
     arcs;
-  { n; arcs; out_adj; in_adj }
+  let out_off, out_ids = segment_index n m arc_src in
+  let in_off, in_ids = segment_index n m arc_dst in
+  let out_by_dst = Array.copy out_ids in
+  for v = 0 to n - 1 do
+    let lo = out_off.(v) in
+    let len = out_off.(v + 1) - lo in
+    if len > 1 then begin
+      let seg = Array.sub out_by_dst lo len in
+      Array.sort
+        (fun a b ->
+          let c = compare arc_dst.(a) arc_dst.(b) in
+          if c <> 0 then c else compare a b)
+        seg;
+      Array.blit seg 0 out_by_dst lo len
+    end
+  done;
+  { n; m; arc_src; arc_dst; cap; del; out_off; out_ids; in_off; in_ids;
+    out_by_dst }
 
 let node_count t = t.n
 
-let arc_count t = Array.length t.arcs
+let arc_count t = t.m
 
 let arc t id =
-  if id < 0 || id >= Array.length t.arcs then invalid_arg "Graph.arc: bad id";
-  t.arcs.(id)
+  if id < 0 || id >= t.m then invalid_arg "Graph.arc: bad id";
+  { src = t.arc_src.(id);
+    dst = t.arc_dst.(id);
+    capacity = t.cap.(id);
+    delay = t.del.(id) }
 
-let arcs t = Array.copy t.arcs
+let arcs t =
+  Array.init t.m (fun id ->
+      { src = t.arc_src.(id);
+        dst = t.arc_dst.(id);
+        capacity = t.cap.(id);
+        delay = t.del.(id) })
 
-let out_arcs t v = t.out_adj.(v)
+(* O(1) non-allocating per-arc accessors for hot paths. *)
+let src t id = t.arc_src.(id)
+let dst t id = t.arc_dst.(id)
+let capacity t id = t.cap.(id)
+let delay t id = t.del.(id)
 
-let in_arcs t v = t.in_adj.(v)
+(* Raw CSR views: shared rows, callers must not mutate. *)
+let srcs t = t.arc_src
+let dsts t = t.arc_dst
+let out_offsets t = t.out_off
+let out_arc_ids t = t.out_ids
+let in_offsets t = t.in_off
+let in_arc_ids t = t.in_ids
 
-let out_degree t v = Array.length t.out_adj.(v)
+let out_arcs t v = Array.sub t.out_ids t.out_off.(v) (t.out_off.(v + 1) - t.out_off.(v))
 
-let in_degree t v = Array.length t.in_adj.(v)
+let in_arcs t v = Array.sub t.in_ids t.in_off.(v) (t.in_off.(v + 1) - t.in_off.(v))
 
+let out_degree t v = t.out_off.(v + 1) - t.out_off.(v)
+
+let in_degree t v = t.in_off.(v + 1) - t.in_off.(v)
+
+(* Leftmost entry with matching dst in the (dst, id)-sorted segment:
+   ties sort by ascending id, so this returns the lowest-id arc
+   src -> dst, matching the old linear scan's first-match answer. *)
 let find_arc t ~src ~dst =
-  let result = ref None in
-  Array.iter
-    (fun id -> if !result = None && t.arcs.(id).dst = dst then result := Some id)
-    t.out_adj.(src);
-  !result
+  let lo = ref t.out_off.(src) and hi = ref t.out_off.(src + 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.arc_dst.(t.out_by_dst.(mid)) < dst then lo := mid + 1 else hi := mid
+  done;
+  if !lo < t.out_off.(src + 1) && t.arc_dst.(t.out_by_dst.(!lo)) = dst then
+    Some t.out_by_dst.(!lo)
+  else None
 
-let capacities t = Array.map (fun a -> a.capacity) t.arcs
+(* Cached shared rows — no per-call allocation. *)
+let capacities t = t.cap
 
-let delays t = Array.map (fun a -> a.delay) t.arcs
+let delays t = t.del
 
-let reachable_from adj arcs_of n start =
-  let seen = Array.make n false in
+let reachable_count t ~off ~ids ~endpoint start =
+  let seen = Array.make t.n false in
   let stack = ref [ start ] in
   seen.(start) <- true;
   let count = ref 0 in
@@ -76,30 +162,39 @@ let reachable_from adj arcs_of n start =
     | v :: rest ->
         stack := rest;
         incr count;
-        Array.iter
-          (fun id ->
-            let u = arcs_of id in
-            if not seen.(u) then begin
-              seen.(u) <- true;
-              stack := u :: !stack
-            end)
-          adj.(v)
+        for k = off.(v) to off.(v + 1) - 1 do
+          let u = endpoint.(ids.(k)) in
+          if not seen.(u) then begin
+            seen.(u) <- true;
+            stack := u :: !stack
+          end
+        done
   done;
   !count
 
 let is_strongly_connected t =
   if t.n = 0 then true
   else begin
-    let fwd = reachable_from t.out_adj (fun id -> t.arcs.(id).dst) t.n 0 in
-    let bwd = reachable_from t.in_adj (fun id -> t.arcs.(id).src) t.n 0 in
+    let fwd =
+      reachable_count t ~off:t.out_off ~ids:t.out_ids ~endpoint:t.arc_dst 0
+    in
+    let bwd =
+      reachable_count t ~off:t.in_off ~ids:t.in_ids ~endpoint:t.arc_src 0
+    in
     fwd = t.n && bwd = t.n
   end
 
 let reverse t =
-  let flipped =
-    Array.to_list (Array.map (fun a -> { a with src = a.dst; dst = a.src }) t.arcs)
-  in
-  build ~n:t.n flipped
+  let flipped = ref [] in
+  for id = t.m - 1 downto 0 do
+    flipped :=
+      { src = t.arc_dst.(id);
+        dst = t.arc_src.(id);
+        capacity = t.cap.(id);
+        delay = t.del.(id) }
+      :: !flipped
+  done;
+  build ~n:t.n !flipped
 
 let add_symmetric ~capacity ~delay u v acc =
   { src = u; dst = v; capacity; delay }
@@ -107,21 +202,19 @@ let add_symmetric ~capacity ~delay u v acc =
   :: acc
 
 let undirected_link_pairs t =
-  let m = Array.length t.arcs in
-  let paired = Array.make m false in
+  let paired = Array.make t.m false in
   let pairs = ref [] in
-  for id = 0 to m - 1 do
+  for id = 0 to t.m - 1 do
     if not paired.(id) then begin
-      let a = t.arcs.(id) in
-      (* Find an unpaired reverse twin with matching attributes. *)
+      let a_src = t.arc_src.(id) and a_dst = t.arc_dst.(id) in
+      (* Find the lowest-id unpaired reverse twin. *)
       let twin = ref None in
-      Array.iter
-        (fun rid ->
-          if !twin = None && rid <> id && not paired.(rid) then begin
-            let r = t.arcs.(rid) in
-            if r.dst = a.src then twin := Some rid
-          end)
-        t.out_adj.(a.dst);
+      for k = t.out_off.(a_dst) to t.out_off.(a_dst + 1) - 1 do
+        let rid = t.out_ids.(k) in
+        if !twin = None && rid <> id && (not paired.(rid))
+           && t.arc_dst.(rid) = a_src
+        then twin := Some rid
+      done;
       match !twin with
       | Some rid ->
           paired.(id) <- true;
@@ -140,14 +233,12 @@ let undirected_link_pairs t =
 let to_dot t =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "digraph g {\n";
-  Array.iteri
-    (fun id a ->
-      Buffer.add_string buf
-        (Printf.sprintf "  %d -> %d [label=\"a%d c=%.0f d=%.1f\"];\n" a.src a.dst
-           id a.capacity a.delay))
-    t.arcs;
+  for id = 0 to t.m - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  %d -> %d [label=\"a%d c=%.0f d=%.1f\"];\n"
+         t.arc_src.(id) t.arc_dst.(id) id t.cap.(id) t.del.(id))
+  done;
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
-let pp ppf t =
-  Format.fprintf ppf "graph(%d nodes, %d arcs)" t.n (Array.length t.arcs)
+let pp ppf t = Format.fprintf ppf "graph(%d nodes, %d arcs)" t.n t.m

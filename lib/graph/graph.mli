@@ -16,6 +16,9 @@ type arc = {
 }
 
 type t
+(** CSR-style flat-array core: parallel per-arc rows (src, dst,
+    capacity, delay) plus offset-indexed out/in adjacency.  Within a
+    node's adjacency segment, arc ids appear in ascending order. *)
 
 val build : n:int -> arc list -> t
 (** [build ~n arcs] freezes an immutable graph with [n] nodes.
@@ -32,24 +35,66 @@ val arc : t -> int -> arc
 val arcs : t -> arc array
 (** All arcs, indexed by id (fresh copy). *)
 
+val src : t -> int -> int
+(** [src t id] — source node of arc [id] (O(1), no allocation). *)
+
+val dst : t -> int -> int
+(** [dst t id] — destination node of arc [id] (O(1), no allocation). *)
+
+val capacity : t -> int -> float
+(** [capacity t id] — capacity of arc [id] (O(1), no allocation). *)
+
+val delay : t -> int -> float
+(** [delay t id] — delay of arc [id] (O(1), no allocation). *)
+
+val srcs : t -> int array
+(** Flat per-arc source row, indexed by arc id (shared; do not
+    mutate). *)
+
+val dsts : t -> int array
+(** Flat per-arc destination row, indexed by arc id (shared; do not
+    mutate). *)
+
+val out_offsets : t -> int array
+(** CSR offsets (length [n+1]) into {!out_arc_ids}: node [v]'s
+    outgoing arc ids occupy positions [out_offsets.(v)] up to
+    (excluding) [out_offsets.(v+1)] (shared; do not mutate). *)
+
+val out_arc_ids : t -> int array
+(** Flat outgoing-adjacency row (length [arc_count]); within each
+    node's segment, ids ascend (shared; do not mutate). *)
+
+val in_offsets : t -> int array
+(** CSR offsets (length [n+1]) into {!in_arc_ids} (shared; do not
+    mutate). *)
+
+val in_arc_ids : t -> int array
+(** Flat incoming-adjacency row (length [arc_count]); within each
+    node's segment, ids ascend (shared; do not mutate). *)
+
 val out_arcs : t -> int -> int array
-(** Arc ids leaving a node (shared; do not mutate). *)
+(** Arc ids leaving a node, ascending id (fresh copy; hot paths
+    should iterate {!out_offsets}/{!out_arc_ids} instead). *)
 
 val in_arcs : t -> int -> int array
-(** Arc ids entering a node (shared; do not mutate). *)
+(** Arc ids entering a node, ascending id (fresh copy; hot paths
+    should iterate {!in_offsets}/{!in_arc_ids} instead). *)
 
 val out_degree : t -> int -> int
 
 val in_degree : t -> int -> int
 
 val find_arc : t -> src:int -> dst:int -> int option
-(** First arc from [src] to [dst], if any. *)
+(** Lowest-id arc from [src] to [dst], if any.  Binary search over a
+    per-source (dst, id)-sorted index: O(log out_degree). *)
 
 val capacities : t -> float array
-(** Per-arc capacities, indexed by arc id (fresh copy). *)
+(** Per-arc capacities, indexed by arc id (cached, shared; do not
+    mutate). *)
 
 val delays : t -> float array
-(** Per-arc propagation delays, indexed by arc id (fresh copy). *)
+(** Per-arc propagation delays, indexed by arc id (cached, shared; do
+    not mutate). *)
 
 val is_strongly_connected : t -> bool
 (** True when every node can reach every other node. *)

@@ -6,33 +6,36 @@ type dag = {
 }
 
 let node_next_arcs g ~weights ~dist v =
-  (* Two passes over the out-arcs: count, then fill — avoids building
-     an intermediate list on this very hot path. *)
-  let out = Graph.out_arcs g v in
+  (* Two passes over the CSR out-segment: count, then fill — avoids
+     building an intermediate list on this very hot path.  The segment
+     lists arc ids in ascending order, so [keep] does too. *)
+  let off = Graph.out_offsets g and ids = Graph.out_arc_ids g in
+  let dsts = Graph.dsts g in
+  let lo = off.(v) and hi = off.(v + 1) in
   let count = ref 0 in
-  Array.iter
-    (fun id ->
-      let d = dist.((Graph.arc g id).dst) in
-      if
-        d <> Dijkstra.unreachable
-        && weights.(id) <> Dijkstra.suppressed
-        && weights.(id) + d = dist.(v)
-      then incr count)
-    out;
+  for k = lo to hi - 1 do
+    let id = ids.(k) in
+    let d = dist.(dsts.(id)) in
+    if
+      d <> Dijkstra.unreachable
+      && weights.(id) <> Dijkstra.suppressed
+      && weights.(id) + d = dist.(v)
+    then incr count
+  done;
   let keep = Array.make !count 0 in
   let pos = ref 0 in
-  Array.iter
-    (fun id ->
-      let d = dist.((Graph.arc g id).dst) in
-      if
-        d <> Dijkstra.unreachable
-        && weights.(id) <> Dijkstra.suppressed
-        && weights.(id) + d = dist.(v)
-      then begin
-        keep.(!pos) <- id;
-        incr pos
-      end)
-    out;
+  for k = lo to hi - 1 do
+    let id = ids.(k) in
+    let d = dist.(dsts.(id)) in
+    if
+      d <> Dijkstra.unreachable
+      && weights.(id) <> Dijkstra.suppressed
+      && weights.(id) + d = dist.(v)
+    then begin
+      keep.(!pos) <- id;
+      incr pos
+    end
+  done;
   keep
 
 let of_dist g ~weights ~dst ~dist =
@@ -66,13 +69,37 @@ let to_destination g ~weights ~dst =
   let dist = Dijkstra.distances_to g ~weights ~dst in
   of_dist g ~weights ~dst ~dist
 
-let all_destinations g ~weights =
+(* Placeholder for destinations excluded from a subset build: carries
+   only the destination id.  Nothing downstream may read its (empty)
+   labels — Eval_ctx guarantees that by keeping every excluded
+   destination's demand row empty. *)
+let placeholder dst = { dst; dist = [||]; next_arcs = [||]; order_desc = [||] }
+
+let is_placeholder dag = Array.length dag.dist = 0
+
+let all_destinations ?ws g ~weights =
   (* Validate the weight vector once for the whole sweep; the
-     per-destination O(m) re-scan used to dominate small evaluations. *)
+     per-destination O(m) re-scan used to dominate small evaluations.
+     The workspace (fresh here when not supplied) reuses the settled
+     set and bucket queue across all n runs. *)
   Dijkstra.validate_weights g ~weights;
+  let ws = match ws with Some ws -> ws | None -> Dijkstra.workspace () in
   Array.init (Graph.node_count g) (fun dst ->
-      let dist = Dijkstra.distances_to_unchecked g ~weights ~dst in
+      let dist = Dijkstra.distances_to_unchecked ~ws g ~weights ~dst in
       of_dist g ~weights ~dst ~dist)
+
+let for_destinations ?ws g ~weights ~active =
+  Dijkstra.validate_weights g ~weights;
+  let n = Graph.node_count g in
+  if Array.length active <> n then
+    invalid_arg "Spf.for_destinations: active length mismatch";
+  let ws = match ws with Some ws -> ws | None -> Dijkstra.workspace () in
+  Array.init n (fun dst ->
+      if not active.(dst) then placeholder dst
+      else begin
+        let dist = Dijkstra.distances_to_unchecked ~ws g ~weights ~dst in
+        of_dist g ~weights ~dst ~dist
+      end)
 
 let path_count g dag ~src =
   let n = Array.length dag.dist in
@@ -87,9 +114,7 @@ let path_count g dag ~src =
       let v = dag.order_desc.(i) in
       let acc = ref 0. in
       Array.iter
-        (fun id ->
-          let u = (Graph.arc g id).dst in
-          acc := !acc +. counts.(u))
+        (fun id -> acc := !acc +. counts.(Graph.dst g id))
         dag.next_arcs.(v);
       counts.(v) <- !acc
     done;
@@ -105,7 +130,7 @@ let first_path g dag ~src =
       let best = ref max_int in
       Array.iter (fun id -> if id < !best then best := id) dag.next_arcs.(v);
       assert (!best <> max_int);
-      go (Graph.arc g !best).dst (!best :: acc)
+      go (Graph.dst g !best) (!best :: acc)
     end
   in
   go src []

@@ -39,8 +39,27 @@ val node_next_arcs :
     dist(v)].  The per-node step of {!of_dist}, exposed for
     {!Spf_delta}'s membership-only patches. *)
 
-val all_destinations : Graph.t -> weights:int array -> dag array
-(** One DAG per destination node, indexed by node id. *)
+val all_destinations :
+  ?ws:Dijkstra.workspace -> Graph.t -> weights:int array -> dag array
+(** One DAG per destination node, indexed by node id.  [?ws] reuses
+    the given Dijkstra arena across the whole sweep (a fresh one is
+    used otherwise). *)
+
+val for_destinations :
+  ?ws:Dijkstra.workspace ->
+  Graph.t ->
+  weights:int array ->
+  active:bool array ->
+  dag array
+(** Like {!all_destinations} but builds real DAGs only for
+    destinations with [active.(dst)]; the rest get a placeholder dag
+    ({!is_placeholder}) carrying just the destination id.  Callers
+    must never route demand toward an inactive destination.
+    @raise Invalid_argument if [active] has the wrong length. *)
+
+val is_placeholder : dag -> bool
+(** True for the placeholder dags produced by {!for_destinations} on
+    inactive destinations (their label arrays are empty). *)
 
 val path_count : Graph.t -> dag -> src:int -> float
 (** Number of distinct shortest paths from [src] to the destination

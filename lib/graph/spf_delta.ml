@@ -54,81 +54,22 @@ let m_patches =
     ~help:"Destinations patched (membership-only) by delta-SPF updates."
     "dtr_spf_delta_patches_total"
 
-(* Same names as Dijkstra's counters: rebuild traffic is SPF traffic. *)
-let m_spf_runs =
-  Metrics.counter ~help:"Full single-destination SPF (Dijkstra) runs."
-    "dtr_spf_runs_total"
-
-let m_bucket_adds =
-  Metrics.counter ~help:"Bucket-queue insertions across all SPF runs."
-    "dtr_spf_bucket_adds_total"
-
-let m_bucket_pops =
-  Metrics.counter ~help:"Bucket-queue pops across all SPF runs."
-    "dtr_spf_bucket_pops_total"
-
 let m_dirty =
   Metrics.histogram
     ~help:"Dirty destinations (rebuilt or patched) per delta-SPF update."
     "dtr_spf_delta_dirty"
 
-type workspace = {
-  mutable settled : bool array;
-  queue : Dtr_util.Bucket_queue.t;
-}
+(* The rebuild scratch arena is Dijkstra's own: the settled buffer and
+   bucket queue are reused across destinations while each rebuilt dag
+   owns a fresh distance array.  Rebuild distances therefore match
+   Dijkstra.distances_to exactly (same kernel), and rebuild traffic
+   lands on Dijkstra's SPF counters. *)
+type workspace = Dijkstra.workspace
 
-let workspace () = { settled = [||]; queue = Dtr_util.Bucket_queue.create () }
-
-(* Dijkstra (Dial bucket-queue variant, matching Dijkstra.run) toward
-   [dst] over reversed arcs, writing a fresh distance array (owned by
-   the rebuilt dag) but reusing the workspace's settled buffer and
-   bucket array across destinations.  Distance labels are the unique
-   shortest-path distances, so they match Dijkstra.distances_to
-   exactly. *)
-let distances_into ws g ~weights ~dst =
-  let mon = Metrics.enabled () in
-  let adds = ref 1 and pops = ref 0 in
-  let n = Graph.node_count g in
-  if Array.length ws.settled < n then ws.settled <- Array.make n false
-  else Array.fill ws.settled 0 n false;
-  let settled = ws.settled in
-  let q = ws.queue in
-  Dtr_util.Bucket_queue.clear q;
-  let dist = Array.make n Dijkstra.unreachable in
-  dist.(dst) <- 0;
-  Dtr_util.Bucket_queue.add q ~prio:0 dst;
-  let continue = ref true in
-  while !continue do
-    match Dtr_util.Bucket_queue.pop_min q with
-    | None -> continue := false
-    | Some (_, v) ->
-        if mon then incr pops;
-        if not settled.(v) then begin
-          settled.(v) <- true;
-          Array.iter
-            (fun id ->
-              let u = (Graph.arc g id).src in
-              if (not settled.(u)) && weights.(id) <> Dijkstra.suppressed
-              then begin
-                let cand = dist.(v) + weights.(id) in
-                if cand < dist.(u) then begin
-                  dist.(u) <- cand;
-                  if mon then incr adds;
-                  Dtr_util.Bucket_queue.add q ~prio:cand u
-                end
-              end)
-            (Graph.in_arcs g v)
-        end
-  done;
-  if mon then begin
-    Metrics.incr_counter m_spf_runs;
-    Metrics.add m_bucket_adds !adds;
-    Metrics.add m_bucket_pops !pops
-  end;
-  dist
+let workspace () = Dijkstra.workspace ()
 
 let rebuild ws g ~weights ~dst =
-  let dist = distances_into ws g ~weights ~dst in
+  let dist = Dijkstra.distances_to_unchecked ~ws g ~weights ~dst in
   Spf.of_dist g ~weights ~dst ~dist
 
 (* Membership-only patch: distances (and hence order_desc) are shared
@@ -154,17 +95,19 @@ let validate g ~weights ~prev ~changes =
         invalid_arg "Spf_delta.update: weights/changes disagree")
     changes
 
-let update ?ws g ~weights ~prev ~changes =
+let update ?ws ?active g ~weights ~prev ~changes =
   validate g ~weights ~prev ~changes;
+  (match active with
+  | Some a when Array.length a <> Graph.node_count g ->
+      invalid_arg "Spf_delta.update: active length mismatch"
+  | _ -> ());
   let ws = match ws with Some w -> w | None -> workspace () in
   let changes = List.filter (fun c -> c.before <> c.after) changes in
   if changes = [] then (prev, [])
   else begin
     let endpoints =
       List.map
-        (fun c ->
-          let a = Graph.arc g c.arc in
-          (c, a.Graph.src, a.Graph.dst))
+        (fun c -> (c, Graph.src g c.arc, Graph.dst g c.arc))
         changes
     in
     let mon = Metrics.enabled () in
@@ -172,7 +115,11 @@ let update ?ws g ~weights ~prev ~changes =
     let n = Graph.node_count g in
     let dags = Array.copy prev in
     let dirty = ref [] in
+    let is_active =
+      match active with None -> fun _ -> true | Some a -> fun t -> a.(t)
+    in
     for t = n - 1 downto 0 do
+      if is_active t then begin
       let dag = prev.(t) in
       (* The Patch classification is only sound in isolation: two
          simultaneous changes can each look membership-only yet move
@@ -198,6 +145,7 @@ let update ?ws g ~weights ~prev ~changes =
         dags.(t) <- patch_node g ~weights dag ~u:!patch_u;
         if mon then incr patched;
         dirty := t :: !dirty
+      end
       end
     done;
     if mon then begin

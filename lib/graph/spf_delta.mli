@@ -27,14 +27,16 @@ type change = {
   after : int;  (** new weight; must equal [weights.(arc)] *)
 }
 
-type workspace
-(** Reusable scratch buffers (settled set, heap) for the
-    per-destination Dijkstra reruns. *)
+type workspace = Dijkstra.workspace
+(** Reusable scratch arena (settled set, bucket queue) for the
+    per-destination Dijkstra reruns; shared with {!Dijkstra}'s own
+    sweeps so one arena serves both full and delta evaluation. *)
 
 val workspace : unit -> workspace
 
 val update :
   ?ws:workspace ->
+  ?active:bool array ->
   Graph.t ->
   weights:int array ->
   prev:Spf.dag array ->
@@ -47,6 +49,9 @@ val update :
     [prev]; [prev] itself is never mutated (with no effective change
     it is returned as-is).  [weights] must be the full new weight
     vector and [changes] the arcs on which it differs from the vector
-    [prev] was computed with.
+    [prev] was computed with.  [?active] restricts the screen to the
+    flagged destinations (for demand-only contexts whose [prev] holds
+    placeholder dags elsewhere); inactive destinations always keep
+    their previous dag and are never reported dirty.
     @raise Invalid_argument on length mismatches, non-positive
     weights, or a [change] whose [after] disagrees with [weights]. *)

@@ -7,10 +7,10 @@ let arc_delays params g ~phi_h_per_arc =
   let m = Graph.arc_count g in
   if Array.length phi_h_per_arc <> m then
     invalid_arg "Delay.arc_delays: length mismatch";
+  let caps = Graph.capacities g and dels = Graph.delays g in
   Array.init m (fun id ->
-      let a = Graph.arc g id in
-      Sla.link_delay params ~capacity:a.capacity ~phi_h:phi_h_per_arc.(id)
-        ~prop_delay:a.delay)
+      Sla.link_delay params ~capacity:caps.(id) ~phi_h:phi_h_per_arc.(id)
+        ~prop_delay:dels.(id))
 
 let expected_to_destination g ~dag ~arc_delay =
   let n = Graph.node_count g in
@@ -25,9 +25,7 @@ let expected_to_destination g ~dag ~arc_delay =
     assert (deg > 0);
     let acc = ref 0. in
     Array.iter
-      (fun id ->
-        let u = (Graph.arc g id).dst in
-        acc := !acc +. arc_delay.(id) +. xi.(u))
+      (fun id -> acc := !acc +. arc_delay.(id) +. xi.(Graph.dst g id))
       out;
     xi.(v) <- !acc /. float_of_int deg
   done;

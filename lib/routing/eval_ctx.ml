@@ -26,6 +26,36 @@ let m_syncs =
     ~help:"Evaluation-context resynchronizations (blit-only, per parallel scan)."
     "dtr_eval_syncs"
 
+(* Preallocated projection arena: scratch rows sized once from the
+   graph and reused by every probe.  [a_flow]/[a_contrib] back the
+   per-destination load re-projection (the new contribution row is
+   snapshot-copied only when it actually differs from the committed
+   one); [a_touched] marks moved arcs and is swept back to all-false
+   through the touched list before a probe returns, so it is clean by
+   invariant on entry.  Each clone owns a private arena — scan workers
+   probe concurrently on separate domains. *)
+type arena = {
+  a_flow : float array;  (* node count *)
+  a_contrib : float array;  (* arc count *)
+  a_touched : bool array;  (* arc count; all-false between probes *)
+}
+
+let arena g =
+  {
+    a_flow = Array.make (Graph.node_count g) 0.;
+    a_contrib = Array.make (Graph.arc_count g) 0.;
+    a_touched = Array.make (Graph.arc_count g) false;
+  }
+
+(* Which destinations a context carries DAGs for: [All] is the classic
+   mode; [Demand] builds DAGs only for destinations that actually sink
+   positive demand in some member class of the group — at 10k nodes
+   all-destination DAG storage alone is gigabytes, while a PoP-gravity
+   matrix sinks demand at a few dozen nodes.  Loads and Φ are bitwise
+   identical in both modes: destinations without demand contribute
+   empty rows either way. *)
+type dest_mode = All | Demand
+
 type t = {
   graph : Graph.t;
   class_group : int array;  (* class -> group of classes sharing a weight vector *)
@@ -43,6 +73,9 @@ type t = {
   phi_per_arc : float array array;
   mutable phi : float array;
   ws : Spf_delta.workspace;
+  arena : arena;
+  active : bool array array option;
+      (* group -> demand-bearing destinations; None in All mode *)
   mutable generation : int;
   mutable probes : int;
   mutable commits : int;
@@ -52,7 +85,7 @@ let class_count t = Array.length t.class_group
 
 let fold_row = Array.fold_left ( +. ) 0.
 
-let create ?dags g ~weights ~matrices =
+let create ?dags ?(dest_mode = All) g ~weights ~matrices =
   let classes = Array.length weights in
   if classes < 1 then invalid_arg "Eval_ctx.create: need at least one class";
   if Array.length matrices <> classes then
@@ -93,13 +126,34 @@ let create ?dags g ~weights ~matrices =
   let group_w =
     Array.init group_count (fun gi -> Array.copy weights.(group_classes.(gi).(0)))
   in
+  let ws = Spf_delta.workspace () in
+  (* Demand mode: a destination is active for a group when any member
+     class sinks positive demand there (a pure matrix property, so it
+     can be computed before any SPF runs). *)
+  let active =
+    match dest_mode with
+    | All -> None
+    | Demand ->
+        Some
+          (Array.init group_count (fun gi ->
+               let act = Array.make n false in
+               Array.iter
+                 (fun k -> Matrix.iter matrices.(k) (fun _ t _ -> act.(t) <- true))
+                 group_classes.(gi);
+               act))
+  in
   let group_dags =
     Array.init group_count (fun gi ->
         let first = group_classes.(gi).(0) in
         match dags with
         | Some d when Array.length d.(first) = n -> d.(first)
         | Some _ -> invalid_arg "Eval_ctx.create: dags length mismatch"
-        | None -> Spf.all_destinations g ~weights:group_w.(gi))
+        | None -> (
+            match active with
+            | None -> Spf.all_destinations ~ws g ~weights:group_w.(gi)
+            | Some act ->
+                Spf.for_destinations ~ws g ~weights:group_w.(gi)
+                  ~active:act.(gi)))
   in
   let m = Graph.arc_count g in
   let demand =
@@ -159,7 +213,9 @@ let create ?dags g ~weights ~matrices =
     capacity_seen;
     phi_per_arc;
     phi;
-    ws = Spf_delta.workspace ();
+    ws;
+    arena = arena g;
+    active;
     generation = 0;
     probes = 0;
     commits = 0;
@@ -184,6 +240,7 @@ let clone t =
     phi_per_arc = Array.copy t.phi_per_arc;
     phi = Array.copy t.phi;
     ws = Spf_delta.workspace ();
+    arena = arena t.graph;
   }
 
 let sync ~src ~dst =
@@ -287,6 +344,41 @@ let patch_rows t ~touched_list ~p_contrib =
   end;
   (p_loads, !p_capacity, !p_phi_rows, p_phi)
 
+(* Re-project one dirty destination's flows through the arena scratch
+   rows, mark every arc whose contribution moved, and snapshot-copy
+   the new row only when it differs from the committed one — shares
+   land identically to a fresh Loads.destination_loads, so the copies
+   (and everything folded from them) stay bitwise-exact. *)
+let reproject t ~dags ~touched_list ~p_contrib k dst =
+  let dem = t.demand.(k).(dst) in
+  if Array.length dem > 0 then begin
+    let m = Graph.arc_count t.graph in
+    Loads.destination_loads_into t.graph ~dag:dags.(dst) ~demand_to_dst:dem
+      ~flow:t.arena.a_flow ~contrib:t.arena.a_contrib;
+    let nc = t.arena.a_contrib in
+    let oc = t.contrib.(k).(dst) in
+    let touched = t.arena.a_touched in
+    let changed = ref false in
+    for a = 0 to m - 1 do
+      if nc.(a) <> oc.(a) then begin
+        changed := true;
+        if not touched.(a) then begin
+          touched.(a) <- true;
+          touched_list := a :: !touched_list
+        end
+      end
+    done;
+    if !changed then p_contrib := (k, dst, Array.copy nc) :: !p_contrib
+  end
+
+(* Restore the arena's all-false touched invariant: only flags in the
+   list were ever set. *)
+let reset_touched t touched_list =
+  List.iter (fun a -> t.arena.a_touched.(a) <- false) touched_list
+
+let group_active t gi =
+  match t.active with None -> None | Some act -> Some act.(gi)
+
 let probe t ~klass ~changes =
   if klass < 0 || klass >= class_count t then
     invalid_arg "Eval_ctx.probe: class out of range";
@@ -308,38 +400,18 @@ let probe t ~klass ~changes =
   let new_w = Array.copy w in
   List.iter (fun c -> new_w.(c.Spf_delta.arc) <- c.Spf_delta.after) spf_changes;
   let p_dags, p_dirty =
-    Spf_delta.update ~ws:t.ws t.graph ~weights:new_w
-      ~prev:t.group_dags.(group) ~changes:spf_changes
+    Spf_delta.update ~ws:t.ws ?active:(group_active t group) t.graph
+      ~weights:new_w ~prev:t.group_dags.(group) ~changes:spf_changes
   in
-  let g = t.graph in
-  let m = Graph.arc_count g in
   (* Re-project dirty destinations of every class in the group and mark
      the arcs whose contribution actually moved. *)
   let p_contrib = ref [] in
-  let touched = Array.make m false in
   let touched_list = ref [] in
   Array.iter
     (fun k ->
-      List.iter
-        (fun dst ->
-          let dem = t.demand.(k).(dst) in
-          if Array.length dem > 0 then begin
-            let nc = Loads.destination_loads g ~dag:p_dags.(dst) ~demand_to_dst:dem in
-            let oc = t.contrib.(k).(dst) in
-            let changed = ref false in
-            for a = 0 to m - 1 do
-              if nc.(a) <> oc.(a) then begin
-                changed := true;
-                if not touched.(a) then begin
-                  touched.(a) <- true;
-                  touched_list := a :: !touched_list
-                end
-              end
-            done;
-            if !changed then p_contrib := (k, dst, nc) :: !p_contrib
-          end)
-        p_dirty)
+      List.iter (fun dst -> reproject t ~dags:p_dags ~touched_list ~p_contrib k dst) p_dirty)
     t.group_classes.(group);
+  reset_touched t !touched_list;
   let touched_list = !touched_list in
   let p_contrib = !p_contrib in
   let p_loads, p_capacity, p_phi_rows, p_phi =
@@ -426,7 +498,6 @@ let fail_probe t ~arcs =
   Metrics.incr_counter m_fail_probes;
   let g = t.graph in
   let n = Graph.node_count g in
-  let m = Graph.arc_count g in
   let classes = class_count t in
   let groups = Array.length t.group_w in
   let group_dags = Array.make groups [||] in
@@ -442,8 +513,8 @@ let fail_probe t ~arcs =
     let new_w = Array.copy w in
     List.iter (fun a -> new_w.(a) <- Dijkstra.suppressed) arcs;
     let dags, dirty =
-      Spf_delta.update ~ws:t.ws g ~weights:new_w ~prev:t.group_dags.(gi)
-        ~changes
+      Spf_delta.update ~ws:t.ws ?active:(group_active t gi) g ~weights:new_w
+        ~prev:t.group_dags.(gi) ~changes
     in
     group_dags.(gi) <- dags;
     group_dirty.(gi) <- dirty
@@ -481,32 +552,14 @@ let fail_probe t ~arcs =
   else begin
     (* Same re-projection discipline as {!probe}, over every group. *)
     let p_contrib = ref [] in
-    let touched = Array.make m false in
     let touched_list = ref [] in
     for k = 0 to classes - 1 do
       let dags = group_dags.(t.class_group.(k)) in
       List.iter
-        (fun dst ->
-          let dem = t.demand.(k).(dst) in
-          if Array.length dem > 0 then begin
-            let nc =
-              Loads.destination_loads g ~dag:dags.(dst) ~demand_to_dst:dem
-            in
-            let oc = t.contrib.(k).(dst) in
-            let changed = ref false in
-            for a = 0 to m - 1 do
-              if nc.(a) <> oc.(a) then begin
-                changed := true;
-                if not touched.(a) then begin
-                  touched.(a) <- true;
-                  touched_list := a :: !touched_list
-                end
-              end
-            done;
-            if !changed then p_contrib := (k, dst, nc) :: !p_contrib
-          end)
+        (fun dst -> reproject t ~dags ~touched_list ~p_contrib k dst)
         group_dirty.(t.class_group.(k))
     done;
+    reset_touched t !touched_list;
     let _, _, p_phi_rows, p_phi =
       patch_rows t ~touched_list:!touched_list ~p_contrib:!p_contrib
     in

@@ -21,8 +21,22 @@
 
 type t
 
+type dest_mode =
+  | All  (** one DAG per destination node (the classic mode) *)
+  | Demand
+      (** DAGs only for destinations that sink positive demand in some
+          member class of the group — the others carry placeholder
+          dags and are skipped by every delta screen.  Memory drops
+          from O(n) to O(demand destinations) DAG sets, which is what
+          makes 10k-node contexts fit; loads and Φ are bitwise
+          identical to [All] because demandless destinations
+          contribute empty rows either way.  Restriction: {!dags}
+          (and views derived from it) expose placeholder dags for
+          inactive destinations. *)
+
 val create :
   ?dags:Dtr_graph.Spf.dag array array ->
+  ?dest_mode:dest_mode ->
   Dtr_graph.Graph.t ->
   weights:int array array ->
   matrices:Dtr_traffic.Matrix.t array ->
@@ -32,7 +46,7 @@ val create :
     re-routed together, exactly like {!Multi.evaluate}).  The vectors
     are copied.  [dags], when given, must be the per-class DAG arrays
     already computed for these weights (e.g. from a {!Evaluate.t}) and
-    skips the SPF rebuild.
+    skips the SPF rebuild.  [dest_mode] defaults to [All].
     @raise Invalid_argument on length/size mismatches, invalid
     weights, or unroutable positive demand. *)
 

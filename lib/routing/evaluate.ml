@@ -1,5 +1,6 @@
 module Graph = Dtr_graph.Graph
 module Spf = Dtr_graph.Spf
+module Dijkstra = Dtr_graph.Dijkstra
 module Matrix = Dtr_traffic.Matrix
 module Fortz = Dtr_cost.Fortz
 module Sla = Dtr_cost.Sla
@@ -43,10 +44,14 @@ let assemble g ~dags_h ~h_loads ~dags_l ~l_loads =
 let evaluate g ~wh ~wl ~th ~tl =
   Weights.validate g wh;
   Weights.validate g wl;
-  let dags_h = Spf.all_destinations g ~weights:wh in
+  let ws = Dijkstra.workspace () in
+  let dags_h = Spf.all_destinations ~ws g ~weights:wh in
   (* Structural equality: equal-but-distinct weight vectors must share
      the SPF too, not silently double the work. *)
-  let dags_l = if wh == wl || wh = wl then dags_h else Spf.all_destinations g ~weights:wl in
+  let dags_l =
+    if wh == wl || wh = wl then dags_h
+    else Spf.all_destinations ~ws g ~weights:wl
+  in
   let h_loads = Loads.of_matrix g ~dags:dags_h th in
   let l_loads = Loads.of_matrix g ~dags:dags_l tl in
   assemble g ~dags_h ~h_loads ~dags_l ~l_loads

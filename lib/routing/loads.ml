@@ -9,6 +9,7 @@ module Matrix = Dtr_traffic.Matrix
    its next-hop arcs, and report every (arc, share) to [on_arc] before
    forwarding it.  [flow] is mutated in place. *)
 let propagate g ~dag ~flow ~on_arc =
+  let dsts = Graph.dsts g in
   Array.iter
     (fun v ->
       let out = dag.Spf.next_arcs.(v) in
@@ -18,7 +19,7 @@ let propagate g ~dag ~flow ~on_arc =
         Array.iter
           (fun id ->
             on_arc id share;
-            let u = (Graph.arc g id).dst in
+            let u = dsts.(id) in
             if u <> dag.Spf.dst then flow.(u) <- flow.(u) +. share)
           out
       end)
@@ -35,15 +36,30 @@ let node_throughflow g ~dag ~demand_to_dst =
   propagate g ~dag ~flow ~on_arc:no_share;
   flow
 
+(* Arena variant: the caller owns [flow] (length >= n) and [contrib]
+   (length >= m) and reuses them across destinations; both are fully
+   reinitialized here, so stale contents never leak through.  Shares
+   must land identically to {!destination_loads}: same propagate walk,
+   same accumulation order. *)
+let destination_loads_into g ~dag ~demand_to_dst ~flow ~contrib =
+  let n = Graph.node_count g in
+  if Array.length demand_to_dst <> n then
+    invalid_arg "Loads.destination_loads_into: demand length mismatch";
+  if Array.length flow < n || Array.length contrib < Graph.arc_count g then
+    invalid_arg "Loads.destination_loads_into: scratch too small";
+  Array.fill contrib 0 (Graph.arc_count g) 0.;
+  Array.blit demand_to_dst 0 flow 0 n;
+  flow.(dag.Spf.dst) <- 0.;
+  propagate g ~dag ~flow ~on_arc:(fun id share ->
+      contrib.(id) <- contrib.(id) +. share)
+
 let destination_loads g ~dag ~demand_to_dst =
   let n = Graph.node_count g in
   if Array.length demand_to_dst <> n then
     invalid_arg "Loads.destination_loads: demand length mismatch";
   let contrib = Array.make (Graph.arc_count g) 0. in
-  let flow = Array.copy demand_to_dst in
-  flow.(dag.Spf.dst) <- 0.;
-  propagate g ~dag ~flow ~on_arc:(fun id share ->
-      contrib.(id) <- contrib.(id) +. share);
+  let flow = Array.make n 0. in
+  destination_loads_into g ~dag ~demand_to_dst ~flow ~contrib;
   contrib
 
 let destination_demand ?(drop_unroutable = false) ~dag tm =
@@ -51,10 +67,11 @@ let destination_demand ?(drop_unroutable = false) ~dag tm =
   let t = dag.Spf.dst in
   let demand = Array.make n 0. in
   let any = ref false in
-  for s = 0 to n - 1 do
-    if s <> t then begin
-      let r = Matrix.get tm s t in
-      if r > 0. then begin
+  (* Column walk in ascending source order: O(column entries) on a
+     sparse matrix, and identical to the former full row scan (zero
+     entries contributed nothing). *)
+  Matrix.iter_col tm t (fun s r ->
+      if s <> t then begin
         if dag.Spf.dist.(s) = Dijkstra.unreachable then begin
           if not drop_unroutable then
             invalid_arg (Printf.sprintf "Loads.of_matrix: no path %d -> %d" s t)
@@ -63,9 +80,7 @@ let destination_demand ?(drop_unroutable = false) ~dag tm =
           demand.(s) <- r;
           any := true
         end
-      end
-    end
-  done;
+      end);
   if !any then Some demand else None
 
 let of_matrix ?(drop_unroutable = false) g ~dags tm =

@@ -38,6 +38,22 @@ val destination_loads :
     each arc receives at most one share per destination, so subtotals
     recombine bitwise-identically. *)
 
+val destination_loads_into :
+  Dtr_graph.Graph.t ->
+  dag:Dtr_graph.Spf.dag ->
+  demand_to_dst:float array ->
+  flow:float array ->
+  contrib:float array ->
+  unit
+(** Arena variant of {!destination_loads}: writes the contribution
+    into the caller-owned [contrib] row (length >= arc count) using
+    [flow] (length >= node count) as flow scratch.  Both buffers are
+    fully reinitialized, so they can be reused across destinations;
+    the resulting shares are bitwise identical to
+    {!destination_loads}.
+    @raise Invalid_argument on a length mismatch or undersized
+    scratch. *)
+
 val destination_demand :
   ?drop_unroutable:bool ->
   dag:Dtr_graph.Spf.dag ->

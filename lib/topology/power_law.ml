@@ -63,6 +63,75 @@ let generate rng p =
   in
   Graph.build ~n arcs
 
+(* Barabási–Albert by repeated-endpoints sampling: every link endpoint
+   is appended to a flat pool, so drawing a uniform pool slot is
+   exactly a degree-proportional draw — O(1) per attempt instead of
+   the O(n) weight rebuild {!generate} pays per draw, which is what
+   makes 10k-node instances feasible.  Duplicate/self draws are
+   rejected ([mark] stamps the nodes already attached to [v]).
+   Kept separate from {!generate}: the classic generator's byte-exact
+   output is pinned by seeded tests and experiments.
+
+   [hub_degree]/[hub_capacity] add a capacity mix: once the degree
+   sequence is final, links joining two nodes of degree >=
+   [hub_degree] (the hub mesh a real backbone overprovisions) get
+   [hub_capacity] instead of [p.capacity]. *)
+let generate_ba ?hub_capacity ?(hub_degree = max_int) rng p =
+  if p.m0 < 2 then invalid_arg "Power_law.generate_ba: m0 must be >= 2";
+  if p.nodes <= p.m0 then
+    invalid_arg "Power_law.generate_ba: nodes must exceed m0";
+  if p.m < 1 || p.m > p.m0 then
+    invalid_arg "Power_law.generate_ba: need 1 <= m <= m0";
+  let dlo, dhi = p.delay_range in
+  if dhi < dlo || dlo < 0. then
+    invalid_arg "Power_law.generate_ba: bad delay range";
+  let n = p.nodes in
+  let total_links = link_count p in
+  let pool = Array.make (2 * total_links) 0 in
+  let pool_len = ref 0 in
+  let degree = Array.make n 0 in
+  let mark = Array.make n (-1) in
+  let links = ref [] in
+  let add_link u v =
+    pool.(!pool_len) <- u;
+    pool.(!pool_len + 1) <- v;
+    pool_len := !pool_len + 2;
+    degree.(u) <- degree.(u) + 1;
+    degree.(v) <- degree.(v) + 1;
+    links := (u, v) :: !links
+  in
+  (* Seed clique. *)
+  for u = 0 to p.m0 - 1 do
+    for v = u + 1 to p.m0 - 1 do
+      add_link u v
+    done
+  done;
+  (* Preferential attachment. *)
+  for v = p.m0 to n - 1 do
+    let attached = ref 0 in
+    while !attached < p.m do
+      let u = pool.(Prng.int rng !pool_len) in
+      if u <> v && mark.(u) <> v then begin
+        mark.(u) <- v;
+        add_link u v;
+        incr attached
+      end
+    done
+  done;
+  let capacity_of u v =
+    match hub_capacity with
+    | Some hc when degree.(u) >= hub_degree && degree.(v) >= hub_degree -> hc
+    | _ -> p.capacity
+  in
+  let arcs =
+    List.fold_left
+      (fun acc (u, v) ->
+        let delay = Prng.uniform rng dlo dhi in
+        Graph.add_symmetric ~capacity:(capacity_of u v) ~delay u v acc)
+      [] !links
+  in
+  Graph.build ~n arcs
+
 let degrees g = Array.init (Graph.node_count g) (fun v -> Graph.out_degree g v)
 
 let top_degree_nodes g k =

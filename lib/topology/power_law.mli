@@ -26,6 +26,23 @@ val link_count : params -> int
 val generate : Dtr_util.Prng.t -> params -> Dtr_graph.Graph.t
 (** @raise Invalid_argument on inconsistent parameters. *)
 
+val generate_ba :
+  ?hub_capacity:float ->
+  ?hub_degree:int ->
+  Dtr_util.Prng.t ->
+  params ->
+  Dtr_graph.Graph.t
+(** Same Barabási–Albert process implemented by repeated-endpoints
+    sampling: O(1) per degree-proportional draw instead of
+    {!generate}'s O(n) weight rebuild, making 1k–10k-node instances
+    cheap.  Produces the same degree-distribution family but a
+    different (still seed-deterministic) stream of graphs, so the
+    classic {!generate} remains untouched for byte-stable replays.
+    When [hub_capacity] is given, links whose endpoints both reach
+    final degree >= [hub_degree] carry it instead of [p.capacity] —
+    a simple overprovisioned-hub-mesh capacity mix.
+    @raise Invalid_argument on inconsistent parameters. *)
+
 val degrees : Dtr_graph.Graph.t -> int array
 (** Undirected degree of each node (out-degree, which equals in-degree
     for symmetric graphs). *)

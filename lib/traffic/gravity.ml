@@ -12,6 +12,34 @@ let default =
     mass_range = (1.0, 1.5);
   }
 
+(* PoP-level gravity: the same Eq. (6) model restricted to a set of
+   PoP nodes — a realistic ISP matrix concentrates demand between a
+   few dozen PoPs, not all n² pairs — written into a sparse matrix so
+   memory scales with PoP pairs, not nodes².  Draw order follows the
+   [pops] array, so results are deterministic in (seed, pops). *)
+let generate_pop rng ~n ~pops p =
+  let k = Array.length pops in
+  if k < 2 then invalid_arg "Gravity.generate_pop: need at least 2 PoPs";
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Gravity.generate_pop: PoP out of range")
+    pops;
+  let mlo, mhi = p.mass_range in
+  if mhi < mlo then invalid_arg "Gravity.generate_pop: bad mass range";
+  let mass = Array.map (fun _ -> Prng.uniform rng mlo mhi) pops in
+  let attraction = Array.map exp mass in
+  let d = Array.init k (fun _ -> Dist.three_level rng p.demand_levels) in
+  let m = Matrix.create_sparse n in
+  let total_attraction = Array.fold_left ( +. ) 0. attraction in
+  for i = 0 to k - 1 do
+    let denom = total_attraction -. attraction.(i) in
+    for j = 0 to k - 1 do
+      if j <> i && pops.(i) <> pops.(j) then
+        Matrix.set m pops.(i) pops.(j) (d.(i) *. attraction.(j) /. denom)
+    done
+  done;
+  m
+
 let generate rng ~n p =
   if n < 2 then invalid_arg "Gravity.generate: need at least 2 nodes";
   let mlo, mhi = p.mass_range in

@@ -20,3 +20,12 @@ val generate : Dtr_util.Prng.t -> n:int -> params -> Matrix.t
 (** Dense matrix with positive demand between every ordered pair
     (gravity models are dense).  @raise Invalid_argument if [n < 2] or
     the parameters are malformed. *)
+
+val generate_pop :
+  Dtr_util.Prng.t -> n:int -> pops:int array -> params -> Matrix.t
+(** The same gravity model restricted to the given PoP nodes: a sparse
+    [n × n] matrix with positive demand between every ordered pair of
+    distinct PoPs and zero elsewhere — the realistic shape of an ISP
+    matrix at 1k–10k nodes, and the input the demand-only evaluation
+    mode is sized for.  @raise Invalid_argument on fewer than 2 PoPs,
+    a PoP out of range, or malformed parameters. *)

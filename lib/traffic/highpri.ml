@@ -54,14 +54,14 @@ let hop_distance_to_set g sinks =
     sinks;
   while not (Queue.is_empty q) do
     let v = Queue.pop q in
-    Array.iter
-      (fun id ->
-        let u = (Graph.arc g id).dst in
-        if dist.(u) = max_int then begin
-          dist.(u) <- dist.(v) + 1;
-          Queue.add u q
-        end)
-      (Graph.out_arcs g v)
+    let off = Graph.out_offsets g and ids = Graph.out_arc_ids g in
+    for k = off.(v) to off.(v + 1) - 1 do
+      let u = Graph.dst g ids.(k) in
+      if dist.(u) = max_int then begin
+        dist.(u) <- dist.(v) + 1;
+        Queue.add u q
+      end
+    done
   done;
   dist
 

@@ -1,8 +1,30 @@
-type t = { n : int; data : float array }
+(* Two representations behind one interface: the original dense
+   row-major float array (every existing code path, unchanged), and a
+   column-major sparse store for real-ISP scale matrices — a 10k-node
+   dense matrix is 800 MB of mostly-zero floats, while PoP-gravity
+   demand touches a few thousand pairs.  Columns (per-destination
+   tables) are the natural axis: load projection consumes demand one
+   destination at a time ({!iter_col}).
+
+   Every enumeration is emitted in sorted row-major order regardless
+   of representation, so outputs stay deterministic and independent of
+   hash-table internals. *)
+
+type repr =
+  | Dense of float array  (* n * n, row-major *)
+  | Sparse of (int, float) Hashtbl.t array  (* cols.(t) : src -> demand *)
+
+type t = { n : int; repr : repr }
 
 let create n =
   if n <= 0 then invalid_arg "Matrix.create: size must be positive";
-  { n; data = Array.make (n * n) 0. }
+  { n; repr = Dense (Array.make (n * n) 0.) }
+
+let create_sparse n =
+  if n <= 0 then invalid_arg "Matrix.create_sparse: size must be positive";
+  { n; repr = Sparse (Array.init n (fun _ -> Hashtbl.create 8)) }
+
+let is_sparse m = match m.repr with Dense _ -> false | Sparse _ -> true
 
 let size m = m.n
 
@@ -12,31 +34,88 @@ let check m s t =
 
 let get m s t =
   check m s t;
-  m.data.((s * m.n) + t)
+  match m.repr with
+  | Dense data -> data.((s * m.n) + t)
+  | Sparse cols -> ( match Hashtbl.find_opt cols.(t) s with Some v -> v | None -> 0.)
 
 let set m s t v =
   check m s t;
   if s = t then invalid_arg "Matrix.set: diagonal must stay zero";
   if v < 0. then invalid_arg "Matrix.set: negative demand";
-  m.data.((s * m.n) + t) <- v
+  match m.repr with
+  | Dense data -> data.((s * m.n) + t) <- v
+  | Sparse cols ->
+      if v = 0. then Hashtbl.remove cols.(t) s else Hashtbl.replace cols.(t) s v
 
 let add m s t v = set m s t (get m s t +. v)
 
-let total m = Array.fold_left ( +. ) 0. m.data
+let total m =
+  match m.repr with
+  | Dense data -> Array.fold_left ( +. ) 0. data
+  | Sparse cols ->
+      (* Row-major accumulation over positive entries: the same partial
+         sums a dense fold over the padded array would produce (adding
+         zeros is exact). *)
+      let entries = ref [] in
+      Array.iteri
+        (fun t col -> Hashtbl.iter (fun s v -> entries := (s, t, v) :: !entries) col)
+        cols;
+      let a = Array.of_list !entries in
+      Array.sort compare a;
+      Array.fold_left (fun acc (_, _, v) -> acc +. v) 0. a
 
 let scale m f =
   if f < 0. then invalid_arg "Matrix.scale: negative factor";
-  { n = m.n; data = Array.map (fun x -> x *. f) m.data }
+  match m.repr with
+  | Dense data -> { n = m.n; repr = Dense (Array.map (fun x -> x *. f) data) }
+  | Sparse cols ->
+      { n = m.n;
+        repr =
+          Sparse
+            (Array.map
+               (fun col ->
+                 let c = Hashtbl.create (Hashtbl.length col) in
+                 Hashtbl.iter (fun s v -> Hashtbl.replace c s (v *. f)) col;
+                 c)
+               cols) }
 
-let copy m = { n = m.n; data = Array.copy m.data }
+let copy m =
+  match m.repr with
+  | Dense data -> { n = m.n; repr = Dense (Array.copy data) }
+  | Sparse cols -> { n = m.n; repr = Sparse (Array.map Hashtbl.copy cols) }
 
 let iter m f =
-  for s = 0 to m.n - 1 do
-    for t = 0 to m.n - 1 do
-      let v = m.data.((s * m.n) + t) in
-      if v > 0. then f s t v
-    done
-  done
+  match m.repr with
+  | Dense data ->
+      for s = 0 to m.n - 1 do
+        for t = 0 to m.n - 1 do
+          let v = data.((s * m.n) + t) in
+          if v > 0. then f s t v
+        done
+      done
+  | Sparse cols ->
+      let entries = ref [] in
+      Array.iteri
+        (fun t col -> Hashtbl.iter (fun s v -> entries := (s, t, v) :: !entries) col)
+        cols;
+      let a = Array.of_list !entries in
+      Array.sort compare a;
+      Array.iter (fun (s, t, v) -> if v > 0. then f s t v) a
+
+let iter_col m t f =
+  if t < 0 || t >= m.n then invalid_arg "Matrix.iter_col: index out of range";
+  match m.repr with
+  | Dense data ->
+      for s = 0 to m.n - 1 do
+        let v = data.((s * m.n) + t) in
+        if v > 0. then f s v
+      done
+  | Sparse cols ->
+      let entries = ref [] in
+      Hashtbl.iter (fun s v -> entries := (s, v) :: !entries) cols.(t);
+      let a = Array.of_list !entries in
+      Array.sort compare a;
+      Array.iter (fun (s, v) -> if v > 0. then f s v) a
 
 let pairs m =
   let acc = ref [] in
@@ -48,15 +127,19 @@ let pair_count m =
   iter m (fun _ _ _ -> incr c);
   !c
 
+(* Pointwise over all off-diagonal pairs (including zeros — [f] may
+   map 0,0 somewhere else).  O(n^2) even for sparse operands, so keep
+   it off the large-scale hot paths; the result uses the left
+   operand's representation. *)
 let map2 a b f =
   if a.n <> b.n then invalid_arg "Matrix.map2: size mismatch";
-  let r = create a.n in
+  let r = if is_sparse a then create_sparse a.n else create a.n in
   for s = 0 to a.n - 1 do
     for t = 0 to a.n - 1 do
       if s <> t then begin
-        let v = f a.data.((s * a.n) + t) b.data.((s * a.n) + t) in
+        let v = f (get a s t) (get b s t) in
         if v < 0. then invalid_arg "Matrix.map2: negative result";
-        r.data.((s * a.n) + t) <- v
+        if v <> 0. || not (is_sparse a) then set r s t v
       end
     done
   done;
@@ -66,8 +149,10 @@ let equal ?(eps = 1e-9) a b =
   a.n = b.n
   && begin
        let ok = ref true in
-       Array.iteri
-         (fun i x -> if Float.abs (x -. b.data.(i)) > eps then ok := false)
-         a.data;
+       for s = 0 to a.n - 1 do
+         for t = 0 to a.n - 1 do
+           if Float.abs (get a s t -. get b s t) > eps then ok := false
+         done
+       done;
        !ok
      end

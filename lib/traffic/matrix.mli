@@ -4,7 +4,18 @@
 type t
 
 val create : int -> t
-(** All-zero [n × n] matrix.  @raise Invalid_argument if [n <= 0]. *)
+(** All-zero [n × n] matrix, dense storage.
+    @raise Invalid_argument if [n <= 0]. *)
+
+val create_sparse : int -> t
+(** All-zero [n × n] matrix with column-major sparse storage — for
+    real-ISP scale instances where demand touches a small fraction of
+    the n² pairs.  Observationally identical to {!create} (every
+    enumeration is emitted in sorted row-major order), with O(entries)
+    memory; {!map2}/{!equal} remain O(n²).
+    @raise Invalid_argument if [n <= 0]. *)
+
+val is_sparse : t -> bool
 
 val size : t -> int
 
@@ -34,6 +45,12 @@ val pair_count : t -> int
 
 val iter : t -> (int -> int -> float -> unit) -> unit
 (** Iterate positive entries in row-major order. *)
+
+val iter_col : t -> int -> (int -> float -> unit) -> unit
+(** [iter_col m t f] iterates the positive entries of destination
+    column [t] in ascending source order — O(column entries) on a
+    sparse matrix instead of O(n) probes.
+    @raise Invalid_argument if [t] is out of range. *)
 
 val map2 : t -> t -> (float -> float -> float) -> t
 (** Pointwise combination; @raise Invalid_argument on size mismatch or

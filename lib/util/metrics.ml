@@ -303,6 +303,25 @@ let fmt_float v =
   (* Shortest exact decimal round-trip, as elsewhere in the repo. *)
   Printf.sprintf "%.17g" v
 
+(* Peak resident set size in kB, read from /proc/self/status (VmHWM:
+   the high-water mark, which is exactly the "peak RSS vs. node count"
+   a capacity plan needs).  -1 where procfs is unavailable. *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception _ -> -1
+  | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> -1
+        | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              try Scanf.sscanf (String.sub line 6 (String.length line - 6))
+                    " %d" (fun x -> x)
+              with _ -> -1
+            else scan ()
+      in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) scan
+
 let gc_gauges () =
   let s = Gc.quick_stat () in
   [
@@ -313,6 +332,8 @@ let gc_gauges () =
     ("dtr_gc_major_collections", float_of_int s.Gc.major_collections);
     ("dtr_gc_compactions", float_of_int s.Gc.compactions);
     ("dtr_gc_heap_words", float_of_int s.Gc.heap_words);
+    ("dtr_gc_top_heap_words", float_of_int s.Gc.top_heap_words);
+    ("dtr_peak_rss_kb", float_of_int (peak_rss_kb ()));
   ]
 
 let prom_histogram b h =

@@ -93,6 +93,12 @@ val set_gauge : gauge -> float -> unit
 
 val gauge_value : gauge -> float
 
+val peak_rss_kb : unit -> int
+(** Peak resident set size of this process in kB ([VmHWM] from
+    [/proc/self/status]); [-1] where procfs is unavailable.  Rendered
+    (with the GC gauges) in the nondeterministic section of
+    {!to_prometheus}/{!to_json}, and embedded in bench manifests. *)
+
 (** {1 Phase profiler} *)
 
 val span : string -> (unit -> 'a) -> 'a

@@ -1,0 +1,562 @@
+(* Tests for the real-ISP-scale tier: observational equality of the
+   CSR flat-array graph core against a naive adjacency reference
+   (including parallel links and disconnected graphs), reusable
+   Dijkstra/SPF workspaces, arena load projection, demand-only
+   evaluation contexts, sparse traffic matrices, the O(links) BA
+   sampler, and the large presets. *)
+
+module Graph = Dtr_graph.Graph
+module Dijkstra = Dtr_graph.Dijkstra
+module Spf = Dtr_graph.Spf
+module Prng = Dtr_util.Prng
+module Matrix = Dtr_traffic.Matrix
+module Gravity = Dtr_traffic.Gravity
+module Power_law = Dtr_topology.Power_law
+module Large = Dtr_topology.Large
+module Loads = Dtr_routing.Loads
+module Weights = Dtr_routing.Weights
+module Eval_ctx = Dtr_routing.Eval_ctx
+
+let mkarc ?(capacity = 1.) ?(delay = 1.) src dst =
+  { Graph.src; dst; capacity; delay }
+
+(* ------------------------------------------------------------------ *)
+(* CSR core vs. a naive reference on random multigraphs.  The arc list
+   is drawn uniformly, so parallel links appear routinely and nothing
+   guarantees connectivity — exactly the shapes the flat layout has to
+   represent faithfully. *)
+
+let random_multigraph_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 14 in
+    let* m = int_range 0 40 in
+    let* seed = int_range 0 1_000_000 in
+    return (n, m, seed))
+
+let build_multigraph (n, m, seed) =
+  let rng = Prng.create seed in
+  let arcs =
+    List.init m (fun _ ->
+        let u = Prng.int rng n in
+        let v = (u + 1 + Prng.int rng (n - 1)) mod n in
+        mkarc
+          ~capacity:(1. +. float_of_int (Prng.int rng 5))
+          ~delay:(0.5 +. Prng.float rng 5.)
+          u v)
+  in
+  (Graph.build ~n arcs, Array.of_list arcs)
+
+(* Naive reference: everything recomputed from the arc records. *)
+let ref_out_arcs arcs v =
+  Array.of_list
+    (List.filteri (fun _ _ -> true)
+       (List.filter_map
+          (fun (i, a) -> if a.Graph.src = v then Some i else None)
+          (List.mapi (fun i a -> (i, a)) (Array.to_list arcs))))
+
+let ref_in_arcs arcs v =
+  Array.of_list
+    (List.filter_map
+       (fun (i, a) -> if a.Graph.dst = v then Some i else None)
+       (List.mapi (fun i a -> (i, a)) (Array.to_list arcs)))
+
+let ref_find_arc arcs ~src ~dst =
+  let rec go i =
+    if i >= Array.length arcs then None
+    else if arcs.(i).Graph.src = src && arcs.(i).Graph.dst = dst then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let ref_reachable arcs ~n ~from =
+  let seen = Array.make n false in
+  seen.(from) <- true;
+  let queue = Queue.create () in
+  Queue.add from queue;
+  let count = ref 1 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun a ->
+        if a.Graph.src = v && not seen.(a.Graph.dst) then begin
+          seen.(a.Graph.dst) <- true;
+          incr count;
+          Queue.add a.Graph.dst queue
+        end)
+      arcs
+  done;
+  !count
+
+(* Lowest-unpaired-twin pairing; a twinless arc pairs with itself.
+   Output is the sorted array of normalized (lo, hi) pairs. *)
+let ref_link_pairs arcs =
+  let m = Array.length arcs in
+  let paired = Array.make m false in
+  let out = ref [] in
+  for a = 0 to m - 1 do
+    if not paired.(a) then begin
+      let twin = ref (-1) in
+      for b = m - 1 downto 0 do
+        if
+          (not paired.(b)) && b <> a
+          && arcs.(b).Graph.src = arcs.(a).Graph.dst
+          && arcs.(b).Graph.dst = arcs.(a).Graph.src
+        then twin := b
+      done;
+      paired.(a) <- true;
+      if !twin >= 0 then begin
+        paired.(!twin) <- true;
+        out := (min a !twin, max a !twin) :: !out
+      end
+      else out := (a, a) :: !out
+    end
+  done;
+  let a = Array.of_list !out in
+  Array.sort compare a;
+  a
+
+let prop_csr_matches_reference =
+  QCheck.Test.make ~name:"CSR accessors = naive reference on multigraphs"
+    ~count:300 (QCheck.make random_multigraph_gen) (fun params ->
+      let g, arcs = build_multigraph params in
+      let n = Graph.node_count g in
+      let ok = ref (Graph.arc_count g = Array.length arcs) in
+      Array.iteri
+        (fun i a ->
+          ok :=
+            !ok && Graph.arc g i = a
+            && Graph.src g i = a.Graph.src
+            && Graph.dst g i = a.Graph.dst
+            && Graph.capacity g i = a.Graph.capacity
+            && Graph.delay g i = a.Graph.delay
+            && (Graph.capacities g).(i) = a.Graph.capacity
+            && (Graph.delays g).(i) = a.Graph.delay)
+        arcs;
+      ok := !ok && Graph.arcs g = arcs;
+      for v = 0 to n - 1 do
+        let out = ref_out_arcs arcs v and inc = ref_in_arcs arcs v in
+        ok :=
+          !ok
+          && Graph.out_arcs g v = out
+          && Graph.in_arcs g v = inc
+          && Graph.out_degree g v = Array.length out
+          && Graph.in_degree g v = Array.length inc
+          && Array.sub (Graph.out_arc_ids g)
+               (Graph.out_offsets g).(v)
+               (Array.length out)
+             = out
+          && Array.sub (Graph.in_arc_ids g)
+               (Graph.in_offsets g).(v)
+               (Array.length inc)
+             = inc;
+        for w = 0 to n - 1 do
+          ok := !ok && Graph.find_arc g ~src:v ~dst:w = ref_find_arc arcs ~src:v ~dst:w
+        done
+      done;
+      let sc = Array.for_all (fun v -> ref_reachable arcs ~n ~from:v = n)
+          (Array.init n (fun v -> v)) in
+      ok := !ok && Graph.is_strongly_connected g = sc;
+      let r = Graph.reverse g in
+      Array.iteri
+        (fun i a ->
+          ok :=
+            !ok
+            && Graph.arc r i
+               = {
+                   Graph.src = a.Graph.dst;
+                   dst = a.Graph.src;
+                   capacity = a.Graph.capacity;
+                   delay = a.Graph.delay;
+                 })
+        arcs;
+      ok := !ok && Graph.undirected_link_pairs g = ref_link_pairs arcs;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Reusable workspaces: a shared arena across a destination sweep must
+   reproduce the fresh-allocation runs bit for bit. *)
+
+(* Connected random graph (tree + extras) for routing-level tests. *)
+let connected_graph_gen =
+  QCheck.Gen.(
+    let* n = int_range 3 12 in
+    let* extra = int_range 0 25 in
+    let* seed = int_range 0 1_000_000 in
+    return (n, extra, seed))
+
+let build_connected (n, extra, seed) =
+  let rng = Prng.create seed in
+  let arcs = ref [] in
+  for v = 1 to n - 1 do
+    let u = Prng.int rng v in
+    arcs := mkarc u v :: mkarc v u :: !arcs
+  done;
+  for _ = 1 to extra do
+    let u = Prng.int rng n and v = Prng.int rng n in
+    (* Parallel links welcome: draw without deduplication. *)
+    if u <> v then arcs := mkarc u v :: !arcs
+  done;
+  let g = Graph.build ~n !arcs in
+  let w = Array.init (Graph.arc_count g) (fun _ -> 1 + Prng.int rng 30) in
+  (g, w, rng)
+
+let prop_workspace_dijkstra_identical =
+  QCheck.Test.make ~name:"shared Dijkstra workspace = fresh runs" ~count:200
+    (QCheck.make connected_graph_gen) (fun params ->
+      let g, w, _ = build_connected params in
+      let ws = Dijkstra.workspace () in
+      let ok = ref true in
+      for dst = 0 to Graph.node_count g - 1 do
+        let a = Dijkstra.distances_to_unchecked ~ws g ~weights:w ~dst in
+        let b = Dijkstra.distances_to g ~weights:w ~dst in
+        if a <> b then ok := false
+      done;
+      !ok)
+
+let prop_workspace_spf_identical =
+  QCheck.Test.make ~name:"shared SPF workspace = fresh sweep" ~count:200
+    (QCheck.make connected_graph_gen) (fun params ->
+      let g, w, _ = build_connected params in
+      let ws = Dijkstra.workspace () in
+      Spf.all_destinations ~ws g ~weights:w = Spf.all_destinations g ~weights:w)
+
+let prop_for_destinations_active_subset =
+  QCheck.Test.make ~name:"for_destinations: active dags = full sweep dags"
+    ~count:200 (QCheck.make connected_graph_gen) (fun params ->
+      let g, w, rng = build_connected params in
+      let n = Graph.node_count g in
+      let active = Array.init n (fun _ -> Prng.bool rng) in
+      let all = Spf.all_destinations g ~weights:w in
+      let sel = Spf.for_destinations g ~weights:w ~active in
+      let ok = ref (Array.length sel = n) in
+      for t = 0 to n - 1 do
+        if active.(t) then ok := !ok && sel.(t) = all.(t)
+        else ok := !ok && Spf.is_placeholder sel.(t) && sel.(t).Spf.dst = t
+      done;
+      !ok)
+
+let prop_destination_loads_into_identical =
+  QCheck.Test.make ~name:"destination_loads_into = destination_loads"
+    ~count:200 (QCheck.make connected_graph_gen) (fun params ->
+      let g, w, rng = build_connected params in
+      let n = Graph.node_count g and m = Graph.arc_count g in
+      let dags = Spf.all_destinations g ~weights:w in
+      let flow = Array.make n 0. and contrib = Array.make m 0. in
+      let ok = ref true in
+      for dst = 0 to n - 1 do
+        let demand_to_dst =
+          Array.init n (fun s ->
+              if s <> dst && Prng.bool rng then Prng.float rng 50. else 0.)
+        in
+        let fresh = Loads.destination_loads g ~dag:dags.(dst) ~demand_to_dst in
+        Loads.destination_loads_into g ~dag:dags.(dst) ~demand_to_dst ~flow
+          ~contrib;
+        if contrib <> fresh then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Demand-only contexts: on any scenario, Demand mode must evaluate,
+   probe, fail-probe and commit bitwise-identically to All mode. *)
+
+let random_sparse_matrix rng ~n ~pairs =
+  let m = Matrix.create_sparse n in
+  for _ = 1 to pairs do
+    let s = Prng.int rng n and t = Prng.int rng n in
+    if s <> t then Matrix.set m s t (1. +. Prng.float rng 40.)
+  done;
+  m
+
+let prop_demand_mode_identical =
+  QCheck.Test.make ~name:"Demand-mode ctx = All-mode ctx (probe + commit)"
+    ~count:120 (QCheck.make connected_graph_gen) (fun params ->
+      let g, wh, rng = build_connected params in
+      let n = Graph.node_count g and m = Graph.arc_count g in
+      let wl = Array.init m (fun _ -> 1 + Prng.int rng 30) in
+      let th = random_sparse_matrix rng ~n ~pairs:(1 + Prng.int rng 4) in
+      let tl = random_sparse_matrix rng ~n ~pairs:(1 + Prng.int rng 8) in
+      let mk dest_mode =
+        Eval_ctx.create ~dest_mode g ~weights:[| wh; wl |]
+          ~matrices:[| th; tl |]
+      in
+      let ca = mk Eval_ctx.All and cd = mk Eval_ctx.Demand in
+      let ok = ref (Eval_ctx.phi ca = Eval_ctx.phi cd) in
+      for _ = 1 to 12 do
+        let klass = Prng.int rng 2 in
+        let a = Prng.int rng m in
+        let v = 1 + Prng.int rng 30 in
+        let pa = Eval_ctx.probe ca ~klass ~changes:[ (a, v) ] in
+        let pd = Eval_ctx.probe cd ~klass ~changes:[ (a, v) ] in
+        ok := !ok && Eval_ctx.probe_phi pa = Eval_ctx.probe_phi pd;
+        if Prng.bool rng then begin
+          Eval_ctx.commit ca pa;
+          Eval_ctx.commit cd pd
+        end
+        else begin
+          Eval_ctx.abort ca pa;
+          Eval_ctx.abort cd pd
+        end;
+        ok := !ok && Eval_ctx.phi ca = Eval_ctx.phi cd
+      done;
+      (* One single-link failure probe from the final state. *)
+      (let pairs = Graph.undirected_link_pairs g in
+       if Array.length pairs > 0 then begin
+         let a, b = pairs.(0) in
+         let fa = Eval_ctx.fail_probe ca ~arcs:[ a; b ] in
+         let fd = Eval_ctx.fail_probe cd ~arcs:[ a; b ] in
+         ok :=
+           !ok
+           && Eval_ctx.failure_phi fa = Eval_ctx.failure_phi fd
+           && Eval_ctx.failure_unreachable fa = Eval_ctx.failure_unreachable fd
+       end);
+      !ok)
+
+(* Demand confined to one component of a disconnected graph: both
+   modes must agree (and not raise) as long as every positive demand
+   is routable. *)
+let test_demand_mode_disconnected () =
+  (* Two directed triangles with no arcs between them. *)
+  let tri base =
+    [
+      mkarc base (base + 1); mkarc (base + 1) base;
+      mkarc (base + 1) (base + 2); mkarc (base + 2) (base + 1);
+      mkarc base (base + 2); mkarc (base + 2) base;
+    ]
+  in
+  let g = Graph.build ~n:6 (tri 0 @ tri 3) in
+  let m = Graph.arc_count g in
+  let th = Matrix.create_sparse 6 and tl = Matrix.create_sparse 6 in
+  Matrix.set th 0 2 10.;
+  Matrix.set tl 4 3 25.;
+  Matrix.set tl 1 2 5.;
+  let wh = Array.make m 1 and wl = Array.make m 2 in
+  let mk dest_mode =
+    Eval_ctx.create ~dest_mode g ~weights:[| wh; wl |] ~matrices:[| th; tl |]
+  in
+  let ca = mk Eval_ctx.All and cd = mk Eval_ctx.Demand in
+  Alcotest.(check (array (float 0.)))
+    "phi identical" (Eval_ctx.phi ca) (Eval_ctx.phi cd);
+  let pa = Eval_ctx.probe ca ~klass:0 ~changes:[ (0, 9) ] in
+  let pd = Eval_ctx.probe cd ~klass:0 ~changes:[ (0, 9) ] in
+  Alcotest.(check (array (float 0.)))
+    "probe phi identical" (Eval_ctx.probe_phi pa) (Eval_ctx.probe_phi pd)
+
+(* ------------------------------------------------------------------ *)
+(* Sparse matrices: observationally identical to dense under the same
+   mutation sequence. *)
+
+let matrix_ops_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 10 in
+    let* ops = int_range 0 60 in
+    let* seed = int_range 0 1_000_000 in
+    return (n, ops, seed))
+
+let prop_sparse_matrix_identical =
+  QCheck.Test.make ~name:"sparse matrix = dense matrix (same op sequence)"
+    ~count:300 (QCheck.make matrix_ops_gen) (fun (n, ops, seed) ->
+      let rng = Prng.create seed in
+      let d = Matrix.create n and s = Matrix.create_sparse n in
+      for _ = 1 to ops do
+        let i = Prng.int rng n and j = Prng.int rng n in
+        if i <> j then begin
+          match Prng.int rng 3 with
+          | 0 ->
+              let v = Prng.float rng 50. in
+              Matrix.set d i j v;
+              Matrix.set s i j v
+          | 1 ->
+              let v = Prng.float rng 10. in
+              Matrix.add d i j v;
+              Matrix.add s i j v
+          | _ ->
+              Matrix.set d i j 0.;
+              Matrix.set s i j 0.
+        end
+      done;
+      let ok = ref (Matrix.is_sparse s && not (Matrix.is_sparse d)) in
+      ok :=
+        !ok
+        && Matrix.pairs d = Matrix.pairs s
+        && Matrix.pair_count d = Matrix.pair_count s
+        && Matrix.total d = Matrix.total s
+        && Matrix.equal ~eps:0. d s;
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          ok := !ok && Matrix.get d i j = Matrix.get s i j
+        done
+      done;
+      (* iter and iter_col emit the same entries in the same order. *)
+      let trace m =
+        let acc = ref [] in
+        Matrix.iter m (fun s t v -> acc := (s, t, v) :: !acc);
+        for t = 0 to n - 1 do
+          Matrix.iter_col m t (fun s v -> acc := (s, t, v) :: !acc)
+        done;
+        List.rev !acc
+      in
+      ok := !ok && trace d = trace s;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* BA sampler and the large presets. *)
+
+let test_generate_ba_structure () =
+  let rng = Prng.create 7 in
+  let p =
+    {
+      Power_law.nodes = 400;
+      m0 = 8;
+      m = 3;
+      capacity = 100.;
+      delay_range = (1., 5.);
+    }
+  in
+  let g = Power_law.generate_ba ~hub_capacity:1000. ~hub_degree:20 rng p in
+  Alcotest.(check int) "node count" 400 (Graph.node_count g);
+  Alcotest.(check bool) "strongly connected" true
+    (Graph.is_strongly_connected g);
+  (* Every arc has a twin (links are symmetric), and capacities follow
+     the hub tier: both endpoints at degree >= hub_degree <-> 1000. *)
+  let m = Graph.arc_count g in
+  let deg = Array.make 400 0 in
+  for a = 0 to m - 1 do
+    deg.(Graph.src g a) <- deg.(Graph.src g a) + 1
+  done;
+  let pairs = Graph.undirected_link_pairs g in
+  Alcotest.(check int) "all arcs paired" m (2 * Array.length pairs);
+  let tier_ok = ref true in
+  for a = 0 to m - 1 do
+    let hub = deg.(Graph.src g a) >= 20 && deg.(Graph.dst g a) >= 20 in
+    if Graph.capacity g a <> (if hub then 1000. else 100.) then
+      tier_ok := false
+  done;
+  Alcotest.(check bool) "hub capacity tier" true !tier_ok;
+  (* Determinism: same seed, same graph. *)
+  let g' = Power_law.generate_ba ~hub_capacity:1000. ~hub_degree:20 (Prng.create 7) p in
+  Alcotest.(check bool) "deterministic" true (Graph.arcs g = Graph.arcs g')
+
+let test_large_presets () =
+  Alcotest.(check int) "six presets" 6 (List.length (Large.names ()));
+  List.iter
+    (fun name ->
+      match Large.find name with
+      | None -> Alcotest.fail ("missing preset " ^ name)
+      | Some p ->
+          if Large.node_count p <= 2000 then begin
+            let g = Large.generate (Prng.create 3) p in
+            Alcotest.(check int)
+              (name ^ " node count") (Large.node_count p)
+              (Graph.node_count g);
+            Alcotest.(check bool)
+              (name ^ " strongly connected") true
+              (Graph.is_strongly_connected g);
+            let pops = Large.pop_nodes g p in
+            Alcotest.(check int) (name ^ " pops") p.Large.pops
+              (Array.length pops);
+            let sorted = Array.copy pops in
+            Array.sort compare sorted;
+            let distinct = ref true in
+            Array.iteri
+              (fun i v ->
+                if i > 0 && sorted.(i - 1) = v then distinct := false;
+                if v < 0 || v >= Graph.node_count g then distinct := false)
+              sorted;
+            Alcotest.(check bool) (name ^ " pops distinct + in range") true
+              !distinct
+          end)
+    (Large.names ())
+
+let test_gravity_pop () =
+  let g = Large.generate (Prng.create 3) (Option.get (Large.find "ts-1k")) in
+  let p = Option.get (Large.find "ts-1k") in
+  let pops = Large.pop_nodes g p in
+  let n = Graph.node_count g in
+  let tm = Gravity.generate_pop (Prng.create 5) ~n ~pops Gravity.default in
+  let k = Array.length pops in
+  Alcotest.(check bool) "sparse" true (Matrix.is_sparse tm);
+  Alcotest.(check int) "PoP pair count" (k * (k - 1)) (Matrix.pair_count tm);
+  let is_pop = Array.make n false in
+  Array.iter (fun v -> is_pop.(v) <- true) pops;
+  let ok = ref true in
+  Matrix.iter tm (fun s t v ->
+      if (not is_pop.(s)) || not is_pop.(t) || v <= 0. then ok := false);
+  Alcotest.(check bool) "entries between distinct PoPs, positive" true !ok;
+  Alcotest.check_raises "rejects < 2 PoPs"
+    (Invalid_argument "Gravity.generate_pop: need at least 2 PoPs") (fun () ->
+      ignore (Gravity.generate_pop (Prng.create 1) ~n:10 ~pops:[| 3 |] Gravity.default))
+
+(* Demand-mode = All-mode at the 1k tier: the acceptance check of the
+   demand-only evaluation path on a real preset. *)
+let test_demand_mode_ts1k () =
+  let p = Option.get (Large.find "ts-1k") in
+  let root = Prng.create 11 in
+  let topo_rng = Prng.split root in
+  let traffic_rng = Prng.split root in
+  let weight_rng = Prng.split root in
+  let g = Large.generate topo_rng p in
+  let n = Graph.node_count g in
+  let pops = Large.pop_nodes g p in
+  let tl = Gravity.generate_pop traffic_rng ~n ~pops Gravity.default in
+  let th = Matrix.create_sparse n in
+  Matrix.iter tl (fun s t v ->
+      if Prng.float traffic_rng 1.0 < 0.10 then Matrix.set th s t (0.30 *. v));
+  let wh = Weights.random weight_rng g in
+  let wl = Weights.random weight_rng g in
+  let mk dest_mode =
+    Eval_ctx.create ~dest_mode g ~weights:[| wh; wl |] ~matrices:[| th; tl |]
+  in
+  let ca = mk Eval_ctx.All and cd = mk Eval_ctx.Demand in
+  Alcotest.(check (array (float 0.)))
+    "phi identical" (Eval_ctx.phi ca) (Eval_ctx.phi cd);
+  let rng = Prng.create 13 in
+  let m = Graph.arc_count g in
+  for _ = 1 to 8 do
+    let klass = Prng.int rng 2 in
+    let a = Prng.int rng m in
+    let v = 1 + Prng.int rng 30 in
+    let pa = Eval_ctx.probe ca ~klass ~changes:[ (a, v) ] in
+    let pd = Eval_ctx.probe cd ~klass ~changes:[ (a, v) ] in
+    Alcotest.(check (array (float 0.)))
+      "probe phi identical" (Eval_ctx.probe_phi pa) (Eval_ctx.probe_phi pd);
+    Eval_ctx.commit ca pa;
+    Eval_ctx.commit cd pd
+  done;
+  Alcotest.(check (array (float 0.)))
+    "phi identical after commits" (Eval_ctx.phi ca) (Eval_ctx.phi cd)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "dtr_scale"
+    [
+      ( "csr",
+        [
+          qc prop_csr_matches_reference;
+        ] );
+      ( "arenas",
+        [
+          qc prop_workspace_dijkstra_identical;
+          qc prop_workspace_spf_identical;
+          qc prop_for_destinations_active_subset;
+          qc prop_destination_loads_into_identical;
+        ] );
+      ( "demand-mode",
+        [
+          qc prop_demand_mode_identical;
+          Alcotest.test_case "disconnected components" `Quick
+            test_demand_mode_disconnected;
+          Alcotest.test_case "ts-1k preset bit-identity" `Slow
+            test_demand_mode_ts1k;
+        ] );
+      ( "sparse-matrix",
+        [
+          qc prop_sparse_matrix_identical;
+        ] );
+      ( "large-presets",
+        [
+          Alcotest.test_case "BA sampler structure" `Quick
+            test_generate_ba_structure;
+          Alcotest.test_case "presets generate + pops" `Slow test_large_presets;
+          Alcotest.test_case "PoP gravity matrix" `Quick test_gravity_pop;
+        ] );
+    ]
