@@ -57,6 +57,32 @@ let preset_conv =
   let print ppf _ = Format.pp_print_string ppf "<preset>" in
   Arg.conv (parse, print)
 
+(* optimize's --preset additionally accepts a large-topology preset
+   name (ts-1k .. pl-10k), which switches the command onto the
+   large-tier search path (Search_bench). *)
+let opt_preset_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "quick" -> Ok (`Budget Dtr_core.Search_config.quick)
+    | "default" -> Ok (`Budget Dtr_core.Search_config.default)
+    | "paper" -> Ok (`Budget Dtr_core.Search_config.paper)
+    | s -> (
+        match Dtr_topology.Large.find s with
+        | Some p -> Ok (`Large p)
+        | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "expected a search budget (quick, default, paper) or a \
+                     large-topology preset (%s)"
+                    (String.concat ", " (Dtr_topology.Large.names ())))))
+  in
+  let print ppf = function
+    | `Budget _ -> Format.pp_print_string ppf "<budget>"
+    | `Large p -> Format.pp_print_string ppf p.Dtr_topology.Large.name
+  in
+  Arg.conv (parse, print)
+
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
@@ -75,6 +101,44 @@ let preset_arg =
     & opt preset_conv Dtr_core.Search_config.default
     & info [ "preset" ] ~docv:"PRESET"
         ~doc:"Search budget: quick, default or paper.")
+
+let time_budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "time-budget" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock budget in seconds: each search checks the clock \
+           once per iteration and winds down early when the budget is \
+           spent (at least one iteration always runs).  On a large \
+           preset each search gets its own budget; otherwise the \
+           budget covers the whole command.  Iteration counts under a \
+           binding budget are machine-dependent.")
+
+let init_weights_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "init-weights" ] ~docv:"FILE"
+        ~doc:
+          "Warm-start the searches from this saved weight setting \
+           (Weights_io format: 1 topology seeds both classes, 2 seed \
+           W_H and W_L; e.g. a previous run's --save-weights output).  \
+           Weights are range-validated on load.")
+
+(* Warm-start file -> (wh0, wl0).  Out-of-range or malformed files die
+   with the parser's line-numbered message. *)
+let load_init_weights = function
+  | None -> None
+  | Some path -> (
+      match Dtr_routing.Weights_io.load path with
+      | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)
+      | Ok [| w |] -> Some (w, w)
+      | Ok [| wh; wl |] -> Some (wh, wl)
+      | Ok sets ->
+          failwith
+            (Printf.sprintf "%s: expected 1 or 2 weight topologies, found %d"
+               path (Array.length sets)))
 
 let scan_jobs_arg =
   Arg.(
@@ -213,14 +277,80 @@ let topo_cmd =
 (* ------------------------------------------------------------------ *)
 (* optimize                                                           *)
 
+(* Large-preset path: one STR + DTR search-bench run on the 1k-10k
+   tier.  Outcome lines (objectives, improvements, evaluations, memo
+   counters) go to stdout — deterministic in (preset, seed, config)
+   whenever no wall-clock budget binds, so CI can diff stdout across
+   --scan-jobs values; progress and the timing table go to stderr. *)
+let optimize_large p ~model ~fraction ~density ~util ~seed ~restarts
+    ~scan_jobs ~robust ~alpha ~top_k ~time_budget ~search_iters ~init_weights
+    ~save_weights =
+  let module Search_bench = Dtr_experiments.Search_bench in
+  if restarts > 1 then
+    failwith "--restarts > 1 is not supported on large presets";
+  if save_weights <> None then
+    failwith "--save-weights is not supported on large presets";
+  let cfg = with_scan_jobs Dtr_core.Search_config.quick scan_jobs in
+  let cfg = with_robust cfg robust ~alpha ~top_k in
+  let cfg, str_iters =
+    match search_iters with
+    | None -> (cfg, None)
+    | Some n ->
+        ( { cfg with Dtr_core.Search_config.n_iters = n; k_iters = n },
+          Some n )
+  in
+  let w0 = load_init_weights init_weights in
+  Printf.printf
+    "scenario: %s preset, %s cost, f=%.0f%%, k=%.0f%%, target util %.2f\n%!"
+    p.Dtr_topology.Large.name
+    (Objective.model_name model)
+    (fraction *. 100.) (density *. 100.) util;
+  let rows =
+    Search_bench.run ~cfg ~seed ?time_budget ?str_iters ?w0 ~fraction ~density
+      ~util
+      ~progress:(fun s -> Printf.eprintf "%s\n%!" s)
+      ~model p
+  in
+  List.iter
+    (fun (r : Search_bench.row) ->
+      Printf.printf
+        "%-4s objective: primary=%.6g secondary=%.6g (%d improvements, %d \
+         iterations, %d evaluations)\n"
+        (String.uppercase_ascii r.Search_bench.algo)
+        r.Search_bench.objective.Lexico.primary
+        r.Search_bench.objective.Lexico.secondary r.Search_bench.improvements
+        r.Search_bench.iterations r.Search_bench.evaluations;
+      Printf.printf "%-4s memo: %d hits / %d misses\n"
+        (String.uppercase_ascii r.Search_bench.algo)
+        r.Search_bench.memo_hits r.Search_bench.memo_misses)
+    rows;
+  Printf.eprintf "%s%!"
+    (Dtr_util.Table.to_string (Search_bench.table rows))
+
 let optimize_cmd =
   let run topology model fraction density util preset seed restarts jobs
-      scan_jobs robust alpha top_k save_weights trace_file trace_no_time
-      metrics_file =
+      scan_jobs robust alpha top_k time_budget search_iters init_weights
+      save_weights trace_file trace_no_time metrics_file =
+    match preset with
+    | `Large p ->
+        optimize_large p ~model ~fraction ~density ~util ~seed ~restarts
+          ~scan_jobs ~robust ~alpha ~top_k ~time_budget ~search_iters
+          ~init_weights ~save_weights
+    | `Budget preset ->
     let module Trace = Dtr_core.Trace in
     let module Metrics = Dtr_util.Metrics in
     let preset = with_scan_jobs preset scan_jobs in
     let preset = with_robust preset robust ~alpha ~top_k in
+    let w0 = load_init_weights init_weights in
+    let t_start = Unix.gettimeofday () in
+    let stop =
+      Option.map
+        (fun b () -> Unix.gettimeofday () -. t_start > b)
+        time_budget
+    in
+    if restarts > 1 && (w0 <> None || stop <> None) then
+      failwith "--init-weights/--time-budget require --restarts 1";
+    ignore search_iters;
     if metrics_file <> None then begin
       Metrics.set_enabled true;
       Metrics.reset ()
@@ -309,8 +439,8 @@ let optimize_cmd =
         | None -> Trace.disabled
       in
       let point =
-        Dtr_experiments.Compare.run_point ~cfg:preset ~seed ~trace inst ~model
-          ~target_util:util
+        Dtr_experiments.Compare.run_point ~cfg:preset ~seed ~trace ?stop ?w0
+          inst ~model ~target_util:util
       in
       let pr name (o : Lexico.t) =
         Printf.printf "%-4s objective: primary=%.6g secondary=%.6g\n" name
@@ -467,13 +597,41 @@ let optimize_cmd =
              above the nondeterministic marker are bit-identical for \
              every --jobs and --scan-jobs value.")
   in
+  let opt_preset_arg =
+    Arg.(
+      value
+      & opt opt_preset_conv (`Budget Dtr_core.Search_config.default)
+      & info [ "preset" ] ~docv:"PRESET"
+          ~doc:
+            "Search budget (quick, default, paper) or a large-topology \
+             preset (ts-1k, ts-5k, ts-10k, pl-1k, pl-5k, pl-10k).  A \
+             large preset replaces --topology with a 1k-10k-node \
+             PoP-demand scenario, runs the searches through the \
+             search-bench path (quick budget unless capped by \
+             --search-iters or --time-budget), and prints deterministic \
+             outcome lines on stdout with timings on stderr.")
+  in
+  let search_iters_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "search-iters" ] ~docv:"N"
+          ~doc:
+            "On a large preset: cap every search loop at N iterations \
+             (STR's value-scan count and DTR's three routines alike).  \
+             Without a --time-budget this makes the whole run — and \
+             its stdout — deterministic, which is what the CI \
+             scan-jobs invariance check diffs.  Ignored on the \
+             dense-topology path.")
+  in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Run the STR and DTR weight searches on one scenario")
     Term.(
       const run $ topology_arg $ model_arg $ fraction_arg $ density_arg
-      $ util_arg $ preset_arg $ seed_arg $ restarts_arg $ jobs_arg
-      $ scan_jobs_arg $ robust_arg $ alpha_arg $ top_k_arg $ save_arg
-      $ trace_arg $ trace_no_time_arg $ metrics_arg)
+      $ util_arg $ opt_preset_arg $ seed_arg $ restarts_arg $ jobs_arg
+      $ scan_jobs_arg $ robust_arg $ alpha_arg $ top_k_arg $ time_budget_arg
+      $ search_iters_arg $ init_weights_arg $ save_arg $ trace_arg
+      $ trace_no_time_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                         *)
@@ -682,7 +840,7 @@ let inspect_cmd =
           | Scenario.Isp -> Dtr_topology.Isp.city_name
           | Scenario.Abilene -> Dtr_topology.Abilene.city_name
           | Scenario.Random_topo | Scenario.Power_law | Scenario.Waxman
-          | Scenario.Transit_stub ->
+          | Scenario.Transit_stub | Scenario.Large _ ->
               string_of_int
         in
         print_endline
@@ -816,24 +974,55 @@ let gen_cmd =
 (* bench                                                              *)
 
 let bench_cmd =
-  let run presets seed probes json_out =
+  let run presets seed probes json_out search time_budget scan_jobs =
     let module Large_bench = Dtr_experiments.Large_bench in
-    let names =
-      match presets with [] -> Dtr_topology.Large.names () | ps -> ps
+    let module Search_bench = Dtr_experiments.Search_bench in
+    let write_json to_json =
+      match json_out with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc (to_json ()));
+          Printf.printf "wrote %s\n" path
     in
-    let rows =
-      Large_bench.run ~probes ~progress:(Printf.printf "%s\n%!") ~seed names
-    in
-    print_endline (Dtr_util.Table.to_string (Large_bench.table rows));
-    match json_out with
-    | None -> ()
-    | Some path ->
-        let oc = open_out path in
-        Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () ->
-            output_string oc (Large_bench.to_json ~seed ~probes rows));
-        Printf.printf "wrote %s\n" path
+    if search then begin
+      (* Search tier: full STR + DTR runs per preset — default to the
+         smallest preset only; 5k/10k are explicit opt-ins. *)
+      let names = match presets with [] -> [ "ts-1k" ] | ps -> ps in
+      let cfg =
+        with_scan_jobs Dtr_core.Search_config.quick scan_jobs
+      in
+      let rows =
+        List.concat_map
+          (fun name ->
+            match Dtr_topology.Large.find name with
+            | None ->
+                failwith
+                  (Printf.sprintf "unknown large preset: %s (expected one \
+                                   of: %s)"
+                     name
+                     (String.concat ", " (Dtr_topology.Large.names ())))
+            | Some p ->
+                Search_bench.run ~cfg ~seed ?time_budget
+                  ~progress:(Printf.eprintf "%s\n%!")
+                  ~model:Dtr_routing.Objective.Load p)
+          names
+      in
+      print_endline (Dtr_util.Table.to_string (Search_bench.table rows));
+      write_json (fun () -> Search_bench.to_json ~seed rows)
+    end
+    else begin
+      let names =
+        match presets with [] -> Dtr_topology.Large.names () | ps -> ps
+      in
+      let rows =
+        Large_bench.run ~probes ~progress:(Printf.printf "%s\n%!") ~seed names
+      in
+      print_endline (Dtr_util.Table.to_string (Large_bench.table rows));
+      write_json (fun () -> Large_bench.to_json ~seed ~probes rows)
+    end
   in
   let presets_arg =
     Arg.(
@@ -858,13 +1047,29 @@ let bench_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the rows and a provenance stamp to FILE as JSON.")
   in
+  let search_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "search" ]
+          ~doc:
+            "Benchmark the search loops instead of the evaluation \
+             plumbing: run the STR and DTR searches (quick budget) on \
+             each preset and report time-to-first-improvement and \
+             iterations/sec — the BENCH_search_large.json tier.  \
+             Defaults to ts-1k only; pass presets explicitly for the \
+             5k/10k tiers.  --probes is ignored in this mode.")
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:
          "Run the large-topology benchmark tier: demand-only evaluation \
           contexts at 1k-10k nodes, full-eval time, probe latency \
-          percentiles, evals/sec and peak RSS per preset")
-    Term.(const run $ presets_arg $ seed_arg $ probes_arg $ json_arg)
+          percentiles, evals/sec and peak RSS per preset — or, with \
+          --search, the search loops themselves")
+    Term.(
+      const run $ presets_arg $ seed_arg $ probes_arg $ json_arg $ search_arg
+      $ time_budget_arg $ scan_jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* version                                                            *)

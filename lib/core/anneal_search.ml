@@ -112,6 +112,14 @@ let run ?(schedule = default_schedule) ?w0 ?(trace = Trace.disabled) rng cfg
   let wh0, wl0 =
     match w0 with Some w -> w | None -> (Array.make m mid, Array.make m mid)
   in
+  (* Validate caller-supplied starting vectors up front: an
+     out-of-range weight used to survive until a scan indexed past a
+     value table. *)
+  (match w0 with
+  | None -> ()
+  | Some (wh, wl) ->
+      Weights.validate problem.Problem.graph wh;
+      Weights.validate problem.Problem.graph wl);
   let current = ref (Problem.eval_dtr problem ~wh:wh0 ~wl:wl0) in
   let best = ref !current in
   (* Phase 1: anneal W_H against the primary cost. *)

@@ -47,4 +47,6 @@ val run :
     [Anneal_step] event is recorded per Metropolis proposal
     ([detail] = phase 0/1, [value] = temperature) plus a [Phase_done]
     per phase; annealing is sequential, so the trace is trivially
-    jobs-invariant. *)
+    jobs-invariant.
+    @raise Invalid_argument on an out-of-range or wrong-length vector
+    in [w0] ({!Dtr_routing.Weights.validate}). *)

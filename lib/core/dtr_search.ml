@@ -55,10 +55,18 @@ let best_delta_of scan ?memo ?trace ctx sol ~cls ~base_w ~vectors =
   if !best < 0 then sol else Scan.commit scan ctx ~cls ~changes:changes.(!best)
 
 (* Weight vectors for a full value scan of one heavy-tail-ranked arc
-   (the Fortz–Thorup move; used with probability scan_probability). *)
-let scan_vectors rng cfg ~ranking w =
+   (the Fortz–Thorup move; used with probability scan_probability).
+   [ht] lets the full search hoist the sampler table out of its loops
+   (deterministic in (tau, n), so hoisting is bitwise-neutral). *)
+let scan_vectors ?ht rng cfg ~ranking w =
+  let n = Array.length ranking in
   let ht =
-    Dtr_util.Dist.heavy_tail ~tau:cfg.Search_config.tau ~n:(Array.length ranking)
+    match ht with
+    | Some t ->
+        if Dtr_util.Dist.heavy_tail_size t <> n then
+          invalid_arg "Dtr_search.scan_vectors: sampler size mismatch";
+        t
+    | None -> Dtr_util.Dist.heavy_tail ~tau:cfg.Search_config.tau ~n
   in
   let arc = ranking.(Dtr_util.Dist.heavy_tail_sample ht rng - 1) in
   let acc = ref [] in
@@ -73,9 +81,9 @@ let scan_vectors rng cfg ~ranking w =
 
 (* Weight vectors for the literal Algorithm-2 neighborhood: m two-arc
    moves (one weight up, one down) built from the candidate windows. *)
-let move_vectors rng cfg ~ranking w =
+let move_vectors ?ht rng cfg ~ranking w =
   let a, b =
-    Neighborhood.candidate_sets rng ~tau:cfg.Search_config.tau
+    Neighborhood.candidate_sets ?ht rng ~tau:cfg.Search_config.tau
       ~m:cfg.Search_config.m_neighbors ~ranking
   in
   List.map
@@ -84,32 +92,48 @@ let move_vectors rng cfg ~ranking w =
       Neighborhood.apply move ~step w)
     (Neighborhood.moves rng ~a ~b)
 
-let neighbor_vectors rng cfg ~ranking w =
+let neighbor_vectors ?ht_arc ?ht_cand rng cfg ~ranking w =
   if Prng.float rng 1.0 < cfg.Search_config.scan_probability then
-    scan_vectors rng cfg ~ranking w
-  else move_vectors rng cfg ~ranking w
+    scan_vectors ?ht:ht_arc rng cfg ~ranking w
+  else move_vectors ?ht:ht_cand rng cfg ~ranking w
 
 (* Arc rankings come from the live context's cost rows
    (Problem.ctx_arc_cmp_h/_l) — same ordering as the solution-derived
    Objective.link_costs_h/_l, without allocating m cost records per
-   pass. *)
-let find_h_ctx scan ?memo ?trace rng cfg problem ctx sol =
+   pass.  With [rcache], the ranking is a cached sorted permutation
+   repaired incrementally from the arcs the last commits touched
+   (Ranking.arcs — bitwise the full sort) instead of an O(m log m)
+   re-sort per pass. *)
+let ranking_of ?rcache ~reference ~cmp ctx n_arcs =
+  match rcache with
+  | Some r -> Ranking.arcs ~reference r ctx ~cmp n_arcs
+  | None -> Neighborhood.rank_by_cost ~cmp n_arcs
+
+let find_h_ctx scan ?memo ?trace ?rcache ?ht_arc ?ht_cand rng cfg problem ctx
+    sol =
   let ranking =
-    Neighborhood.rank_by_cost
+    ranking_of ?rcache ~reference:cfg.Search_config.reference_loops
       ~cmp:(Problem.ctx_arc_cmp_h problem ctx)
+      ctx
       (Dtr_graph.Graph.arc_count problem.Problem.graph)
   in
-  let vectors = neighbor_vectors rng cfg ~ranking sol.Problem.wh in
+  let vectors =
+    neighbor_vectors ?ht_arc ?ht_cand rng cfg ~ranking sol.Problem.wh
+  in
   best_delta_of scan ?memo ?trace ctx sol ~cls:`H ~base_w:sol.Problem.wh
     ~vectors
 
-let find_l_ctx scan ?memo ?trace rng cfg problem ctx sol =
+let find_l_ctx scan ?memo ?trace ?rcache ?ht_arc ?ht_cand rng cfg problem ctx
+    sol =
   let ranking =
-    Neighborhood.rank_by_cost
+    ranking_of ?rcache ~reference:cfg.Search_config.reference_loops
       ~cmp:(Problem.ctx_arc_cmp_l problem ctx)
+      ctx
       (Dtr_graph.Graph.arc_count problem.Problem.graph)
   in
-  let vectors = neighbor_vectors rng cfg ~ranking sol.Problem.wl in
+  let vectors =
+    neighbor_vectors ?ht_arc ?ht_cand rng cfg ~ranking sol.Problem.wl
+  in
   best_delta_of scan ?memo ?trace ctx sol ~cls:`L ~base_w:sol.Problem.wl
     ~vectors
 
@@ -131,7 +155,7 @@ let default_w0 problem =
   let m = Dtr_graph.Graph.arc_count problem.Problem.graph in
   (Array.make m mid, Array.make m mid)
 
-let run ?w0 ?on_progress ?(trace = Trace.disabled) rng cfg problem =
+let run ?w0 ?stop ?on_progress ?(trace = Trace.disabled) rng cfg problem =
   Search_config.validate cfg;
   let eval0, full0, delta0 = Problem.domain_eval_counts () in
   let probe_trace =
@@ -139,7 +163,38 @@ let run ?w0 ?on_progress ?(trace = Trace.disabled) rng cfg problem =
   in
   let improvements = ref 0 in
   let wh0, wl0 = match w0 with Some w -> w | None -> default_w0 problem in
-  Scan.with_engine ~jobs:cfg.Search_config.scan_jobs problem @@ fun scan ->
+  (* Caller-supplied starting points are validated here rather than
+     trusted: an out-of-range weight used to survive until the value
+     scan indexed past its table. *)
+  (match w0 with
+  | None -> ()
+  | Some (wh, wl) ->
+      Weights.validate problem.Problem.graph wh;
+      Weights.validate problem.Problem.graph wl);
+  (* Loop-invariant heavy-tail sampler tables, hoisted out of the
+     FindH/FindL passes: one over all m arcs (value scans), one over
+     the candidate-window support (two-arc moves).  Both depend only on
+     (tau, n), so sharing them across iterations is bitwise-neutral. *)
+  let n_arcs = Dtr_graph.Graph.arc_count problem.Problem.graph in
+  let ht_arc = Dtr_util.Dist.heavy_tail ~tau:cfg.Search_config.tau ~n:n_arcs in
+  let ht_cand =
+    Dtr_util.Dist.heavy_tail ~tau:cfg.Search_config.tau
+      ~n:(n_arcs - min cfg.Search_config.m_neighbors n_arcs + 1)
+  in
+  (* One ranking cache per cost ordering: FindH ranks by Φ_H rows,
+     FindL by Φ_L rows, and each repairs against the same context's
+     commit log independently. *)
+  let rcache_h = Ranking.create () in
+  let rcache_l = Ranking.create () in
+  let stopped = ref false in
+  let poll_stop () =
+    match stop with
+    | None -> ()
+    | Some f -> if f () then stopped := true
+  in
+  Scan.with_engine ~reference:cfg.Search_config.reference_loops
+    ~jobs:cfg.Search_config.scan_jobs problem
+  @@ fun scan ->
   (* Per-run memo shared by all three routines: FindH and FindL
      candidates key on the full (W_H, W_L) pair, so revisits across
      phases and diversification jumps hit too. *)
@@ -253,27 +308,37 @@ let run ?w0 ?on_progress ?(trace = Trace.disabled) rng cfg problem =
       best_j := rp.Problem.rp_objective;
       tell_sweep ~iteration:0 ~detail:0 ~normal ~rp ~accepted:true);
 
-  (* Routine 1: optimize W_H with W_L frozen. *)
+  (* Routine 1: optimize W_H with W_L frozen.  [stop] is polled after
+     every completed iteration (so at least one always runs); once it
+     fires, the remaining iterations of every routine are skipped while
+     the inter-routine reconciliations — and the report — still
+     execute. *)
   stall := 0;
   for iteration = 1 to cfg.Search_config.n_iters do
-    let before = Problem.objective !current in
-    let prev = !current in
-    current := find_h_ctx scan ~memo ~trace:probe_trace rng cfg problem !ctx !current;
-    consider_best ~iteration ~detail:0 ~moved:(not (prev == !current)) ~count:true;
-    tell Trace.Find_h ~iteration ~detail:0 ~before ~prev;
-    if !stall >= cfg.Search_config.diversify_after then begin
+    if not !stopped then begin
       let before = Problem.objective !current in
-      let wh =
-        Weights.perturb rng ~fraction:cfg.Search_config.g1 !current.Problem.wh
-      in
-      let changes = Problem.weight_changes !current.Problem.wh wh in
-      let d = Problem.eval_delta problem !ctx ~cls:`H ~changes in
       let prev = !current in
-      current := Problem.commit_delta problem !ctx d;
-      stall := 0;
-      tell Trace.Diversify ~iteration ~detail:0 ~before ~prev
-    end;
-    notify Optimize_h iteration
+      current :=
+        find_h_ctx scan ~memo ~trace:probe_trace ~rcache:rcache_h ~ht_arc
+          ~ht_cand rng cfg problem !ctx !current;
+      consider_best ~iteration ~detail:0 ~moved:(not (prev == !current))
+        ~count:true;
+      tell Trace.Find_h ~iteration ~detail:0 ~before ~prev;
+      if !stall >= cfg.Search_config.diversify_after then begin
+        let before = Problem.objective !current in
+        let wh =
+          Weights.perturb rng ~fraction:cfg.Search_config.g1 !current.Problem.wh
+        in
+        let changes = Problem.weight_changes !current.Problem.wh wh in
+        let d = Problem.eval_delta problem !ctx ~cls:`H ~changes in
+        let prev = !current in
+        current := Problem.commit_delta problem !ctx d;
+        stall := 0;
+        tell Trace.Diversify ~iteration ~detail:0 ~before ~prev
+      end;
+      notify Optimize_h iteration;
+      poll_stop ()
+    end
   done;
   phase_objectives := (Optimize_h, !best_j) :: !phase_objectives;
   phase_done ~iteration:cfg.Search_config.n_iters ~detail:0;
@@ -287,24 +352,30 @@ let run ?w0 ?on_progress ?(trace = Trace.disabled) rng cfg problem =
   consider_best ~iteration:0 ~detail:1 ~moved:true ~count:false;
   stall := 0;
   for iteration = 1 to cfg.Search_config.n_iters do
-    let before = Problem.objective !current in
-    let prev = !current in
-    current := find_l_ctx scan ~memo ~trace:probe_trace rng cfg problem !ctx !current;
-    consider_best ~iteration ~detail:1 ~moved:(not (prev == !current)) ~count:true;
-    tell Trace.Find_l ~iteration ~detail:1 ~before ~prev;
-    if !stall >= cfg.Search_config.diversify_after then begin
+    if not !stopped then begin
       let before = Problem.objective !current in
-      let wl =
-        Weights.perturb rng ~fraction:cfg.Search_config.g2 !current.Problem.wl
-      in
-      let changes = Problem.weight_changes !current.Problem.wl wl in
-      let d = Problem.eval_delta problem !ctx ~cls:`L ~changes in
       let prev = !current in
-      current := Problem.commit_delta problem !ctx d;
-      stall := 0;
-      tell Trace.Diversify ~iteration ~detail:1 ~before ~prev
-    end;
-    notify Optimize_l iteration
+      current :=
+        find_l_ctx scan ~memo ~trace:probe_trace ~rcache:rcache_l ~ht_arc
+          ~ht_cand rng cfg problem !ctx !current;
+      consider_best ~iteration ~detail:1 ~moved:(not (prev == !current))
+        ~count:true;
+      tell Trace.Find_l ~iteration ~detail:1 ~before ~prev;
+      if !stall >= cfg.Search_config.diversify_after then begin
+        let before = Problem.objective !current in
+        let wl =
+          Weights.perturb rng ~fraction:cfg.Search_config.g2 !current.Problem.wl
+        in
+        let changes = Problem.weight_changes !current.Problem.wl wl in
+        let d = Problem.eval_delta problem !ctx ~cls:`L ~changes in
+        let prev = !current in
+        current := Problem.commit_delta problem !ctx d;
+        stall := 0;
+        tell Trace.Diversify ~iteration ~detail:1 ~before ~prev
+      end;
+      notify Optimize_l iteration;
+      poll_stop ()
+    end
   done;
   phase_objectives := (Optimize_l, !best_j) :: !phase_objectives;
   phase_done ~iteration:cfg.Search_config.n_iters ~detail:1;
@@ -314,33 +385,40 @@ let run ?w0 ?on_progress ?(trace = Trace.disabled) rng cfg problem =
   ctx := Problem.ctx_of_solution problem !current;
   stall := 0;
   for iteration = 1 to cfg.Search_config.k_iters do
-    let before_h = Problem.objective !current in
-    let prev_h = !current in
-    current := find_h_ctx scan ~memo ~trace:probe_trace rng cfg problem !ctx !current;
-    tell Trace.Find_h ~iteration ~detail:2 ~before:before_h ~prev:prev_h;
-    let before_l = Problem.objective !current in
-    let prev_l = !current in
-    current := find_l_ctx scan ~memo ~trace:probe_trace rng cfg problem !ctx !current;
-    consider_best ~iteration ~detail:2
-      ~moved:(not (prev_h == !current) || not (prev_l == !current))
-      ~count:true;
-    tell Trace.Find_l ~iteration ~detail:2 ~before:before_l ~prev:prev_l;
-    if !stall >= cfg.Search_config.diversify_after then begin
-      (* Restart from the incumbent, slightly perturbed on both sides. *)
-      let before = Problem.objective !current in
-      let wh =
-        Weights.perturb rng ~fraction:cfg.Search_config.g3 !best.Problem.wh
-      in
-      let wl =
-        Weights.perturb rng ~fraction:cfg.Search_config.g3 !best.Problem.wl
-      in
-      let prev = !current in
-      current := Problem.eval_dtr problem ~wh ~wl;
-      ctx := Problem.ctx_of_solution problem !current;
-      stall := 0;
-      tell Trace.Diversify ~iteration ~detail:2 ~before ~prev
-    end;
-    notify Refine iteration
+    if not !stopped then begin
+      let before_h = Problem.objective !current in
+      let prev_h = !current in
+      current :=
+        find_h_ctx scan ~memo ~trace:probe_trace ~rcache:rcache_h ~ht_arc
+          ~ht_cand rng cfg problem !ctx !current;
+      tell Trace.Find_h ~iteration ~detail:2 ~before:before_h ~prev:prev_h;
+      let before_l = Problem.objective !current in
+      let prev_l = !current in
+      current :=
+        find_l_ctx scan ~memo ~trace:probe_trace ~rcache:rcache_l ~ht_arc
+          ~ht_cand rng cfg problem !ctx !current;
+      consider_best ~iteration ~detail:2
+        ~moved:(not (prev_h == !current) || not (prev_l == !current))
+        ~count:true;
+      tell Trace.Find_l ~iteration ~detail:2 ~before:before_l ~prev:prev_l;
+      if !stall >= cfg.Search_config.diversify_after then begin
+        (* Restart from the incumbent, slightly perturbed on both sides. *)
+        let before = Problem.objective !current in
+        let wh =
+          Weights.perturb rng ~fraction:cfg.Search_config.g3 !best.Problem.wh
+        in
+        let wl =
+          Weights.perturb rng ~fraction:cfg.Search_config.g3 !best.Problem.wl
+        in
+        let prev = !current in
+        current := Problem.eval_dtr problem ~wh ~wl;
+        ctx := Problem.ctx_of_solution problem !current;
+        stall := 0;
+        tell Trace.Diversify ~iteration ~detail:2 ~before ~prev
+      end;
+      notify Refine iteration;
+      poll_stop ()
+    end
   done;
   phase_objectives := (Refine, !best_j) :: !phase_objectives;
   phase_done ~iteration:cfg.Search_config.k_iters ~detail:2;

@@ -54,6 +54,7 @@ val find_l :
 
 val run :
   ?w0:int array * int array ->
+  ?stop:(unit -> bool) ->
   ?on_progress:(progress -> unit) ->
   ?trace:Trace.t ->
   Dtr_util.Prng.t ->
@@ -62,9 +63,17 @@ val run :
   report
 (** Full Algorithm 1.  [w0] defaults to all weights =
     [(min_weight + max_weight) / 2] for both classes so initial moves
-    can go both ways.  [on_progress] fires once per iteration.
+    can go both ways.  [stop], polled after every completed iteration,
+    ends the run early when it returns [true] (the wall-clock budget
+    hook): the remaining iterations of all three routines are skipped,
+    while the inter-routine reconciliations and the final report still
+    execute.  At least one iteration always runs, and a run that is
+    never stopped is bit-identical to one without the callback.
+    [on_progress] fires once per iteration.
 
     With an enabled [trace], one [Find_h] / [Find_l] event is recorded
     per pass ([detail] = routine ordinal 0/1/2), one [Diversify] per
     perturbation, and one [Phase_done] per routine; every field but
-    the timestamp is identical for every [scan_jobs] value. *)
+    the timestamp is identical for every [scan_jobs] value.
+    @raise Invalid_argument on an out-of-range or wrong-length vector
+    in [w0] ({!Dtr_routing.Weights.validate}). *)

@@ -57,19 +57,24 @@ let better a b = Multi.compare_objective (Multi.objective a) (Multi.objective b)
    the per-class weights; a single shared vector passes [[|0|]] with
    the vector aliased everywhere).  Arc ranking uses the summed
    per-class arc costs of the mutated classes. *)
-let pass rng cfg problem st ~klass =
+let pass ?ht_arc ?ht_cand rng cfg problem st ~klass =
   let w = st.current_w in
   let m = Graph.arc_count problem.graph in
-  let costs =
-    Array.init m (fun a -> st.current.Multi.phi_per_arc.(klass).(a))
-  in
+  (* Rank directly over the incumbent's per-arc cost row — the sort
+     completes before any probe commits, so reading the live row is
+     bitwise-identical to the O(m) snapshot it replaces. *)
+  let costs = st.current.Multi.phi_per_arc.(klass) in
   let ranking =
     Neighborhood.rank_by_cost ~cmp:(fun x y -> Float.compare costs.(x) costs.(y)) m
   in
   let vectors =
     if Prng.float rng 1.0 < cfg.Search_config.scan_probability then begin
       let ht =
-        Dtr_util.Dist.heavy_tail ~tau:cfg.Search_config.tau ~n:(Array.length ranking)
+        match ht_arc with
+        | Some t -> t
+        | None ->
+            Dtr_util.Dist.heavy_tail ~tau:cfg.Search_config.tau
+              ~n:(Array.length ranking)
       in
       let arc = ranking.(Dtr_util.Dist.heavy_tail_sample ht rng - 1) in
       let acc = ref [] in
@@ -84,7 +89,7 @@ let pass rng cfg problem st ~klass =
     end
     else begin
       let a, b =
-        Neighborhood.candidate_sets rng ~tau:cfg.Search_config.tau
+        Neighborhood.candidate_sets ?ht:ht_cand rng ~tau:cfg.Search_config.tau
           ~m:cfg.Search_config.m_neighbors ~ranking
       in
       List.map
@@ -196,8 +201,22 @@ let run ?w0 ?(trace = Trace.disabled) rng cfg problem =
     | Some w ->
         if Array.length w <> classes then
           invalid_arg "Mtr_search.run: w0 class count mismatch";
+        (* Validate every starting vector up front: an out-of-range
+           weight used to survive until a value scan indexed past its
+           table. *)
+        Array.iter (Weights.validate problem.graph) w;
         copy_weights w
     | None -> Array.init classes (fun _ -> Array.make m mid)
+  in
+  (* Loop-invariant heavy-tail sampler tables (deterministic in
+     (tau, n) — hoisting is bitwise-neutral). *)
+  let ht_arc = Dtr_util.Dist.heavy_tail ~tau:cfg.Search_config.tau ~n:m in
+  let ht_cand =
+    Dtr_util.Dist.heavy_tail ~tau:cfg.Search_config.tau
+      ~n:(m - min cfg.Search_config.m_neighbors m + 1)
+  in
+  let pass rng cfg problem st ~klass =
+    pass ~ht_arc ~ht_cand rng cfg problem st ~klass
   in
   let st = init_state problem w0 in
   (* One routine per class, in priority order. *)
@@ -265,11 +284,19 @@ let run_single_topology ?w0 ?(trace = Trace.disabled) rng cfg problem =
   let mid = (Weights.min_weight + Weights.max_weight) / 2 in
   let m = Graph.arc_count problem.graph in
   let shared =
-    match w0 with Some w -> Array.copy w | None -> Array.make m mid
+    match w0 with
+    | Some w ->
+        Weights.validate problem.graph w;
+        Array.copy w
+    | None -> Array.make m mid
   in
   (* All classes alias the same vector, so Multi shares one SPF. *)
   let make_w shared = Array.make classes shared in
   let st = init_state problem (make_w shared) in
+  let ht_cand =
+    Dtr_util.Dist.heavy_tail ~tau:cfg.Search_config.tau
+      ~n:(m - min cfg.Search_config.m_neighbors m + 1)
+  in
   let iters = (classes * cfg.Search_config.n_iters) + cfg.Search_config.k_iters in
   for iteration = 1 to iters do
     let before = Multi.objective st.current in
@@ -287,7 +314,7 @@ let run_single_topology ?w0 ?(trace = Trace.disabled) rng cfg problem =
       Neighborhood.rank_by_cost ~cmp:(fun x y -> Float.compare costs.(x) costs.(y)) m
     in
     let a, b =
-      Neighborhood.candidate_sets rng ~tau:cfg.Search_config.tau
+      Neighborhood.candidate_sets ~ht:ht_cand rng ~tau:cfg.Search_config.tau
         ~m:cfg.Search_config.m_neighbors ~ranking
     in
     List.iter

@@ -45,7 +45,10 @@ val run :
     during joint refinement), plus [Diversify] and [Phase_done] events;
     objectives are the length-[T] vectors.  MTR passes are sequential
     (first-improvement commits mid-scan), so the trace is trivially
-    identical under every [--scan-jobs]. *)
+    identical under every [--scan-jobs].
+    @raise Invalid_argument on a [w0] with the wrong class count, or
+    any vector out of range or mis-sized
+    ({!Dtr_routing.Weights.validate}). *)
 
 val run_single_topology :
   ?w0:int array ->
@@ -56,4 +59,6 @@ val run_single_topology :
   report
 (** Single shared weight vector for every class (the STR baseline);
     the returned [weights] repeats that vector [T] times (physically
-    shared). *)
+    shared).
+    @raise Invalid_argument on an out-of-range or wrong-length [w0]
+    ({!Dtr_routing.Weights.validate}). *)

@@ -14,6 +14,7 @@ val rank_by_cost : cmp:(int -> int -> int) -> int -> int array
     runs are deterministic. *)
 
 val candidate_sets :
+  ?ht:Dtr_util.Dist.heavy_tail ->
   Dtr_util.Prng.t ->
   tau:float ->
   m:int ->
@@ -22,8 +23,13 @@ val candidate_sets :
 (** [(a, b)]: the high-cost window A ([m] consecutive ranks starting at
     a heavy-tail-drawn rank [k1]) and the low-cost window B ([m]
     consecutive ranks ending at a heavy-tail-drawn distance [k2] from
-    the bottom).  Both have length [min m n].
-    @raise Invalid_argument if the ranking is empty or [m < 1]. *)
+    the bottom).  Both have length [min m n].  [ht], when given, must
+    be a heavy-tail sampler over exactly the window support
+    [n - min m n + 1] for the same [tau] — the tables are a pure
+    function of [(tau, n)], so hoisting one out of a loop is
+    draw-for-draw identical to rebuilding it here.
+    @raise Invalid_argument if the ranking is empty, [m < 1], or a
+    given [ht] has the wrong size. *)
 
 val moves :
   Dtr_util.Prng.t -> a:int array -> b:int array -> move list

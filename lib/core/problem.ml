@@ -13,6 +13,7 @@ type t = {
   th : Matrix.t;
   tl : Matrix.t;
   model : Objective.model;
+  dest_mode : Eval_ctx.dest_mode;
 }
 
 let create ~graph ~th ~tl ~model =
@@ -21,7 +22,20 @@ let create ~graph ~th ~tl ~model =
     invalid_arg "Problem.create: matrix size mismatch";
   if not (Graph.is_strongly_connected graph) then
     invalid_arg "Problem.create: graph must be strongly connected";
-  { graph; th; tl; model }
+  { graph; th; tl; model; dest_mode = Eval_ctx.All }
+
+(* Demand mode: destinations that sink positive demand in any of the
+   given matrices.  Full evaluations restrict their SPF sweeps to these
+   (bitwise-identically: demandless destinations contribute nothing),
+   which is what makes from-scratch evaluations affordable on the
+   large presets. *)
+let active_for t matrices =
+  match t.dest_mode with
+  | Eval_ctx.All -> None
+  | Eval_ctx.Demand ->
+      let act = Array.make (Graph.node_count t.graph) false in
+      List.iter (fun m -> Matrix.iter m (fun _ dst _ -> act.(dst) <- true)) matrices;
+      Some act
 
 type solution = {
   wh : int array;
@@ -122,10 +136,15 @@ let reset_evaluations () =
   c.dc_full <- 0;
   c.dc_delta <- 0
 
+let spf_sweep t ~w ~matrices =
+  match active_for t matrices with
+  | None -> Spf.all_destinations t.graph ~weights:w
+  | Some active -> Spf.for_destinations t.graph ~weights:w ~active
+
 let route_with t matrix w =
   Weights.validate t.graph w;
   let w = Array.copy w in
-  let dags = Spf.all_destinations t.graph ~weights:w in
+  let dags = spf_sweep t ~w ~matrices:[ matrix ] in
   let loads = Loads.of_matrix t.graph ~dags matrix in
   { w; dags; loads; sla_cache = None }
 
@@ -162,7 +181,7 @@ let eval_dtr t ~wh ~wl = combine t ~h:(route_h t wh) ~l:(route_l t wl)
 let eval_str_raw t ~w =
   Weights.validate t.graph w;
   let w = Array.copy w in
-  let dags = Spf.all_destinations t.graph ~weights:w in
+  let dags = spf_sweep t ~w ~matrices:[ t.th; t.tl ] in
   let h_loads = Loads.of_matrix t.graph ~dags t.th in
   let l_loads = Loads.of_matrix t.graph ~dags t.tl in
   let eval =
@@ -207,36 +226,110 @@ let l_routing_of s =
 
 type cls = [ `H | `L ]
 
+module Vhash = Dtr_util.Vhash
+
 type ctx = {
   mutable ec : Eval_ctx.t;
   c_str : bool;
   mutable c_sla : Evaluate.sla option;
       (* delay/penalty evaluation of the context's CURRENT high-priority
          routing; invalidated whenever a commit moves W_H *)
+  mutable c_version : int;  (* bumps on every commit *)
+  mutable c_log : (int * int array) list;
+      (* newest-first (version, arcs whose per-arc rows that commit
+         moved); bounded, cleared on full-fallback commits so readers
+         see the gap and fall back to a full recompute *)
+  mutable c_key : int option;
+      (* Zobrist base key of the current weight vectors (both classes),
+         shifted per change on probe commits; None until first demanded
+         or after a full-fallback commit *)
 }
 
 let ec_of_solution t s =
   let eval = s.result.Objective.eval in
   let weights = if is_str s then [| s.wh; s.wh |] else [| s.wh; s.wl |] in
   let dags = [| eval.Evaluate.dags_h; eval.Evaluate.dags_l |] in
-  Eval_ctx.create ~dags t.graph ~weights ~matrices:[| t.th; t.tl |]
+  Eval_ctx.create ~dags ~dest_mode:t.dest_mode t.graph ~weights
+    ~matrices:[| t.th; t.tl |]
 
 let ctx_of_solution t s =
-  { ec = ec_of_solution t s; c_str = is_str s; c_sla = s.result.Objective.sla }
+  {
+    ec = ec_of_solution t s;
+    c_str = is_str s;
+    c_sla = s.result.Objective.sla;
+    c_version = 0;
+    c_log = [];
+    c_key = None;
+  }
 
 let ctx_is_str ctx = ctx.c_str
 
 let ctx_weights ctx cls =
   Eval_ctx.weights ctx.ec (match cls with `H -> 0 | `L -> 1)
 
+let ctx_weights_view ctx cls =
+  Eval_ctx.weights_view ctx.ec (match cls with `H -> 0 | `L -> 1)
+
+let ctx_version ctx = ctx.c_version
+
+(* Commits a reader may lag behind before incremental repair stops
+   paying for itself; past this the log is dropped from the tail and
+   stale readers recompute from scratch. *)
+let log_bound = 32
+
+let ctx_changes_since ctx ~since =
+  if since > ctx.c_version then None
+  else
+    let rec go acc expect log =
+      if expect = since then Some (Array.of_list acc)
+      else
+        match log with
+        | [] -> None
+        | (v, arcs) :: rest ->
+            if v <> expect then None
+            else
+              go
+                (Array.fold_left (fun acc a -> a :: acc) acc arcs)
+                (expect - 1) rest
+    in
+    go [] ctx.c_version ctx.c_log
+
+(* Same construction as Scan's former per-scan rehash: XOR of both
+   class vectors, each hashed under its own cls tag (for STR both
+   classes view one vector, hashed twice under cls 0 and 1). *)
+let compute_base_key ctx =
+  let wh = Eval_ctx.weights_view ctx.ec 0 in
+  let wl = Eval_ctx.weights_view ctx.ec 1 in
+  Vhash.vector ~cls:0 wh lxor Vhash.vector ~cls:1 wl
+
+let ctx_base_key ctx =
+  match ctx.c_key with
+  | Some k -> k
+  | None ->
+      let k = compute_base_key ctx in
+      ctx.c_key <- Some k;
+      k
+
+let ctx_base_key_fresh ctx = compute_base_key ctx
+
 let clone_ctx _t ctx =
-  { ec = Eval_ctx.clone ctx.ec; c_str = ctx.c_str; c_sla = ctx.c_sla }
+  {
+    ec = Eval_ctx.clone ctx.ec;
+    c_str = ctx.c_str;
+    c_sla = ctx.c_sla;
+    c_version = ctx.c_version;
+    c_log = ctx.c_log;
+    c_key = ctx.c_key;
+  }
 
 let sync_ctx ~src ~dst =
   if src.c_str <> dst.c_str then
     invalid_arg "Problem.sync_ctx: class-sharing mismatch";
   Eval_ctx.sync ~src:src.ec ~dst:dst.ec;
-  dst.c_sla <- src.c_sla
+  dst.c_sla <- src.c_sla;
+  dst.c_version <- src.c_version;
+  dst.c_log <- src.c_log;
+  dst.c_key <- src.c_key
 
 let ctx_sla params t ctx =
   match ctx.c_sla with
@@ -271,6 +364,7 @@ let weight_changes base w' =
 
 type delta = {
   d_cls : cls;
+  d_changes : (int * int) list;  (* the candidate's (arc, weight) changes *)
   d_probe : Eval_ctx.probe option;  (* incremental path *)
   d_full : solution option;  (* fallback path *)
   d_objective : Lexico.t;
@@ -298,6 +392,7 @@ let eval_delta ?(count = true) t ctx ~cls ~changes =
     let primary = match lambda with None -> phi.(0) | Some l -> l in
     {
       d_cls = cls;
+      d_changes = changes;
       d_probe = Some p;
       d_full = None;
       d_objective = Lexico.make ~primary ~secondary:phi.(1);
@@ -309,6 +404,7 @@ let eval_delta ?(count = true) t ctx ~cls ~changes =
     let ev = sol.result.Objective.eval in
     {
       d_cls = cls;
+      d_changes = changes;
       d_probe = None;
       d_full = Some sol;
       d_objective = sol.result.Objective.objective;
@@ -365,15 +461,60 @@ let ctx_arc_cmp_l _t ctx =
   let phi_l = Eval_ctx.phi_per_arc ctx.ec 1 in
   fun a b -> Float.compare phi_l.(a) phi_l.(b)
 
+(* Shift the cached base key across a probe commit.  Must run before
+   the weights move: before-values come from the live views.  A change
+   list may revisit an arc, so earlier entries shadow the view. *)
+let shift_key ctx ~cls ~changes =
+  match ctx.c_key with
+  | None -> ()
+  | Some k ->
+      let view = ctx_weights_view ctx cls in
+      let k = ref k in
+      let applied = ref [] in
+      List.iter
+        (fun (arc, v) ->
+          let before =
+            match List.assoc_opt arc !applied with
+            | Some b -> b
+            | None -> view.(arc)
+          in
+          if before <> v then
+            if ctx.c_str then begin
+              k := Vhash.shift !k ~cls:0 ~arc ~before ~after:v;
+              k := Vhash.shift !k ~cls:1 ~arc ~before ~after:v
+            end
+            else begin
+              let ci = match cls with `H -> 0 | `L -> 1 in
+              k := Vhash.shift !k ~cls:ci ~arc ~before ~after:v
+            end;
+          applied := (arc, v) :: !applied)
+        changes;
+      ctx.c_key <- Some !k
+
+let trim_log log =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | e :: rest -> e :: take (n - 1) rest
+  in
+  take log_bound log
+
 let commit_delta t ctx d =
   match (d.d_probe, d.d_full) with
   | Some p, _ ->
+      shift_key ctx ~cls:d.d_cls ~changes:d.d_changes;
+      let touched = Array.of_list (Eval_ctx.probe_touched p) in
       Eval_ctx.commit ctx.ec p;
+      ctx.c_version <- ctx.c_version + 1;
+      ctx.c_log <- trim_log ((ctx.c_version, touched) :: ctx.c_log);
       if ctx.c_str || d.d_cls = `H then ctx.c_sla <- None;
       ctx_solution t ctx
   | None, Some sol ->
       ctx.ec <- ec_of_solution t sol;
       ctx.c_sla <- sol.result.Objective.sla;
+      ctx.c_version <- ctx.c_version + 1;
+      ctx.c_log <- [];
+      ctx.c_key <- None;
       sol
   | None, None -> assert false
 

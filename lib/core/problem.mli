@@ -6,6 +6,11 @@ type t = {
   th : Dtr_traffic.Matrix.t;  (** high-priority traffic matrix *)
   tl : Dtr_traffic.Matrix.t;  (** low-priority traffic matrix *)
   model : Dtr_routing.Objective.model;
+  dest_mode : Dtr_routing.Eval_ctx.dest_mode;
+      (** destination coverage of every evaluation — [Demand] restricts
+          SPF sweeps and contexts to demand-sinking destinations
+          (bitwise-identical objectives; the only viable setting on the
+          large presets) *)
 }
 
 val create :
@@ -14,7 +19,9 @@ val create :
   tl:Dtr_traffic.Matrix.t ->
   model:Dtr_routing.Objective.model ->
   t
-(** @raise Invalid_argument on a size mismatch or a graph that is not
+(** [dest_mode] is [All]; switch with a record update
+    ([{ p with dest_mode = Demand }] — validation is mode-independent).
+    @raise Invalid_argument on a size mismatch or a graph that is not
     strongly connected (the paper's model needs all pairs routable). *)
 
 type solution = {
@@ -96,6 +103,41 @@ val ctx_is_str : ctx -> bool
 
 val ctx_weights : ctx -> cls -> int array
 (** A class's current weight vector (fresh copy). *)
+
+val ctx_weights_view : ctx -> cls -> int array
+(** A class's current weight vector {e without} copying
+    ({!Dtr_routing.Eval_ctx.weights_view}).  Commits replace the
+    array, so a held view is a stable snapshot — but callers must
+    never mutate it. *)
+
+val ctx_version : ctx -> int
+(** Commit counter: bumps by one on every {!commit_delta}.  Keys the
+    incremental caches below. *)
+
+val ctx_changes_since : ctx -> since:int -> int array option
+(** Arcs whose per-arc rows (loads, residual capacities, Fortz costs)
+    moved in the commits after version [since]: [Some [||]] when the
+    context is still at [since], [Some arcs] (possibly with
+    duplicates across commits) when the bounded commit log covers the
+    whole range, [None] when it does not — a full-fallback commit
+    intervened, or the reader lags more than the log holds — and the
+    caller must recompute from scratch.  Rankings sorted by
+    {!ctx_arc_cmp_h}/{!ctx_arc_cmp_l} can be repaired from exactly
+    this set: untouched arcs' cost rows are unchanged, so their
+    relative order is preserved. *)
+
+val ctx_base_key : ctx -> int
+(** Zobrist base key of the context's current weight vectors (class 0
+    under cls 0 XOR class 1 under cls 1 — the construction
+    {!Scan.candidate_keys} shifts candidates from).  Computed O(arcs)
+    on first demand, then maintained by two {!Dtr_util.Vhash.shift}s
+    per changed arc across probe commits; bitwise-identical to
+    {!ctx_base_key_fresh} always. *)
+
+val ctx_base_key_fresh : ctx -> int
+(** The same key recomputed from scratch (test/reference oracle for
+    {!ctx_base_key}; also the fallback after full-evaluation
+    commits). *)
 
 val clone_ctx : t -> ctx -> ctx
 (** A context evaluating identically to [ctx] but owning its mutable

@@ -26,6 +26,9 @@ type summary = { objective : Lexico.t; phi_h : float; phi_l : float }
 type t = {
   problem : Problem.t;
   pool : Pool.t option;
+  reference : bool;
+      (* oracle mode: rehash the base memo key from scratch every scan
+         instead of reading the context's incrementally shifted key *)
   mutable clones : Problem.ctx array;
       (* one per worker, allocated on the first parallel scan and
          resynchronized (blits, no re-evaluation) before every later
@@ -34,11 +37,12 @@ type t = {
       (* scans served so far; the [iteration] stamp of probe events *)
 }
 
-let create ~jobs problem =
+let create ?(reference = false) ~jobs problem =
   if jobs < 1 then invalid_arg "Scan.create: jobs must be positive";
   {
     problem;
     pool = (if jobs = 1 then None else Some (Pool.create ~jobs));
+    reference;
     clones = [||];
     scans = 0;
   }
@@ -49,8 +53,8 @@ let shutdown t =
   (match t.pool with None -> () | Some p -> Pool.shutdown p);
   t.clones <- [||]
 
-let with_engine ~jobs problem f =
-  let t = create ~jobs problem in
+let with_engine ?reference ~jobs problem f =
+  let t = create ?reference ~jobs problem in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 (* Memo keys: one Zobrist hash covering BOTH weight vectors — the
@@ -58,12 +62,18 @@ let with_engine ~jobs problem f =
    bitwise-identical to full evaluations, PR 1), so a FindH candidate
    and a FindL candidate reaching the same pair may share an entry.
    For an STR context one change moves both aliased vectors, hence
-   both cell sets shift. *)
-let candidate_keys ctx ~cls ~changes_of n =
+   both cell sets shift.  The base key is the context's cached one,
+   maintained by two shifts per changed arc across probe commits
+   (Problem.ctx_base_key) — identical to the from-scratch rehash of
+   both vectors, which [reference] forces for the oracle tests. *)
+let candidate_keys ?(reference = false) ctx ~cls ~changes_of n =
   let str = Problem.ctx_is_str ctx in
-  let wh = Problem.ctx_weights ctx `H in
-  let wl = if str then wh else Problem.ctx_weights ctx `L in
-  let base = Vhash.vector ~cls:0 wh lxor Vhash.vector ~cls:1 wl in
+  let wh = Problem.ctx_weights_view ctx `H in
+  let wl = Problem.ctx_weights_view ctx `L in
+  let base =
+    if reference then Problem.ctx_base_key_fresh ctx
+    else Problem.ctx_base_key ctx
+  in
   let shift_change key (arc, after) =
     if str then
       let key = Vhash.shift key ~cls:0 ~arc ~before:wh.(arc) ~after in
@@ -86,7 +96,7 @@ let evaluate t ctx ?memo ?(trace = Trace.disabled) ~cls ~changes_of n =
     match memo with
     | None -> [||]
     | Some m ->
-        let keys = candidate_keys ctx ~cls ~changes_of n in
+        let keys = candidate_keys ~reference:t.reference ctx ~cls ~changes_of n in
         for i = 0 to n - 1 do
           match Vmemo.find m keys.(i) with
           | Some s -> results.(i) <- Some s

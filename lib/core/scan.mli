@@ -31,15 +31,21 @@ type t
 (** An engine: an optional worker pool plus per-worker context clones,
     reused across iterations of one search run. *)
 
-val create : jobs:int -> Problem.t -> t
-(** @raise Invalid_argument if [jobs < 1]. *)
+val create : ?reference:bool -> jobs:int -> Problem.t -> t
+(** [reference] (default [false], see
+    {!Search_config.t.reference_loops}) forces the pre-incremental
+    memo keying: the base Zobrist hash of both weight vectors is
+    recomputed from scratch every scan instead of read from the
+    context's incrementally maintained key — bit-identical keys, so
+    identical memo hits and counters; exists as the test oracle.
+    @raise Invalid_argument if [jobs < 1]. *)
 
 val jobs : t -> int
 
 val shutdown : t -> unit
 (** Join the worker domains and drop the clones.  Idempotent. *)
 
-val with_engine : jobs:int -> Problem.t -> (t -> 'a) -> 'a
+val with_engine : ?reference:bool -> jobs:int -> Problem.t -> (t -> 'a) -> 'a
 (** Run [f] on a fresh engine, shutting it down on exit (normal or
     exceptional).  [jobs = 1] spawns no domains: scans degenerate to
     the plain sequential loop. *)

@@ -19,6 +19,7 @@ type t = {
   scan_jobs : int;
   trace_probes : bool;
   robust : robust option;
+  reference_loops : bool;
 }
 
 let paper =
@@ -37,6 +38,7 @@ let paper =
     scan_jobs = 1;
     trace_probes = true;
     robust = None;
+    reference_loops = false;
   }
 
 let default =

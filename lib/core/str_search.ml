@@ -48,22 +48,27 @@ type archive = { pts : archive_point list; size : int }
 
 let archive_empty = { pts = []; size = 0 }
 
-let archive_insert ar cand =
-  let dominated_by a = a.phi_h <= cand.phi_h && a.phi_l <= cand.phi_l in
+(* [w] is a thunk: the weight vector is materialized only when the
+   point actually enters the archive.  Dominance is decided from the
+   (phi_h, phi_l) pair alone, so laziness cannot change the archive's
+   contents — it only skips the O(m) copy for the (vast majority of)
+   dominated candidates. *)
+let archive_insert ar ~phi_h ~phi_l ~w =
+  let dominated_by a = a.phi_h <= phi_h && a.phi_l <= phi_l in
   if List.exists dominated_by ar.pts then ar
   else begin
     let removed = ref 0 in
     let survivors =
       List.filter
         (fun a ->
-          if cand.phi_h <= a.phi_h && cand.phi_l <= a.phi_l then begin
+          if phi_h <= a.phi_h && phi_l <= a.phi_l then begin
             incr removed;
             false
           end
           else true)
         ar.pts
     in
-    let pts = cand :: survivors in
+    let pts = { phi_h; phi_l; w = w () } :: survivors in
     let size = ar.size - !removed + 1 in
     if size > archive_max then begin
       (* Evict the first-in-list point of maximal phi_l — the same
@@ -82,19 +87,24 @@ let archive_insert ar cand =
 
 (* Rank arcs straight from the live context's cost rows
    (Problem.ctx_arc_cmp_h) instead of materializing m Lexico records
-   from the solution every iteration; the ordering is identical. *)
-let pick_arc rng cfg ctx problem =
+   from the solution every iteration; the ordering is identical.  The
+   ranking itself comes from the [Ranking] cache — repaired from the
+   arcs the commits since the last call actually moved, instead of a
+   full O(m log m) re-sort — and [ht] is the heavy-tail table over all
+   m arcs, hoisted out of the loop (it depends only on (tau, m)). *)
+let pick_arc rng cfg ~rcache ~ht ctx problem =
   let n = Dtr_graph.Graph.arc_count problem.Problem.graph in
   if Prng.bool rng then Prng.int rng n
   else begin
     let ranking =
-      Neighborhood.rank_by_cost ~cmp:(Problem.ctx_arc_cmp_h problem ctx) n
+      Ranking.arcs ~reference:cfg.Search_config.reference_loops rcache ctx
+        ~cmp:(Problem.ctx_arc_cmp_h problem ctx) n
     in
-    let ht = Dist.heavy_tail ~tau:cfg.Search_config.tau ~n in
     ranking.(Dist.heavy_tail_sample ht rng - 1)
   end
 
-let run ?w0 ?iters ?on_progress ?(trace = Trace.disabled) rng cfg problem =
+let run ?w0 ?iters ?stop ?on_progress ?(trace = Trace.disabled) rng cfg problem
+    =
   Search_config.validate cfg;
   let iters = match iters with Some i -> i | None -> default_iters cfg in
   if iters < 1 then invalid_arg "Str_search.run: iters must be positive";
@@ -105,7 +115,12 @@ let run ?w0 ?iters ?on_progress ?(trace = Trace.disabled) rng cfg problem =
   let mid = (Weights.min_weight + Weights.max_weight) / 2 in
   let w0 =
     match w0 with
-    | Some w -> w
+    | Some w ->
+        (* Out-of-range warm-start weights used to slip through to the
+           candidate-value fill below and overflow [vals] (the
+           "current value" exclusion never fired); reject them here. *)
+        Weights.validate problem.Problem.graph w;
+        w
     | None -> Array.make (Dtr_graph.Graph.arc_count problem.Problem.graph) mid
   in
   let track_archive = problem.Problem.model = Objective.Load in
@@ -114,15 +129,14 @@ let run ?w0 ?iters ?on_progress ?(trace = Trace.disabled) rng cfg problem =
     if track_archive then begin
       let eval = sol.Problem.result.Objective.eval in
       archive :=
-        archive_insert !archive
-          {
-            phi_h = eval.Evaluate.phi_h;
-            phi_l = eval.Evaluate.phi_l;
-            w = sol.Problem.wh;
-          }
+        archive_insert !archive ~phi_h:eval.Evaluate.phi_h
+          ~phi_l:eval.Evaluate.phi_l
+          ~w:(fun () -> sol.Problem.wh)
     end
   in
-  Scan.with_engine ~jobs:cfg.Search_config.scan_jobs problem @@ fun scan ->
+  Scan.with_engine ~reference:cfg.Search_config.reference_loops
+    ~jobs:cfg.Search_config.scan_jobs problem
+  @@ fun scan ->
   (* Per-run memo of evaluated settings; scans consult it in candidate
      order, so hits (and the counters below) are jobs-invariant. *)
   let memo = Vmemo.create () in
@@ -171,13 +185,13 @@ let run ?w0 ?iters ?on_progress ?(trace = Trace.disabled) rng cfg problem =
      frequency decays as the robust best tightens.  [moved] skips
      candidates the iteration left in place (their J was priced when
      they were accepted). *)
-  let consider_best ~iteration ~moved =
+  let consider_best ~iteration ~moved ~count =
     match robust with
     | None ->
         if lex_lt (Problem.objective !current) (Problem.objective !best) then begin
           best := !current;
           best_j := Problem.objective !best;
-          incr improvements;
+          if count then incr improvements;
           stall := 0
         end
         else incr stall
@@ -192,7 +206,7 @@ let run ?w0 ?iters ?on_progress ?(trace = Trace.disabled) rng cfg problem =
           if improved then begin
             best := !current;
             best_j := rp.Problem.rp_objective;
-            incr improvements;
+            if count then incr improvements;
             stall := 0
           end
           else incr stall;
@@ -212,8 +226,20 @@ let run ?w0 ?iters ?on_progress ?(trace = Trace.disabled) rng cfg problem =
       in
       best_j := rp.Problem.rp_objective;
       tell_sweep ~iteration:0 ~normal ~rp ~accepted:true);
-  for iteration = 1 to iters do
-    let arc = pick_arc rng cfg ctx problem in
+  (* Loop-invariant tables: the rank sampler depends only on (tau, m)
+     and the ranking cache is repaired across commits — neither is
+     rebuilt per iteration. *)
+  let ht =
+    Dist.heavy_tail ~tau:cfg.Search_config.tau
+      ~n:(Dtr_graph.Graph.arc_count problem.Problem.graph)
+  in
+  let rcache = Ranking.create () in
+  let should_stop () = match stop with None -> false | Some f -> f () in
+  let iteration = ref 0 in
+  while !iteration < iters && not (!iteration > 0 && should_stop ()) do
+    incr iteration;
+    let iteration = !iteration in
+    let arc = pick_arc rng cfg ~rcache ~ht ctx problem in
     let before = Problem.objective !current in
     let prev = !current in
     let w = !current.Problem.wh in
@@ -235,11 +261,12 @@ let run ?w0 ?iters ?on_progress ?(trace = Trace.disabled) rng cfg problem =
     (if track_archive then
        Array.iteri
          (fun i (s : Scan.summary) ->
-           let w' = Array.copy w in
-           w'.(arc) <- vals.(i);
            archive :=
-             archive_insert !archive
-               { phi_h = s.Scan.phi_h; phi_l = s.Scan.phi_l; w = w' })
+             archive_insert !archive ~phi_h:s.Scan.phi_h ~phi_l:s.Scan.phi_l
+               ~w:(fun () ->
+                 let w' = Array.copy w in
+                 w'.(arc) <- vals.(i);
+                 w'))
          summaries);
     (* Replay the sequential argmin fold over the summaries (first
        strict improvement wins — identical tie-break). *)
@@ -254,7 +281,7 @@ let run ?w0 ?iters ?on_progress ?(trace = Trace.disabled) rng cfg problem =
        let s = summaries.(!best_i) in
        if lex_lt s.Scan.objective (Problem.objective !current) then
          current := Scan.commit scan ctx ~cls:`H ~changes:[ (arc, vals.(!best_i)) ]);
-    consider_best ~iteration ~moved:(not (prev == !current));
+    consider_best ~iteration ~moved:(not (prev == !current)) ~count:true;
     tell Trace.Str_scan ~iteration ~detail:arc ~before ~prev;
     if !stall >= cfg.Search_config.diversify_after then begin
       let before = Problem.objective !current in
@@ -266,6 +293,13 @@ let run ?w0 ?iters ?on_progress ?(trace = Trace.disabled) rng cfg problem =
       let prev = !current in
       current := Problem.commit_delta problem ctx d;
       observe !current;
+      (* A perturbation can land on a point better than the incumbent
+         best; it used to be silently dropped (lost if the next scan
+         moved away).  Offer it — uncounted, like Dtr_search's
+         inter-routine reconciliation — before resetting the stall.
+         When the perturbed point doesn't improve, only the stall
+         counter moves, and it is re-zeroed right after. *)
+      consider_best ~iteration ~moved:true ~count:false;
       stall := 0;
       tell Trace.Diversify ~iteration ~detail:(-1) ~before ~prev
     end;

@@ -43,6 +43,7 @@ val default_iters : Search_config.t -> int
 val run :
   ?w0:int array ->
   ?iters:int ->
+  ?stop:(unit -> bool) ->
   ?on_progress:(int -> Dtr_cost.Lexico.t -> unit) ->
   ?trace:Trace.t ->
   Dtr_util.Prng.t ->
@@ -50,10 +51,16 @@ val run :
   Problem.t ->
   report
 (** [w0] defaults to mid-range uniform weights; [iters] to
-    {!default_iters}.  With an enabled [trace], one [Str_scan] event is
-    recorded per iteration ([detail] = scanned arc) and one [Diversify]
-    event per perturbation ([detail] = -1); every field but the
-    timestamp is identical for every [scan_jobs] value. *)
+    {!default_iters}.  [stop], polled once per iteration, ends the run
+    early when it returns [true] (the wall-clock budget hook; at least
+    one iteration always runs, and a run that is never stopped is
+    bit-identical to one without the callback).  With an enabled
+    [trace], one [Str_scan] event is recorded per iteration ([detail] =
+    scanned arc) and one [Diversify] event per perturbation
+    ([detail] = -1); every field but the timestamp is identical for
+    every [scan_jobs] value.
+    @raise Invalid_argument on an out-of-range or wrong-length [w0]
+    ({!Dtr_routing.Weights.validate}). *)
 
 val relaxed_best : report -> epsilon:float -> archive_point option
 (** Best (lowest) [Φ_L] among archive points with

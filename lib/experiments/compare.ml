@@ -23,7 +23,7 @@ let ratio ~num ~den =
   else num /. den
 
 let run_point ?(cfg = Dtr_core.Search_config.default) ?(seed = 0)
-    ?(trace = Trace.disabled) inst ~model ~target_util =
+    ?(trace = Trace.disabled) ?stop ?w0 inst ~model ~target_util =
   let inst = Scenario.scale_to_utilization inst ~target:target_util in
   let problem = Scenario.problem inst ~model in
   let root = Prng.create (seed + (inst.Scenario.spec.Scenario.seed * 7919)) in
@@ -33,8 +33,9 @@ let run_point ?(cfg = Dtr_core.Search_config.default) ?(seed = 0)
      events [restart = 0] and DTR events [restart = 1]. *)
   let str_ring = if Trace.enabled trace then Trace.ring () else Trace.disabled in
   let dtr_ring = if Trace.enabled trace then Trace.ring () else Trace.disabled in
-  let str = Str_search.run ~trace:str_ring str_rng cfg problem in
-  let dtr = Dtr_search.run ~trace:dtr_ring dtr_rng cfg problem in
+  let str_w0 = Option.map fst w0 in
+  let str = Str_search.run ?w0:str_w0 ?stop ~trace:str_ring str_rng cfg problem in
+  let dtr = Dtr_search.run ?w0 ?stop ~trace:dtr_ring dtr_rng cfg problem in
   if Trace.enabled trace then begin
     Trace.replay str_ring ~into:trace ~restart:0;
     Trace.replay dtr_ring ~into:trace ~restart:1

@@ -19,17 +19,24 @@ val run_point :
   ?cfg:Dtr_core.Search_config.t ->
   ?seed:int ->
   ?trace:Dtr_core.Trace.t ->
+  ?stop:(unit -> bool) ->
+  ?w0:int array * int array ->
   Scenario.instance ->
   model:Dtr_routing.Objective.model ->
   target_util:float ->
   point
 (** Scale the instance to [target_util], then run both searches
     (independent PRNG streams derived from [seed], default 0).
+    [stop] (the wall-clock budget hook) is polled by both searches
+    once per iteration; [w0] warm-starts them — STR takes the first
+    vector, DTR the pair.
 
     With an enabled [trace], both searches record their events (each
     into a private ring, replayed afterwards so ordering never depends
     on scheduling): STR events carry [restart = 0], DTR events
-    [restart = 1]. *)
+    [restart = 1].
+    @raise Invalid_argument on an out-of-range or wrong-length vector
+    in [w0]. *)
 
 val sweep :
   ?cfg:Dtr_core.Search_config.t ->

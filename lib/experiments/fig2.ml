@@ -6,7 +6,7 @@ let default_targets = function
   | Scenario.Random_topo -> [ 0.35; 0.5; 0.6; 0.7; 0.8; 0.9 ]
   | Scenario.Power_law -> [ 0.4; 0.5; 0.6; 0.7; 0.8 ]
   | Scenario.Isp | Scenario.Waxman | Scenario.Transit_stub
-  | Scenario.Abilene ->
+  | Scenario.Abilene | Scenario.Large _ ->
       [ 0.4; 0.5; 0.6; 0.7; 0.8 ]
 
 let run ?cfg ?(seed = 11) ?targets ~topology ~model () =

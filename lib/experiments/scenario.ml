@@ -6,10 +6,19 @@ module Highpri = Dtr_traffic.Highpri
 module Random_topo = Dtr_topology.Random_topo
 module Power_law = Dtr_topology.Power_law
 module Isp = Dtr_topology.Isp
+module Large = Dtr_topology.Large
 module Evaluate = Dtr_routing.Evaluate
+module Eval_ctx = Dtr_routing.Eval_ctx
 module Weights = Dtr_routing.Weights
 
-type topology_kind = Random_topo | Power_law | Isp | Waxman | Transit_stub | Abilene
+type topology_kind =
+  | Random_topo
+  | Power_law
+  | Isp
+  | Waxman
+  | Transit_stub
+  | Abilene
+  | Large of Large.preset
 
 let topology_name = function
   | Random_topo -> "random"
@@ -18,6 +27,7 @@ let topology_name = function
   | Waxman -> "waxman"
   | Transit_stub -> "transit-stub"
   | Abilene -> "abilene"
+  | Large p -> p.Large.name
 
 type hp_model =
   | Random_density of float
@@ -49,8 +59,39 @@ let build_topology rng = function
   | Transit_stub ->
       Dtr_topology.Transit_stub.generate rng Dtr_topology.Transit_stub.default
   | Abilene -> Dtr_topology.Abilene.generate ()
+  | Large p -> Large.generate rng p
+
+(* Large presets: PoP-level gravity demand (sparse) with the high
+   class riding a density-[k] subset of the low-class pairs at
+   [fraction] of the pair's volume — the same f/k knobs as the dense
+   scenarios, applied to the sparse tier (mirrors Large_bench). *)
+let make_large spec p =
+  let density =
+    match spec.hp with
+    | Random_density k -> k
+    | Sinks _ ->
+        invalid_arg
+          "Scenario.make: sink placement is not supported on large presets \
+           (PoP demand pairs have no per-node client model); use \
+           Random_density"
+  in
+  let root = Prng.create spec.seed in
+  let topo_rng = Prng.split root in
+  let traffic_rng = Prng.split root in
+  let graph = Large.generate topo_rng p in
+  let n = Graph.node_count graph in
+  let pops = Large.pop_nodes graph p in
+  let tl = Gravity.generate_pop traffic_rng ~n ~pops Gravity.default in
+  let th = Matrix.create_sparse n in
+  Matrix.iter tl (fun s t v ->
+      if Prng.float traffic_rng 1.0 < density then
+        Matrix.set th s t (spec.fraction *. v));
+  { graph; th; tl; spec }
 
 let make spec =
+  match spec.topology with
+  | Large p -> make_large spec p
+  | _ ->
   let root = Prng.create spec.seed in
   let topo_rng = Prng.split root in
   let traffic_rng = Prng.split root in
@@ -79,10 +120,22 @@ let make spec =
 let reference_avg_utilization inst =
   let mid = (Weights.min_weight + Weights.max_weight) / 2 in
   let w = Array.make (Graph.arc_count inst.graph) mid in
-  let eval =
-    Evaluate.evaluate inst.graph ~wh:w ~wl:w ~th:inst.th ~tl:inst.tl
-  in
-  Evaluate.avg_utilization eval
+  match inst.spec.topology with
+  | Large _ ->
+      (* Demand-only context: DAGs for the ~30-100 PoP destinations
+         instead of all 1k-10k nodes — same utilizations, since
+         inactive destinations carry no demand. *)
+      let ctx =
+        Eval_ctx.create ~dest_mode:Eval_ctx.Demand inst.graph
+          ~weights:[| w; w |]
+          ~matrices:[| inst.th; inst.tl |]
+      in
+      Evaluate.avg_utilization (Eval_ctx.to_evaluate ctx)
+  | _ ->
+      let eval =
+        Evaluate.evaluate inst.graph ~wh:w ~wl:w ~th:inst.th ~tl:inst.tl
+      in
+      Evaluate.avg_utilization eval
 
 let scale_to_utilization inst ~target =
   if target <= 0. then invalid_arg "Scenario.scale_to_utilization: bad target";
@@ -95,4 +148,11 @@ let scale_to_utilization inst ~target =
   }
 
 let problem inst ~model =
-  Dtr_core.Problem.create ~graph:inst.graph ~th:inst.th ~tl:inst.tl ~model
+  let p = Dtr_core.Problem.create ~graph:inst.graph ~th:inst.th ~tl:inst.tl ~model in
+  match inst.spec.topology with
+  | Large _ ->
+      (* Searches on the large tier route only toward destinations
+         that sink demand; every matrix the problem evaluates is
+         covered because both classes came from the same PoP set. *)
+      { p with Dtr_core.Problem.dest_mode = Dtr_routing.Eval_ctx.Demand }
+  | _ -> p

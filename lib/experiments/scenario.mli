@@ -9,6 +9,13 @@ type topology_kind =
   | Waxman  (** 30-node geographic Waxman graph (extension) *)
   | Transit_stub  (** 28-node two-level transit-stub graph (extension) *)
   | Abilene  (** the 11-node Abilene research backbone (extension) *)
+  | Large of Dtr_topology.Large.preset
+      (** real-ISP-scale preset (1k-10k nodes): PoP-level gravity
+          demand, the high class a [Random_density]-probability subset
+          of the low-class pairs at [fraction] of each pair's volume;
+          {!problem} and {!reference_avg_utilization} switch to
+          demand-only destination DAGs.  [Sinks] placement is
+          rejected. *)
 
 val topology_name : topology_kind -> string
 
@@ -38,7 +45,9 @@ type instance = {
 val make : spec -> instance
 (** Generate topology and matrices from the seed (two independent
     PRNG streams, so the topology does not change when traffic
-    parameters do). *)
+    parameters do).
+    @raise Invalid_argument on a [Large] spec with [Sinks]
+    placement. *)
 
 val scale_to_utilization : instance -> target:float -> instance
 (** Scale both matrices by a common factor so that the average link

@@ -1,0 +1,233 @@
+(* Large-tier search benchmark: run the STR and DTR weight searches on
+   one {!Dtr_topology.Large} preset under a wall-clock budget and
+   report search-throughput figures — time to first accepted
+   improvement and iterations per second — next to the search outcome.
+
+   Everything except the timing columns (ttfi_s, elapsed_s,
+   iters_per_sec) is deterministic in (preset, seed, cfg, model) for a
+   run that is never stopped; under a budget the iteration counts
+   depend on the machine, which is the point of the bench.  The PRNG
+   derivation matches {!Compare.run_point} (root from
+   [seed + spec.seed * 7919], STR stream split first), so an unstopped
+   run reproduces the comparison's trajectories exactly. *)
+
+module Prng = Dtr_util.Prng
+module Lexico = Dtr_cost.Lexico
+module Graph = Dtr_graph.Graph
+module Large = Dtr_topology.Large
+module Problem = Dtr_core.Problem
+module Str_search = Dtr_core.Str_search
+module Dtr_search = Dtr_core.Dtr_search
+module Trace = Dtr_core.Trace
+
+let rel_tol = 1e-9
+
+type row = {
+  preset : string;
+  algo : string;
+  nodes : int;
+  arcs : int;
+  iterations : int;
+  improvements : int;
+  evaluations : int;
+  memo_hits : int;
+  memo_misses : int;
+  ttfi_s : float option;
+  elapsed_s : float;
+  iters_per_sec : float;
+  objective : Lexico.t;
+  stopped_early : bool;
+}
+
+let default_util = 0.6
+
+let spec ?(fraction = 0.30) ?(density = 0.10) ~seed p =
+  {
+    Scenario.topology = Scenario.Large p;
+    fraction;
+    hp = Scenario.Random_density density;
+    seed;
+  }
+
+(* Shared measurement scaffolding for one search run: iteration
+   counter, wall clock, budget-stop closure and first-improvement
+   detection against the starting objective. *)
+type meter = {
+  t0 : float;
+  iters : int ref;
+  ttfi : float option ref;
+  hit_budget : bool ref;
+  stop : (unit -> bool) option;
+  o0 : Lexico.t;
+}
+
+let meter ?time_budget o0 =
+  let t0 = Unix.gettimeofday () in
+  let hit_budget = ref false in
+  let stop =
+    match time_budget with
+    | None -> None
+    | Some b ->
+        Some
+          (fun () ->
+            let over = Unix.gettimeofday () -. t0 > b in
+            if over then hit_budget := true;
+            over)
+  in
+  { t0; iters = ref 0; ttfi = ref None; hit_budget; stop; o0 }
+
+let observe m best =
+  incr m.iters;
+  if !(m.ttfi) = None && Lexico.lt ~rel_tol best m.o0 then
+    m.ttfi := Some (Unix.gettimeofday () -. m.t0)
+
+let finish m p g ~algo ~iterations ~improvements ~evaluations ~memo_hits
+    ~memo_misses ~objective =
+  let elapsed = Unix.gettimeofday () -. m.t0 in
+  {
+    preset = p.Large.name;
+    algo;
+    nodes = Graph.node_count g;
+    arcs = Graph.arc_count g;
+    iterations;
+    improvements;
+    evaluations;
+    memo_hits;
+    memo_misses;
+    ttfi_s = !(m.ttfi);
+    elapsed_s = elapsed;
+    iters_per_sec =
+      (if elapsed > 0. then float_of_int iterations /. elapsed else 0.);
+    objective;
+    stopped_early = !(m.hit_budget);
+  }
+
+let run ?(cfg = Dtr_core.Search_config.quick) ?(seed = 1) ?time_budget
+    ?str_iters ?w0 ?fraction ?density ?(util = default_util)
+    ?(progress = fun _ -> ()) ?(trace = Trace.disabled) ~model p =
+  let spec = spec ?fraction ?density ~seed p in
+  progress
+    (Printf.sprintf "%s: generating topology + demand (%d nodes)..."
+       p.Large.name (Large.node_count p));
+  let inst = Scenario.make spec in
+  let inst = Scenario.scale_to_utilization inst ~target:util in
+  let problem = Scenario.problem inst ~model in
+  let g = inst.Scenario.graph in
+  (* Same derivation as Compare.run_point: unstopped trajectories are
+     identical to the comparison path's. *)
+  let root = Prng.create (seed + (inst.Scenario.spec.Scenario.seed * 7919)) in
+  let str_rng = Prng.split root in
+  let dtr_rng = Prng.split root in
+  let weight_rng = Prng.split root in
+  (* Default start: seeded random weights (as in Large_bench's probe
+     scenario), NOT the searches' mid-range uniform default — on the
+     full-mesh-core presets uniform weights shortest-hop-route every
+     PoP pair over its direct core link, which is already locally
+     optimal, so a mid start measures no time-to-first-improvement at
+     all. *)
+  let wh0, wl0 =
+    match w0 with
+    | Some (wh, wl) -> (wh, wl)
+    | None ->
+        ( Dtr_routing.Weights.random weight_rng g,
+          Dtr_routing.Weights.random weight_rng g )
+  in
+  let w0 = Some (wh0, wl0) in
+  (* Each search gets the full budget, measured from its own start. *)
+  progress (Printf.sprintf "%s: STR search..." p.Large.name);
+  let str_row =
+    let o0 = Problem.objective (Problem.eval_str problem ~w:wh0) in
+    let m = meter ?time_budget o0 in
+    let r =
+      Str_search.run ?w0:(Option.map fst w0) ?iters:str_iters ?stop:m.stop
+        ~on_progress:(fun _ best -> observe m best)
+        ~trace str_rng cfg problem
+    in
+    finish m p g ~algo:"str" ~iterations:!(m.iters)
+      ~improvements:r.Str_search.improvements
+      ~evaluations:r.Str_search.evaluations
+      ~memo_hits:r.Str_search.memo_hits ~memo_misses:r.Str_search.memo_misses
+      ~objective:r.Str_search.objective
+  in
+  progress
+    (Printf.sprintf "%s: STR done (%d iterations, %d improvements, %.1f s)"
+       p.Large.name str_row.iterations str_row.improvements str_row.elapsed_s);
+  progress (Printf.sprintf "%s: DTR search..." p.Large.name);
+  let dtr_row =
+    let o0 = Problem.objective (Problem.eval_dtr problem ~wh:wh0 ~wl:wl0) in
+    let m = meter ?time_budget o0 in
+    let r =
+      Dtr_search.run ?w0 ?stop:m.stop
+        ~on_progress:(fun pr -> observe m pr.Dtr_search.best_objective)
+        ~trace dtr_rng cfg problem
+    in
+    finish m p g ~algo:"dtr" ~iterations:!(m.iters)
+      ~improvements:r.Dtr_search.improvements
+      ~evaluations:r.Dtr_search.evaluations
+      ~memo_hits:r.Dtr_search.memo_hits ~memo_misses:r.Dtr_search.memo_misses
+      ~objective:r.Dtr_search.objective
+  in
+  progress
+    (Printf.sprintf "%s: DTR done (%d iterations, %d improvements, %.1f s)"
+       p.Large.name dtr_row.iterations dtr_row.improvements dtr_row.elapsed_s);
+  [ str_row; dtr_row ]
+
+let table rows =
+  let t =
+    Dtr_util.Table.create ~title:"large-tier search benchmark"
+      ~columns:
+        [
+          "preset"; "algo"; "nodes"; "arcs"; "iters"; "improved"; "evals";
+          "memo h/m"; "ttfi s"; "elapsed s"; "iters/s"; "objective";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Dtr_util.Table.add_row t
+        [
+          r.preset;
+          r.algo;
+          string_of_int r.nodes;
+          string_of_int r.arcs;
+          string_of_int r.iterations;
+          string_of_int r.improvements;
+          string_of_int r.evaluations;
+          Printf.sprintf "%d/%d" r.memo_hits r.memo_misses;
+          (match r.ttfi_s with
+          | Some s -> Printf.sprintf "%.2f" s
+          | None -> "-");
+          Printf.sprintf "%.1f" r.elapsed_s;
+          Printf.sprintf "%.1f" r.iters_per_sec;
+          Printf.sprintf "%.6g" r.objective.Lexico.primary;
+        ])
+    rows;
+  t
+
+let to_json ~seed rows =
+  let row_json r =
+    Printf.sprintf
+      "    { \"preset\": %S, \"algo\": %S, \"nodes\": %d, \"arcs\": %d,\n\
+      \      \"iterations\": %d, \"improvements\": %d, \"evaluations\": %d,\n\
+      \      \"memo_hits\": %d, \"memo_misses\": %d,\n\
+      \      \"ttfi_s\": %s, \"elapsed_s\": %.3f, \"iters_per_sec\": %.2f,\n\
+      \      \"objective_primary\": %.9g, \"objective_secondary\": %.9g,\n\
+      \      \"stopped_early\": %b }"
+      r.preset r.algo r.nodes r.arcs r.iterations r.improvements r.evaluations
+      r.memo_hits r.memo_misses
+      (match r.ttfi_s with
+      | Some s -> Printf.sprintf "%.3f" s
+      | None -> "null")
+      r.elapsed_s r.iters_per_sec r.objective.Lexico.primary
+      r.objective.Lexico.secondary r.stopped_early
+  in
+  Printf.sprintf
+    "{\n\
+    \  \"benchmark\": \"large-search\",\n\
+    \  \"manifest\": %s,\n\
+    \  \"seed\": %d,\n\
+    \  \"rows\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    (Large_bench.stamp ~seed) seed
+    (String.concat ",\n" (List.map row_json rows))

@@ -1,0 +1,75 @@
+(** Large-tier {e search} benchmark: STR and DTR weight searches on a
+    {!Dtr_topology.Large} preset under a wall-clock budget.
+
+    Where {!Large_bench} measures the evaluation plumbing (full-eval
+    time, probe latency), this measures the search loops themselves —
+    time to first accepted improvement and iterations per second at
+    1k-10k nodes — and is the source of [BENCH_search_large.json].
+
+    The scenario derivation and PRNG streams match
+    {!Compare.run_point}, so a budget-free run is deterministic in
+    (preset, seed, config, model) — only the timing columns are
+    machine-dependent.  Unlike the comparison path, the searches start
+    from seeded {e random} weights rather than the mid-range uniform
+    default: on the full-mesh-core presets the uniform start
+    shortest-hop-routes every PoP pair over its direct core link and
+    is already locally optimal, which would leave nothing for
+    time-to-first-improvement to measure. *)
+
+type row = {
+  preset : string;
+  algo : string;  (** ["str"] or ["dtr"] *)
+  nodes : int;
+  arcs : int;
+  iterations : int;  (** search iterations completed *)
+  improvements : int;  (** accepted strict improvements *)
+  evaluations : int;  (** objective evaluations spent *)
+  memo_hits : int;
+  memo_misses : int;
+  ttfi_s : float option;
+      (** wall-clock seconds to the first accepted improvement over
+          the starting objective; [None] if none was found *)
+  elapsed_s : float;
+  iters_per_sec : float;
+  objective : Dtr_cost.Lexico.t;
+  stopped_early : bool;  (** the wall-clock budget ended the run *)
+}
+
+val default_util : float
+(** Target average link utilization the demand is scaled to (0.6). *)
+
+val run :
+  ?cfg:Dtr_core.Search_config.t ->
+  ?seed:int ->
+  ?time_budget:float ->
+  ?str_iters:int ->
+  ?w0:int array * int array ->
+  ?fraction:float ->
+  ?density:float ->
+  ?util:float ->
+  ?progress:(string -> unit) ->
+  ?trace:Dtr_core.Trace.t ->
+  model:Dtr_routing.Objective.model ->
+  Dtr_topology.Large.preset ->
+  row list
+(** Build the preset's scenario (PoP gravity demand, demand-only
+    routing contexts), scale to [util], then run STR and DTR in
+    sequence — one {!row} each, in that order.  [time_budget] (seconds)
+    is granted to {e each} search separately, polled once per
+    iteration; [str_iters] caps the STR iteration count (default
+    {!Dtr_core.Str_search.default_iters}, which grows with the arc
+    count — cap it for budget-free deterministic runs); [w0]
+    warm-starts both (STR takes the first vector; default: seeded
+    random weights, see above).
+    [cfg] defaults to {!Dtr_core.Search_config.quick} — at this scale
+    the budget, not the iteration cap, is meant to end the run.
+    [progress] receives one line per phase (generation, each search's
+    start and finish).
+    @raise Invalid_argument on an out-of-range or wrong-length vector
+    in [w0]. *)
+
+val table : row list -> Dtr_util.Table.t
+
+val to_json : seed:int -> row list -> string
+(** The [BENCH_search_large.json] document: provenance stamp plus one
+    entry per row. *)

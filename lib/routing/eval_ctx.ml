@@ -267,6 +267,7 @@ type probe = {
   p_w : int array;
   p_dags : Spf.dag array;
   p_dirty : int list;
+  p_touched : int list;  (* arcs whose load contribution moved *)
   p_contrib : (int * int * float array) list;  (* class, dest, contribution *)
   p_loads : (int * float array) list;  (* class, full row *)
   p_capacity : (int * float array) list;
@@ -275,6 +276,8 @@ type probe = {
 }
 
 let probe_phi p = Array.copy p.p_phi
+
+let probe_touched p = p.p_touched
 
 (* Shared patch tail of {!probe} and {!fail_probe}: given re-projected
    per-destination contributions (tagged by class) and the arcs whose
@@ -423,6 +426,7 @@ let probe t ~klass ~changes =
     p_w = new_w;
     p_dags;
     p_dirty;
+    p_touched = touched_list;
     p_contrib;
     p_loads;
     p_capacity;
@@ -585,6 +589,11 @@ let graph t = t.graph
 let weights t k =
   if k < 0 || k >= class_count t then invalid_arg "Eval_ctx.weights: class out of range";
   Array.copy t.group_w.(t.class_group.(k))
+
+let weights_view t k =
+  if k < 0 || k >= class_count t then
+    invalid_arg "Eval_ctx.weights_view: class out of range";
+  t.group_w.(t.class_group.(k))
 
 let dags t k =
   if k < 0 || k >= class_count t then invalid_arg "Eval_ctx.dags: class out of range";

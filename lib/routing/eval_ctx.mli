@@ -80,6 +80,13 @@ val probe_phi : probe -> float array
 (** The candidate's per-class objective vector [Φ_k] (fresh copy),
     comparable with {!Multi.compare_objective}. *)
 
+val probe_touched : probe -> int list
+(** Arcs whose load contribution the probe moved (unordered, no
+    duplicates).  A committed probe changes per-arc quantities — loads,
+    residual capacities, Fortz costs — at exactly these indices, which
+    is what lets callers repair sorted-by-cost arc rankings
+    incrementally instead of re-sorting all arcs. *)
+
 val commit : t -> probe -> unit
 (** Install a probe.  Only probes taken from the current state may be
     committed; committing advances the state.
@@ -140,6 +147,13 @@ val phi : t -> float array
 
 val weights : t -> int -> int array
 (** Current weight vector of a class (fresh copy). *)
+
+val weights_view : t -> int -> int array
+(** Current weight vector of a class, {e without} copying.  The array
+    is the live committed vector: commits replace it, so a held view
+    stays valid as a snapshot, but callers must never mutate it.  For
+    hot paths (per-scan hashing) where {!weights}'s copy is the cost
+    being avoided. *)
 
 val dags : t -> int -> Dtr_graph.Spf.dag array
 (** Current per-destination DAGs of a class (shared; treat as

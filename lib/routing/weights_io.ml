@@ -35,12 +35,28 @@ let of_string s =
                   error := Some (Printf.sprintf "line %d: bad header" (lineno + 1)))
           | "w" :: arc :: values -> (
               match (int_of_string_opt arc, List.map int_of_string_opt values) with
-              | Some arc, values when List.for_all Option.is_some values ->
+              | Some arc, values when List.for_all Option.is_some values -> (
+                  let values = List.map Option.get values in
                   if Hashtbl.mem rows arc then
                     error :=
                       Some (Printf.sprintf "line %d: duplicate arc %d" (lineno + 1) arc)
                   else
-                    Hashtbl.add rows arc (List.map Option.get values)
+                    (* Range-check here, where the offending line is
+                       known — a vector accepted by the parser must be
+                       directly usable as a search starting point. *)
+                    match
+                      List.find_opt
+                        (fun v -> v < Weights.min_weight || v > Weights.max_weight)
+                        values
+                    with
+                    | Some v ->
+                        error :=
+                          Some
+                            (Printf.sprintf
+                               "line %d: weight %d out of range [%d, %d]"
+                               (lineno + 1) v Weights.min_weight
+                               Weights.max_weight)
+                    | None -> Hashtbl.add rows arc values)
               | _ -> error := Some (Printf.sprintf "line %d: bad weights" (lineno + 1)))
           | _ ->
               error := Some (Printf.sprintf "line %d: unknown directive" (lineno + 1))

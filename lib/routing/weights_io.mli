@@ -15,6 +15,11 @@ val to_string : int array array -> string
     mismatched lengths. *)
 
 val of_string : string -> (int array array, string) result
+(** Parses and validates: every weight must lie in
+    [[Weights.min_weight, Weights.max_weight]], every arc id in
+    [[0, m)] exactly once, every row carrying [t] values.  Errors are
+    prefixed ["line N:"] when attributable to one line, so a rejected
+    file points at the offending row. *)
 
 val save : int array array -> string -> unit
 (** @raise Sys_error on I/O failure, [Invalid_argument] as

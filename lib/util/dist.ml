@@ -32,6 +32,8 @@ let heavy_tail_mass d k =
     invalid_arg "Dist.heavy_tail_mass: rank out of range";
   d.pmf.(k - 1)
 
+let heavy_tail_size d = Array.length d.pmf
+
 let weighted_choice g w =
   let n = Array.length w in
   if n = 0 then invalid_arg "Dist.weighted_choice: empty weights";

@@ -21,6 +21,11 @@ val heavy_tail_mass : heavy_tail -> int -> float
 (** [heavy_tail_mass d k] is [P(k)]; ranks are 1-based.
     @raise Invalid_argument if [k] is out of range. *)
 
+val heavy_tail_size : heavy_tail -> int
+(** The [n] the sampler was built for.  The tables are deterministic
+    in [(tau, n)], so hot loops precompute them once and assert the
+    size at the point of use. *)
+
 val weighted_choice : Prng.t -> float array -> int
 (** [weighted_choice g w] draws index [i] with probability proportional
     to [w.(i)].  All weights must be non-negative with positive sum.

@@ -564,6 +564,63 @@ let test_mtr_no_worse_than_single_topology () =
       (fun a b -> a <= b +. 1e-6)
       mtr.Mtr_search.objective str.Mtr_search.objective)
 
+(* ------------------------------------------------------------------ *)
+(* Warm-start validation.  Every search validates a caller-supplied w0
+   at entry, so an out-of-range weight is an immediate
+   Invalid_argument instead of a crash (or silent corruption) deep
+   inside the first scan — the former failure mode was an overflow in
+   the candidate-value tables once an over-max weight reached them. *)
+
+let out_of_bounds = Invalid_argument "Weights.validate: weight out of bounds"
+let length_mismatch = Invalid_argument "Weights.validate: length mismatch"
+
+let check_rejects label exn f = Alcotest.check_raises label exn f
+
+let test_str_rejects_bad_w0 () =
+  let p = ring_problem () in
+  let m = Graph.arc_count p.Problem.graph in
+  let over = Array.make m (Weights.max_weight + 1) in
+  check_rejects "over max" out_of_bounds (fun () ->
+      ignore (Str_search.run ~w0:over (Prng.create 40) tiny_config p));
+  check_rejects "short vector" length_mismatch (fun () ->
+      ignore (Str_search.run ~w0:(Array.make (m - 1) 1) (Prng.create 40)
+                tiny_config p))
+
+let test_dtr_rejects_bad_w0 () =
+  let p = ring_problem () in
+  let m = Graph.arc_count p.Problem.graph in
+  check_rejects "zero weight in wl" out_of_bounds (fun () ->
+      ignore
+        (Dtr_search.run ~w0:(Array.make m 1, Array.make m 0) (Prng.create 41)
+           tiny_config p));
+  check_rejects "short wh" length_mismatch (fun () ->
+      ignore
+        (Dtr_search.run ~w0:(Array.make (m - 1) 1, Array.make m 1)
+           (Prng.create 41) tiny_config p))
+
+let test_mtr_rejects_bad_w0 () =
+  let problem = three_class_problem () in
+  let m = Graph.arc_count problem.Mtr_search.graph in
+  let good = Array.make m 1 in
+  let bad = Array.make m (Weights.max_weight + 1) in
+  check_rejects "bad class vector" out_of_bounds (fun () ->
+      ignore
+        (Mtr_search.run ~w0:[| good; bad; good |] (Prng.create 42) tiny_config
+           problem));
+  check_rejects "single topology" out_of_bounds (fun () ->
+      ignore
+        (Mtr_search.run_single_topology ~w0:bad (Prng.create 42) tiny_config
+           problem))
+
+let test_anneal_rejects_bad_w0 () =
+  let p = ring_problem () in
+  let m = Graph.arc_count p.Problem.graph in
+  check_rejects "over max in wh" out_of_bounds (fun () ->
+      ignore
+        (Anneal_search.run ~schedule:fast_schedule
+           ~w0:(Array.make m (Weights.max_weight + 1), Array.make m 1)
+           (Prng.create 43) tiny_config p))
+
 let () =
   Alcotest.run "dtr_core"
     [
@@ -650,5 +707,13 @@ let () =
             test_mtr_single_topology_shares_vector;
           Alcotest.test_case "MTR no worse than single topology" `Slow
             test_mtr_no_worse_than_single_topology;
+        ] );
+      ( "w0-validation",
+        [
+          Alcotest.test_case "STR rejects bad w0" `Quick test_str_rejects_bad_w0;
+          Alcotest.test_case "DTR rejects bad w0" `Quick test_dtr_rejects_bad_w0;
+          Alcotest.test_case "MTR rejects bad w0" `Quick test_mtr_rejects_bad_w0;
+          Alcotest.test_case "anneal rejects bad w0" `Quick
+            test_anneal_rejects_bad_w0;
         ] );
     ]

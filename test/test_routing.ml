@@ -747,6 +747,38 @@ let test_weights_io_errors () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected arity error"
 
+(* Rejection corpus: every malformed input must fail with an error
+   that names the offending line, so a bad --init-weights file points
+   the user at the exact row to fix. *)
+let check_rejected label src expected =
+  match Weights_io.of_string src with
+  | Ok _ -> Alcotest.failf "%s: expected rejection" label
+  | Error e -> Alcotest.(check string) label expected e
+
+let test_weights_io_rejects_out_of_range () =
+  check_rejected "weight too large" "arcs 2 topologies 1\nw 0 5\nw 1 31\n"
+    "line 3: weight 31 out of range [1, 30]";
+  check_rejected "weight zero" "arcs 1 topologies 2\nw 0 0 7\n"
+    "line 2: weight 0 out of range [1, 30]";
+  check_rejected "negative weight" "arcs 1 topologies 1\nw 0 -3\n"
+    "line 2: weight -3 out of range [1, 30]"
+
+let test_weights_io_rejects_duplicate_arc () =
+  check_rejected "duplicate arc" "arcs 2 topologies 1\nw 0 5\nw 0 6\n"
+    "line 3: duplicate arc 0"
+
+let test_weights_io_rejects_short_row () =
+  check_rejected "short row" "arcs 1 topologies 2\nw 0 5\n"
+    "arc 0: expected 2 weights"
+
+let test_weights_io_rejects_junk () =
+  check_rejected "junk header" "arcs two topologies 1\nw 0 5\n"
+    "line 1: bad header";
+  check_rejected "junk value" "arcs 1 topologies 1\nw 0 five\n"
+    "line 2: bad weights";
+  check_rejected "junk directive" "arcs 1 topologies 1\nweight 0 5\n"
+    "line 2: unknown directive"
+
 let test_weights_io_rejects_mismatch () =
   Alcotest.check_raises "length mismatch"
     (Invalid_argument "Weights_io.to_string: length mismatch") (fun () ->
@@ -916,6 +948,13 @@ let () =
             test_weights_io_single_topology;
           Alcotest.test_case "comments" `Quick test_weights_io_comments;
           Alcotest.test_case "errors" `Quick test_weights_io_errors;
+          Alcotest.test_case "rejects out-of-range" `Quick
+            test_weights_io_rejects_out_of_range;
+          Alcotest.test_case "rejects duplicate arc" `Quick
+            test_weights_io_rejects_duplicate_arc;
+          Alcotest.test_case "rejects short row" `Quick
+            test_weights_io_rejects_short_row;
+          Alcotest.test_case "rejects junk" `Quick test_weights_io_rejects_junk;
           Alcotest.test_case "rejects mismatch" `Quick
             test_weights_io_rejects_mismatch;
           Alcotest.test_case "file roundtrip" `Quick
