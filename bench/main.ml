@@ -27,6 +27,7 @@
      dune exec bench/main.exe -- --micro      # micro-benchmarks only
      dune exec bench/main.exe -- --experiments  # experiments only
      dune exec bench/main.exe -- --large        # 1k-10k-node tier only
+     dune exec bench/main.exe -- --report --json # report/attribution only
      dune exec bench/main.exe -- --micro --json # also write BENCH_eval.json
      dune exec bench/main.exe -- --large --json # also write BENCH_large.json
      dune exec bench/main.exe -- --only fig2a --only fig9
@@ -47,7 +48,7 @@ module Scenario = Dtr_experiments.Scenario
 (* ------------------------------------------------------------------ *)
 (* Command line *)
 
-type mode = Both | Micro_only | Experiments_only | Large_only
+type mode = Both | Micro_only | Experiments_only | Large_only | Report_only
 
 let mode = ref Both
 
@@ -75,6 +76,9 @@ let parse_args () =
         go rest
     | "--large" :: rest ->
         mode := Large_only;
+        go rest
+    | "--report" :: rest ->
+        mode := Report_only;
         go rest
     | "--preset" :: p :: rest ->
         (preset :=
@@ -785,6 +789,124 @@ let run_metrics_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Report generation + attribution: time folding a real JSONL trace
+   into the aggregated report (load / markdown / json), and the full
+   per-arc flow attribution of a committed context.  Attribution only
+   re-reads the contribution rows the context already stores, so
+   attributing every arc must stay within a few context rebuilds —
+   the guard fails the bench if it drifts past that, which would mean
+   the explain path started recomputing flows. *)
+
+let run_report_bench () =
+  Gc.compact ();
+  let module Trace = Dtr_core.Trace in
+  let module Dtr_search = Dtr_core.Dtr_search in
+  let module Report_gen = Dtr_core.Report_gen in
+  let module Eval_ctx = Dtr_routing.Eval_ctx in
+  let module Attribution = Dtr_routing.Attribution in
+  (* Same 50-node random topology as the delta-vs-full bench. *)
+  let root = Prng.create !seed in
+  let topo_rng = Prng.split root in
+  let traffic_rng = Prng.split root in
+  let g =
+    Dtr_topology.Random_topo.generate topo_rng
+      { Dtr_topology.Random_topo.default with nodes = 50; links = 250 }
+  in
+  let n = Graph.node_count g in
+  let tl = Dtr_traffic.Gravity.generate traffic_rng ~n Dtr_traffic.Gravity.default in
+  let pairs = Dtr_traffic.Highpri.random_pairs traffic_rng ~n ~density:0.10 in
+  let th = Dtr_traffic.Highpri.volumes traffic_rng ~low:tl ~fraction:0.30 ~pairs in
+  let problem = Problem.create ~graph:g ~th ~tl ~model:Objective.Load in
+  (* One probe-level trace of a quick DTR run, written as JSONL. *)
+  let trace_path = Filename.temp_file "dtr_bench_trace" ".jsonl" in
+  let oc = open_out trace_path in
+  let sink = Trace.jsonl ~timestamps:false oc in
+  let cfg = { Search_config.quick with n_iters = 60; k_iters = 120 } in
+  ignore (Dtr_search.run ~trace:sink (Prng.create !seed) cfg problem);
+  close_out oc;
+  let reps = 7 in
+  let sample f = median (Array.init reps (fun _ -> time_per_call f ~batch:1)) in
+  let rep =
+    match Report_gen.load trace_path with
+    | Ok r -> r
+    | Error e -> failwith ("report bench: " ^ e)
+  in
+  let events = List.length (Report_gen.events rep) in
+  let load_ns =
+    sample (fun () ->
+        match Report_gen.load trace_path with
+        | Ok r -> ignore (Sys.opaque_identity r)
+        | Error e -> failwith e)
+  in
+  let markdown_ns =
+    sample (fun () -> ignore (Sys.opaque_identity (Report_gen.to_markdown rep)))
+  in
+  let json_ns =
+    sample (fun () -> ignore (Sys.opaque_identity (Report_gen.to_json rep)))
+  in
+  Sys.remove trace_path;
+  (* Attribution: every arc of a committed two-class context. *)
+  let wh = Weights.uniform g 15 and wl = Weights.uniform g 14 in
+  let matrices = [| th; tl |] in
+  let create () = Eval_ctx.create g ~weights:[| wh; wl |] ~matrices in
+  let ctx = create () in
+  let m = Graph.arc_count g in
+  let create_ns = sample (fun () -> ignore (Sys.opaque_identity (create ()))) in
+  let attr_ns =
+    sample (fun () ->
+        for k = 0 to Eval_ctx.class_count ctx - 1 do
+          for arc = 0 to m - 1 do
+            ignore (Sys.opaque_identity (Attribution.by_destination ctx ~klass:k ~arc))
+          done
+        done)
+  in
+  let hottest_ns =
+    sample (fun () ->
+        ignore (Sys.opaque_identity (Attribution.hottest_table ~top:10 ctx)))
+  in
+  Printf.printf
+    "=== report generation + attribution (%d nodes, %d arcs, %d trace events) \
+     ===\n"
+    n m events;
+  Printf.printf "%-36s %14.1f ns/call (median of %d)\n" "report-load" load_ns
+    reps;
+  Printf.printf "%-36s %14.1f ns/call\n" "report-markdown" markdown_ns;
+  Printf.printf "%-36s %14.1f ns/call\n" "report-json" json_ns;
+  Printf.printf "%-36s %14.1f ns/call\n" "eval-ctx-create" create_ns;
+  Printf.printf "%-36s %14.1f ns/call (all %d arcs, both classes)\n"
+    "attribution-by-destination" attr_ns m;
+  Printf.printf "%-36s %14.1f ns/call\n\n%!" "attribution-hottest-table"
+    hottest_ns;
+  (* Attribution reads committed rows; recomputation would cost many
+     context builds.  Generous factor for measurement noise. *)
+  if create_ns > 0. && attr_ns > create_ns *. 5. then
+    failwith "attribution slower than 5 context rebuilds: guard broken";
+  if !json then begin
+    let oc = open_out "BENCH_report.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"benchmark\": \"report-attribution\",\n\
+      \  \"manifest\": %s,\n\
+      \  \"topology\": { \"nodes\": %d, \"arcs\": %d },\n\
+      \  \"seed\": %d,\n\
+      \  \"reps\": %d,\n\
+      \  \"trace_events\": %d,\n\
+      \  \"report_load_ns_median\": %.1f,\n\
+      \  \"report_markdown_ns_median\": %.1f,\n\
+      \  \"report_json_ns_median\": %.1f,\n\
+      \  \"eval_ctx_create_ns_median\": %.1f,\n\
+      \  \"attribution_all_arcs_ns_median\": %.1f,\n\
+      \  \"attribution_hottest_ns_median\": %.1f,\n\
+      \  \"attribution_vs_create_ratio\": %.3f\n\
+       }\n"
+      (Meta.json ~seed:!seed) n m !seed reps events load_ns markdown_ns json_ns
+      create_ns attr_ns hottest_ns
+      (if create_ns > 0. then attr_ns /. create_ns else 0.);
+    close_out oc;
+    Printf.printf "wrote BENCH_report.json\n\n%!"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Large-topology tier: the 1k-10k-node presets through demand-only
    evaluation contexts (Dtr_experiments.Large_bench); [--json] writes
    BENCH_large.json with one row per preset: full-eval time, probe
@@ -817,6 +939,7 @@ let () =
       run_parallel_bench ();
       run_trace_bench ();
       run_metrics_bench ();
+      run_report_bench ();
       run_micro ()
   | Micro_only ->
       run_eval_bench ();
@@ -825,7 +948,9 @@ let () =
       run_parallel_bench ();
       run_trace_bench ();
       run_metrics_bench ();
+      run_report_bench ();
       run_micro ()
   | Experiments_only -> run_experiments ()
-  | Large_only -> run_large_bench ());
+  | Large_only -> run_large_bench ()
+  | Report_only -> run_report_bench ());
   print_endline "bench: done"

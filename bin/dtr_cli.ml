@@ -6,6 +6,9 @@
      experiment  regenerate a paper figure/table (or all of them)
      simulate    packet-level replay of an optimized scenario
      mtospf      flood a weight pair through the MT-OSPF control plane
+     inspect     print (and explain) the network state of a setting
+     diff        churn report between two weight settings
+     report      fold a JSONL trace into one aggregated run report
      gen         generate a 1k-10k-node topology preset + PoP demand
      bench       run the large-topology benchmark tier *)
 
@@ -154,6 +157,89 @@ let scan_jobs_arg =
 let with_scan_jobs preset scan_jobs =
   { preset with Dtr_core.Search_config.scan_jobs }
 
+let trace_sample_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "trace-sample" ] ~docv:"N"
+        ~doc:
+          "Keep every N-th probe event in the trace (counter-based per \
+           search run, so a sampled trace is still byte-identical for \
+           every --jobs and --scan-jobs value).  Probes dominate trace \
+           volume; non-probe events always pass.  Default: every probe \
+           on the quick/default/paper presets; on a large preset \
+           probes are off entirely unless this flag is given.")
+
+let with_trace_sample preset = function
+  | None -> preset
+  | Some n -> { preset with Dtr_core.Search_config.trace_sample = n }
+
+(* Machine-readable rendering of the report tables: title, columns and
+   rows verbatim.  OCaml's %S escaping is JSON-compatible for the
+   ASCII cell content the tables produce. *)
+let tables_json tables =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"tables\": [";
+  List.iteri
+    (fun i t ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf "{\"title\": %S, \"columns\": [%s], \"rows\": ["
+           (Dtr_util.Table.title t)
+           (String.concat ", "
+              (List.map (Printf.sprintf "%S") (Dtr_util.Table.columns t))));
+      List.iteri
+        (fun j row ->
+          if j > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b
+            (Printf.sprintf "[%s]"
+               (String.concat ", " (List.map (Printf.sprintf "%S") row))))
+        (Dtr_util.Table.rows t);
+      Buffer.add_string b "]}")
+    tables;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
+let write_file path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc s)
+
+(* An arc given on the command line: a bare arc id, or SRC-DST /
+   SRC->DST endpoints (first matching arc wins). *)
+let parse_arc_spec g spec =
+  let m = Dtr_graph.Graph.arc_count g in
+  let find_endpoints src dst =
+    let found = ref None in
+    for a = m - 1 downto 0 do
+      let arc = Dtr_graph.Graph.arc g a in
+      if arc.Dtr_graph.Graph.src = src && arc.Dtr_graph.Graph.dst = dst then
+        found := Some a
+    done;
+    match !found with
+    | Some a -> a
+    | None -> failwith (Printf.sprintf "no arc %d->%d in this topology" src dst)
+  in
+  match int_of_string_opt spec with
+  | Some a ->
+      if a < 0 || a >= m then
+        failwith (Printf.sprintf "arc id %d out of range (0..%d)" a (m - 1));
+      a
+  | None -> (
+      match
+        try Some (Scanf.sscanf spec "%d->%d%!" (fun s d -> (s, d)))
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> (
+          try Some (Scanf.sscanf spec "%d-%d%!" (fun s d -> (s, d)))
+          with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)
+      with
+      | Some (s, d) -> find_endpoints s d
+      | None ->
+          failwith
+            (Printf.sprintf
+               "bad link spec %S (expected an arc id, SRC-DST or SRC->DST)"
+               spec))
+
 let robust_arg =
   let mode_conv =
     let parse s =
@@ -284,14 +370,25 @@ let topo_cmd =
    --scan-jobs values; progress and the timing table go to stderr. *)
 let optimize_large p ~model ~fraction ~density ~util ~seed ~restarts
     ~scan_jobs ~robust ~alpha ~top_k ~time_budget ~search_iters ~init_weights
-    ~save_weights =
+    ~save_weights ~trace_file ~trace_no_time ~trace_sample =
   let module Search_bench = Dtr_experiments.Search_bench in
+  let module Trace = Dtr_core.Trace in
   if restarts > 1 then
     failwith "--restarts > 1 is not supported on large presets";
   if save_weights <> None then
     failwith "--save-weights is not supported on large presets";
   let cfg = with_scan_jobs Dtr_core.Search_config.quick scan_jobs in
   let cfg = with_robust cfg robust ~alpha ~top_k in
+  (* Large-tier traces with per-probe events run to multi-GB files;
+     probes default off here and --trace-sample N opts back in (at one
+     probe in N). *)
+  let cfg =
+    {
+      cfg with
+      Dtr_core.Search_config.trace_probes = trace_sample <> None;
+      trace_sample = (match trace_sample with Some n -> n | None -> 1);
+    }
+  in
   let cfg, str_iters =
     match search_iters with
     | None -> (cfg, None)
@@ -305,12 +402,28 @@ let optimize_large p ~model ~fraction ~density ~util ~seed ~restarts
     p.Dtr_topology.Large.name
     (Objective.model_name model)
     (fraction *. 100.) (density *. 100.) util;
+  let trace_oc = Option.map open_out trace_file in
+  let trace =
+    match trace_oc with
+    | Some oc -> Trace.jsonl ~timestamps:(not trace_no_time) oc
+    | None -> Trace.disabled
+  in
   let rows =
     Search_bench.run ~cfg ~seed ?time_budget ?str_iters ?w0 ~fraction ~density
       ~util
       ~progress:(fun s -> Printf.eprintf "%s\n%!" s)
-      ~model p
+      ~trace ~model p
   in
+  (match trace_file with
+  | None -> ()
+  | Some path ->
+      Option.iter close_out trace_oc;
+      Dtr_core.Manifest.write
+        ~path:(path ^ ".manifest.json")
+        (Dtr_core.Manifest.to_json ~seed ~restarts
+           ~model:(Objective.model_name model)
+           ~topology:p.Dtr_topology.Large.name ~config:cfg ());
+      Printf.printf "trace written to %s\n" path);
   List.iter
     (fun (r : Search_bench.row) ->
       Printf.printf
@@ -330,17 +443,18 @@ let optimize_large p ~model ~fraction ~density ~util ~seed ~restarts
 let optimize_cmd =
   let run topology model fraction density util preset seed restarts jobs
       scan_jobs robust alpha top_k time_budget search_iters init_weights
-      save_weights trace_file trace_no_time metrics_file =
+      save_weights trace_file trace_no_time metrics_file trace_sample =
     match preset with
     | `Large p ->
         optimize_large p ~model ~fraction ~density ~util ~seed ~restarts
           ~scan_jobs ~robust ~alpha ~top_k ~time_budget ~search_iters
-          ~init_weights ~save_weights
+          ~init_weights ~save_weights ~trace_file ~trace_no_time ~trace_sample
     | `Budget preset ->
     let module Trace = Dtr_core.Trace in
     let module Metrics = Dtr_util.Metrics in
     let preset = with_scan_jobs preset scan_jobs in
     let preset = with_robust preset robust ~alpha ~top_k in
+    let preset = with_trace_sample preset trace_sample in
     let w0 = load_init_weights init_weights in
     let t_start = Unix.gettimeofday () in
     let stop =
@@ -631,7 +745,7 @@ let optimize_cmd =
       $ util_arg $ opt_preset_arg $ seed_arg $ restarts_arg $ jobs_arg
       $ scan_jobs_arg $ robust_arg $ alpha_arg $ top_k_arg $ time_budget_arg
       $ search_iters_arg $ init_weights_arg $ save_arg $ trace_arg
-      $ trace_no_time_arg $ metrics_arg)
+      $ trace_no_time_arg $ metrics_arg $ trace_sample_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                         *)
@@ -776,8 +890,9 @@ let mtospf_cmd =
 
 let inspect_cmd =
   let run topology model fraction density util preset seed top scan_jobs
-      weights_file =
+      weights_file explain explain_top json_out =
     let module Report = Dtr_routing.Report in
+    let module Attribution = Dtr_routing.Attribution in
     let preset = with_scan_jobs preset scan_jobs in
     let spec = make_spec topology fraction density seed in
     let inst = Scenario.make spec in
@@ -814,14 +929,16 @@ let inspect_cmd =
     in
     let eval = result.Dtr_routing.Objective.eval in
     let sla = result.Dtr_routing.Objective.sla in
-    print_endline
-      (Dtr_util.Table.to_string (Report.summary_table ?sla eval));
-    print_endline
-      (Dtr_util.Table.to_string (Report.utilization_percentiles_table eval));
-    print_endline
-      (Dtr_util.Table.to_string (Report.per_link_table ~top eval));
-    print_endline
-      (Dtr_util.Table.to_string (Report.top_phi_table ~top eval));
+    (* Every printed table is also collected for --json. *)
+    let shown = ref [] in
+    let show t =
+      shown := t :: !shown;
+      print_endline (Dtr_util.Table.to_string t)
+    in
+    show (Report.summary_table ?sla eval);
+    show (Report.utilization_percentiles_table eval);
+    show (Report.per_link_table ~top eval);
+    show (Report.top_phi_table ~top eval);
     (* Single-link robustness of the inspected setting: one delta
        sweep against a live context. *)
     let ctx =
@@ -829,11 +946,10 @@ let inspect_cmd =
         ~matrices:[| inst.Scenario.th; inst.Scenario.tl |]
     in
     let outcomes = Dtr_routing.Failure_sweep.sweep ~model ~th:inst.Scenario.th ctx in
-    print_endline
-      (Dtr_util.Table.to_string
-         (Report.robustness_table
-            ~baseline:result.Dtr_routing.Objective.objective outcomes));
-    match (model, sla) with
+    show
+      (Report.robustness_table
+         ~baseline:result.Dtr_routing.Objective.objective outcomes);
+    (match (model, sla) with
     | Objective.Sla params, Some sla ->
         let node_name =
           match topology with
@@ -843,10 +959,30 @@ let inspect_cmd =
           | Scenario.Transit_stub | Scenario.Large _ ->
               string_of_int
         in
-        print_endline
-          (Dtr_util.Table.to_string
-             (Report.per_pair_delay_table ~top ~node_name sla params))
-    | _ -> ()
+        show (Report.per_pair_delay_table ~top ~node_name sla params)
+    | _ -> ());
+    (* Flow attribution: which destinations/pairs put the load on one
+       link, and the hottest links with their dominant flows. *)
+    (match explain with
+    | None -> ()
+    | Some spec ->
+        let arc = parse_arc_spec inst.Scenario.graph spec in
+        show (Attribution.destinations_table ~top ctx ~arc);
+        show (Attribution.explain_table ~top ctx ~arc));
+    (match explain_top with
+    | None -> ()
+    | Some k -> show (Attribution.hottest_table ~top:k ctx));
+    match json_out with
+    | None -> ()
+    | Some path ->
+        write_file path (tables_json (List.rev !shown));
+        Dtr_core.Manifest.write
+          ~path:(path ^ ".manifest.json")
+          (Dtr_core.Manifest.to_json ~seed
+             ~model:(Objective.model_name model)
+             ~topology:(Scenario.topology_name topology)
+             ~config:preset ~graph:inst.Scenario.graph ());
+        Printf.printf "inspect tables written to %s (+.manifest.json)\n" path
   in
   let top_arg =
     Arg.(
@@ -863,16 +999,254 @@ let inspect_cmd =
             "Inspect this saved weight setting (1 topology = STR, 2 = \
              DTR) on the scenario instead of optimizing one.")
   in
+  let explain_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "explain" ] ~docv:"LINK"
+          ~doc:
+            "Explain one link's load: its top contributing destinations \
+             (exact committed subtotals) and OD pairs (exact ECMP \
+             shares) per class.  LINK is an arc id, SRC-DST or \
+             SRC->DST.")
+  in
+  let explain_top_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "explain-top" ] ~docv:"K"
+          ~doc:
+            "Show the K costliest links by total Fortz cost with each \
+             class's dominant OD pair.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write every printed table (titles, columns, rows) to \
+             FILE as JSON, with a FILE.manifest.json provenance \
+             record.")
+  in
   Cmd.v
     (Cmd.info "inspect"
        ~doc:
          "Print the network state of a weight setting: summary, \
           utilization percentiles, per-link and costliest-link tables, \
-          per-pair SLA margins")
+          per-pair SLA margins, per-link flow attribution")
     Term.(
       const run $ topology_arg $ model_arg $ fraction_arg $ density_arg
       $ util_arg $ preset_arg $ seed_arg $ top_arg $ scan_jobs_arg
-      $ weights_arg)
+      $ weights_arg $ explain_arg $ explain_top_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* diff                                                               *)
+
+(* A saved weight file as a (wh, wl) pair: one topology seeds both
+   classes (STR), two are W_H and W_L (DTR). *)
+let load_weight_pair path =
+  match Dtr_routing.Weights_io.load path with
+  | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)
+  | Ok [| w |] -> (w, w)
+  | Ok [| wh; wl |] -> (wh, wl)
+  | Ok sets ->
+      failwith
+        (Printf.sprintf "%s: expected 1 or 2 weight topologies, found %d" path
+           (Array.length sets))
+
+let diff_cmd =
+  let run topology model fraction density util seed jobs top weights json_out
+      =
+    let module Diff = Dtr_routing.Diff in
+    let path_a, path_b =
+      match weights with
+      | [ a; b ] -> (a, b)
+      | _ -> failwith "pass exactly two --weights FILEs (before and after)"
+    in
+    let spec = make_spec topology fraction density seed in
+    let inst = Scenario.make spec in
+    let inst = Scenario.scale_to_utilization inst ~target:util in
+    let g = inst.Scenario.graph in
+    let matrices = [| inst.Scenario.th; inst.Scenario.tl |] in
+    let wha, wla = load_weight_pair path_a in
+    let whb, wlb = load_weight_pair path_b in
+    let ctx_a = Dtr_routing.Eval_ctx.create g ~weights:[| wha; wla |] ~matrices in
+    let ctx_b = Dtr_routing.Eval_ctx.create g ~weights:[| whb; wlb |] ~matrices in
+    let sla =
+      match model with
+      | Objective.Sla params -> Some (params, inst.Scenario.th)
+      | Objective.Load -> None
+    in
+    let d = Diff.compute ~jobs ?sla ctx_a ctx_b in
+    let reconv = Diff.reconvergence ctx_a ctx_b in
+    print_endline (Dtr_util.Table.to_string (Diff.summary_table d));
+    if Diff.is_empty d then print_endline "no difference: the settings route identically\n"
+    else print_endline (Dtr_util.Table.to_string (Diff.changed_arcs_table ~top ctx_a d));
+    print_endline (Dtr_util.Table.to_string (Diff.reconvergence_table reconv));
+    match json_out with
+    | None -> ()
+    | Some path ->
+        write_file path (Diff.to_json ~reconv d);
+        Dtr_core.Manifest.write
+          ~path:(path ^ ".manifest.json")
+          (Dtr_core.Manifest.to_json ~seed
+             ~model:(Objective.model_name model)
+             ~topology:(Scenario.topology_name topology)
+             ~graph:g ());
+        Printf.printf "diff written to %s (+.manifest.json)\n" path
+  in
+  let weights_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "weights" ] ~docv:"FILE"
+          ~doc:
+            "Weight setting to compare; give the option twice (before, \
+             then after).  Each FILE holds 1 (STR) or 2 (DTR) \
+             topologies.")
+  in
+  let top_arg =
+    Arg.(
+      value
+      & opt int 20
+      & info [ "top" ] ~docv:"N" ~doc:"Rows of the per-arc diff table.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the diff (churn numbers, deltas, reconvergence \
+             price) to FILE as JSON, with a FILE.manifest.json \
+             provenance record.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two weight settings of one scenario: changed arcs, \
+          per-class rerouted pairs and demand, traffic moved, \
+          utilization/$(b,\\\\Phi)$/$(b,\\\\Lambda) deltas, and the MT-OSPF \
+          reconvergence price of deploying the change as one batch")
+    Term.(
+      const run $ topology_arg $ model_arg $ fraction_arg $ density_arg
+      $ util_arg $ seed_arg $ jobs_arg $ top_arg $ weights_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* report                                                             *)
+
+let report_cmd =
+  let run trace metrics manifest out weights topology model fraction density
+      util seed top =
+    let module Report_gen = Dtr_core.Report_gen in
+    let module Report = Dtr_routing.Report in
+    match Report_gen.load ?metrics ?manifest trace with
+    | Error e -> failwith e
+    | Ok r ->
+        (* Optional final-state section: re-evaluate a saved weight
+           setting on the scenario and append the inspect summary. *)
+        let final_tables =
+          match weights with
+          | None -> []
+          | Some path ->
+              let spec = make_spec topology fraction density seed in
+              let inst = Scenario.make spec in
+              let inst = Scenario.scale_to_utilization inst ~target:util in
+              let wh, wl = load_weight_pair path in
+              let result =
+                Objective.evaluate model inst.Scenario.graph ~wh ~wl
+                  ~th:inst.Scenario.th ~tl:inst.Scenario.tl
+              in
+              let eval = result.Dtr_routing.Objective.eval in
+              [
+                Report.summary_table ?sla:result.Dtr_routing.Objective.sla eval;
+                Report.top_phi_table ~top eval;
+              ]
+        in
+        let markdown () =
+          let b = Buffer.create 4096 in
+          Buffer.add_string b (Report_gen.to_markdown r);
+          if final_tables <> [] then begin
+            Buffer.add_string b "## Final state\n\n";
+            List.iter
+              (fun t ->
+                Buffer.add_string b "```\n";
+                Buffer.add_string b (Dtr_util.Table.to_string t);
+                Buffer.add_string b "```\n\n")
+              final_tables
+          end;
+          Buffer.contents b
+        in
+        (match out with
+        | None -> print_string (markdown ())
+        | Some path ->
+            if Filename.check_suffix path ".json" then
+              write_file path (Report_gen.to_json r)
+            else write_file path (markdown ());
+            Printf.printf "report written to %s\n" path)
+  in
+  let trace_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"JSONL trace file (optimize --trace).")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Metrics snapshot (optimize --metrics FILE writes \
+             FILE.json) — adds the profiler-span table.")
+  in
+  let manifest_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "manifest" ] ~docv:"FILE"
+          ~doc:
+            "Manifest sidecar to embed verbatim as the provenance \
+             section.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the report to FILE: Markdown, or JSON when FILE \
+             ends in .json.  Default: Markdown on stdout.")
+  in
+  let weights_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "weights" ] ~docv:"FILE"
+          ~doc:
+            "Append a final-state section (inspect summary and \
+             costliest links) by evaluating this saved weight setting \
+             on the scenario given by --topology and friends.")
+  in
+  let top_arg =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Rows of the final-state costliest-links table.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Fold a JSONL search trace (plus optional metrics snapshot and \
+          manifest) into one self-contained run report: convergence, \
+          acceptance/diversification/memo rates by phase, wall-clock \
+          per phase, restart outcomes")
+    Term.(
+      const run $ trace_arg $ metrics_arg $ manifest_arg $ out_arg
+      $ weights_arg $ topology_arg $ model_arg $ fraction_arg $ density_arg
+      $ util_arg $ seed_arg $ top_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gen                                                                *)
@@ -1087,7 +1461,7 @@ let main_cmd =
   in
   Cmd.group info
     [ topo_cmd; optimize_cmd; experiment_cmd; simulate_cmd; mtospf_cmd;
-      inspect_cmd; gen_cmd; bench_cmd; version_cmd ]
+      inspect_cmd; diff_cmd; report_cmd; gen_cmd; bench_cmd; version_cmd ]
 
 (* Exit codes: 0 success, 1 runtime failure (bad input file, invalid
    scenario, I/O error — one line on stderr), 2 usage error (Cmdliner

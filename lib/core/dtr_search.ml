@@ -159,7 +159,9 @@ let run ?w0 ?stop ?on_progress ?(trace = Trace.disabled) rng cfg problem =
   Search_config.validate cfg;
   let eval0, full0, delta0 = Problem.domain_eval_counts () in
   let probe_trace =
-    if cfg.Search_config.trace_probes then trace else Trace.disabled
+    if cfg.Search_config.trace_probes then
+      Trace.sample cfg.Search_config.trace_sample trace
+    else Trace.disabled
   in
   let improvements = ref 0 in
   let wh0, wl0 = match w0 with Some w -> w | None -> default_w0 problem in

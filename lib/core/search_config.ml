@@ -18,6 +18,7 @@ type t = {
   seed_split : int;
   scan_jobs : int;
   trace_probes : bool;
+  trace_sample : int;
   robust : robust option;
   reference_loops : bool;
 }
@@ -37,6 +38,7 @@ let paper =
     seed_split = 0;
     scan_jobs = 1;
     trace_probes = true;
+    trace_sample = 1;
     robust = None;
     reference_loops = false;
   }
@@ -85,6 +87,8 @@ let validate t =
   if t.max_step < 1 then invalid_arg "Search_config: max_step must be positive";
   frac "scan_probability" t.scan_probability;
   if t.scan_jobs < 1 then invalid_arg "Search_config: scan_jobs must be positive";
+  if t.trace_sample < 1 then
+    invalid_arg "Search_config: trace_sample must be positive";
   match t.robust with
   | None -> ()
   | Some r ->

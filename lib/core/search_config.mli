@@ -49,6 +49,13 @@ type t = {
           roughly [m_neighbors] (or 29, on a value scan) events per
           iteration — so long runs may want them off.  Ignored (zero
           cost) when tracing is disabled.  Default [true]. *)
+  trace_sample : int;
+      (** probe decimation period: when probes are traced, keep every
+          [trace_sample]-th one per search run ({!Trace.sample} — the
+          counter advances per probe offered, so the kept set is
+          jobs-invariant).  [1] keeps every probe, byte-identical to a
+          build without the sampler (CLI [--trace-sample]).
+          Default [1]. *)
   robust : robust option;
       (** when set, the searches pick their incumbent best by the
           robust objective [J = normal + alpha * penalty(single-link

@@ -110,7 +110,9 @@ let run ?w0 ?iters ?stop ?on_progress ?(trace = Trace.disabled) rng cfg problem
   if iters < 1 then invalid_arg "Str_search.run: iters must be positive";
   let eval0, full0, delta0 = Problem.domain_eval_counts () in
   let probe_trace =
-    if cfg.Search_config.trace_probes then trace else Trace.disabled
+    if cfg.Search_config.trace_probes then
+      Trace.sample cfg.Search_config.trace_sample trace
+    else Trace.disabled
   in
   let mid = (Weights.min_weight + Weights.max_weight) / 2 in
   let w0 =

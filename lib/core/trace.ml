@@ -24,6 +24,19 @@ let kind_name = function
   | Restart_done -> "restart_done"
   | Robust_sweep -> "robust_sweep"
 
+let kind_of_name = function
+  | "str_scan" -> Some Str_scan
+  | "find_h" -> Some Find_h
+  | "find_l" -> Some Find_l
+  | "mtr_pass" -> Some Mtr_pass
+  | "anneal_step" -> Some Anneal_step
+  | "probe" -> Some Probe
+  | "diversify" -> Some Diversify
+  | "phase_done" -> Some Phase_done
+  | "restart_done" -> Some Restart_done
+  | "robust_sweep" -> Some Robust_sweep
+  | _ -> None
+
 type event = {
   seq : int;
   restart : int;
@@ -57,6 +70,14 @@ type sink =
   | Ring of ring_state
   | Jsonl of out_channel
   | Tee of t * t
+  | Sample of sample_state
+
+(* Counter-based probe decimation: the counter advances once per Probe
+   event offered, whether or not the event is kept, so which probes
+   survive is a pure function of the probe stream (jobs-invariant —
+   probes are already re-emitted in candidate order on the calling
+   domain). *)
+and sample_state = { every : int; inner : t; mutable seen : int }
 
 and t = {
   sink : sink;
@@ -93,6 +114,12 @@ let rec enabled t =
   | Null -> false
   | Ring _ | Jsonl _ -> true
   | Tee (a, b) -> enabled a || enabled b
+  | Sample s -> enabled s.inner
+
+let sample n t =
+  if n < 1 then invalid_arg "Trace.sample: period must be positive";
+  if n = 1 || not (enabled t) then t
+  else make (Sample { every = n; inner = t; seen = 0 })
 
 (* Forced-monotone elapsed time: wall clocks can step backwards (NTP),
    and the schema promises a monotone timing field. *)
@@ -122,6 +149,56 @@ let to_json (e : event) =
     (array_str e.before) (array_str e.after) (array_str e.best) e.evaluations
     e.full_evals e.delta_evals e.memo_hits e.memo_misses (float_str e.value)
     (float_str e.time_us)
+
+exception Bad_field of string
+
+let of_json line =
+  let module J = Dtr_util.Json in
+  match J.parse line with
+  | Error e -> Error e
+  | Ok j -> (
+      let get name conv =
+        match Option.bind (J.member name j) conv with
+        | Some x -> x
+        | None -> raise (Bad_field name)
+      in
+      let farr name =
+        get name (fun v ->
+            match J.to_list v with
+            | None -> None
+            | Some l ->
+                let rec go acc = function
+                  | [] -> Some (Array.of_list (List.rev acc))
+                  | x :: tl -> (
+                      match J.to_float x with
+                      | Some f -> go (f :: acc) tl
+                      | None -> None)
+                in
+                go [] l)
+      in
+      try
+        Ok
+          {
+            seq = get "seq" J.to_int;
+            restart = get "restart" J.to_int;
+            kind =
+              get "kind" (fun v -> Option.bind (J.to_string v) kind_of_name);
+            iteration = get "iter" J.to_int;
+            detail = get "detail" J.to_int;
+            accepted = get "accepted" J.to_bool;
+            before = farr "before";
+            after = farr "after";
+            best = farr "best";
+            evaluations = get "evals" J.to_int;
+            full_evals = get "full" J.to_int;
+            delta_evals = get "delta" J.to_int;
+            memo_hits = get "memo_hits" J.to_int;
+            memo_misses = get "memo_misses" J.to_int;
+            value = get "value" J.to_float;
+            time_us = get "t_us" J.to_float;
+          }
+      with Bad_field name ->
+        Error (Printf.sprintf "Trace.of_json: bad or missing field %S" name))
 
 let ring_push r (e : event) =
   if r.len < r.cap then begin
@@ -163,6 +240,13 @@ let rec record t (e : event) =
   | Tee (a, b) ->
       record a e;
       record b e
+  | Sample s -> (
+      match e.kind with
+      | Probe ->
+          let keep = s.seen mod s.every = 0 in
+          s.seen <- s.seen + 1;
+          if keep then record s.inner e
+      | _ -> record s.inner e)
 
 let emit t ~kind ?(restart = -1) ~iteration ?(detail = -1) ?(accepted = false)
     ?(before = [||]) ?(after = [||]) ?(best = [||]) ?(evaluations = 0)
@@ -191,9 +275,10 @@ let emit t ~kind ?(restart = -1) ~iteration ?(detail = -1) ?(accepted = false)
           time_us = now t;
         }
 
-let length t = t.count
+let rec length t =
+  match t.sink with Sample s -> length s.inner | _ -> t.count
 
-let events t =
+let rec events t =
   match t.sink with
   | Ring r ->
       let get i =
@@ -203,6 +288,7 @@ let events t =
       in
       (* Before saturation head = 0 and the modulo is the identity. *)
       List.init r.len get
+  | Sample s -> events s.inner
   | Null | Jsonl _ | Tee _ -> []
 
 let replay t ~into ~restart =

@@ -42,6 +42,9 @@ type kind =
 
 val kind_name : kind -> string
 
+val kind_of_name : string -> kind option
+(** Inverse of {!kind_name}; [None] on unknown names. *)
+
 type event = {
   seq : int;  (** per-sink sequence number, assigned at emission *)
   restart : int;  (** multi-start restart index; [-1] outside one *)
@@ -95,6 +98,19 @@ val tee : t -> t -> t
 (** Emit into both sinks (each assigns its own [seq]/[time_us]).
     [enabled] iff either side is. *)
 
+val sample : int -> t -> t
+(** [sample n t] decimates the {e probe} stream: every [n]-th [Probe]
+    event offered (the first, the [n+1]-th, ...) reaches [t]; every
+    other event kind always passes through.  The decision is
+    counter-based — the counter advances once per probe offered,
+    kept or not — so which probes survive is a pure function of the
+    probe stream and the sampled trace stays byte-identical for every
+    [jobs × scan-jobs] combination.  [sample 1 t] and sampling a
+    disabled sink return [t] itself (no wrapper, byte-identical
+    output).  [seq] numbers are assigned by [t], so a sampled JSONL
+    trace has consecutive sequence numbers.
+    @raise Invalid_argument on [n < 1]. *)
+
 val emit :
   t ->
   kind:kind ->
@@ -140,6 +156,12 @@ val to_json : event -> string
 (** One-line JSON encoding, fixed field order, floats printed with
     ["%.17g"] (exact round-trip).  [t_us] is the last field so trace
     diffs can normalize it with a single regex. *)
+
+val of_json : string -> (event, string) result
+(** Parse one {!to_json} line back into an event (extra fields are
+    ignored; field order is free).  Floats round-trip bit-exactly
+    (["%.17g"] ↔ [float_of_string]).  Errors name the offending field
+    or carry the JSON parser's message. *)
 
 val convergence : event list -> (int * float array) list
 (** Best-so-far convergence curve: [(cumulative evaluations,

@@ -142,6 +142,32 @@ let set_weight t ~topology ~arc ~weight =
   originate t (Graph.arc t.graph arc).Graph.src;
   flood t
 
+(* Batch reconfiguration: one maintenance window applying a whole
+   weight diff.  Every router with at least one changed outgoing arc
+   re-originates exactly once (its LSA carries all of its changes),
+   then a single flood disseminates the batch — the realistic
+   reconvergence price of a multi-arc weight change, as opposed to
+   flooding after every single change. *)
+let apply_changes t changes =
+  List.iter
+    (fun (topology, arc, weight) ->
+      check_arc t arc;
+      check_topology t topology;
+      check_weight weight;
+      if not t.alive.(arc) then
+        invalid_arg "Mtospf.apply_changes: arc is down")
+    changes;
+  List.iter
+    (fun (topology, arc, weight) ->
+      t.weights.(topology).(arc) <- Some weight)
+    changes;
+  let routers =
+    List.sort_uniq compare
+      (List.map (fun (_, arc, _) -> (Graph.arc t.graph arc).Graph.src) changes)
+  in
+  List.iter (originate t) routers;
+  flood t
+
 let exclude_arc t ~topology ~arc =
   check_arc t arc;
   check_topology t topology;

@@ -37,6 +37,18 @@ val set_weight : t -> topology:int -> arc:int -> weight:int -> flood_stats
     is flooded.  Returns the flooding cost.
     @raise Invalid_argument on bad indices/bounds or a failed arc. *)
 
+val apply_changes : t -> (int * int * int) list -> flood_stats
+(** [apply_changes t [(topology, arc, weight); ...]] installs a whole
+    batch of weight changes as one maintenance window: every router
+    owning at least one changed arc re-originates {e once} (its new
+    LSA carries all of its changes) and a single flood disseminates
+    the batch.  Returns the flooding cost — the MT-OSPF reconvergence
+    price of deploying a multi-arc weight diff, cheaper than the sum
+    of per-change {!set_weight} refloods.  The empty list floods
+    nothing and returns zero stats.
+    @raise Invalid_argument on bad indices/bounds or a failed arc
+    (nothing is applied in that case). *)
+
 val exclude_arc : t -> topology:int -> arc:int -> flood_stats
 (** Remove an arc from one topology only (MT-OSPF per-topology
     exclusion); it keeps carrying other topologies. *)

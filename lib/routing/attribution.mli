@@ -1,0 +1,75 @@
+(** Flow attribution: invert an evaluation context's per-destination
+    load contributions into "why is this link loaded?" answers.
+
+    {!Eval_ctx} already stores, for every class and destination, the
+    exact per-arc load contribution row its committed totals are summed
+    from.  This module reads those rows back out — {e exact}, not
+    sampled — as per-link attributions:
+
+    - {b by destination}: the contribution of each destination's flow
+      tree to one arc is literally the committed row entry, so summing
+      the reported rows in ascending destination order reproduces the
+      context's link load {e bitwise} ({!link_load});
+    - {b by OD pair}: each destination's contribution is split over its
+      sources by a backward ECMP-fraction pass over the shortest-path
+      DAG — [frac(v)] is the expected fraction of one unit injected at
+      [v] that crosses the arc, so a pair's share is
+      [demand(s,t) * frac(s)].  Pair shares are mathematically exact
+      (they re-associate the same even splits), but summing them
+      associates differently from the committed row, so they reconcile
+      to the link load within floating-point tolerance rather than
+      bitwise.
+
+    Demand-only contexts are handled for free: demandless destinations
+    carry empty rows and are skipped. *)
+
+type dest_entry = {
+  de_dst : int;  (** destination node *)
+  de_load : float;  (** this destination's contribution to the arc *)
+}
+
+type pair_entry = {
+  pe_src : int;
+  pe_dst : int;
+  pe_demand : float;  (** the pair's total demand *)
+  pe_load : float;  (** the share of it crossing the arc *)
+}
+
+val link_load : Eval_ctx.t -> klass:int -> arc:int -> float
+(** The class's load on the arc, re-summed from the per-destination
+    contribution rows in ascending destination order — bitwise equal
+    to [(Eval_ctx.loads t klass).(arc)] by construction.
+    @raise Invalid_argument on a class or arc out of range. *)
+
+val by_destination :
+  Eval_ctx.t -> klass:int -> arc:int -> dest_entry array
+(** All destinations contributing nonzero load to the arc, sorted by
+    decreasing contribution (ties: ascending destination id).
+    @raise Invalid_argument on a class or arc out of range. *)
+
+val by_pair : Eval_ctx.t -> klass:int -> arc:int -> pair_entry array
+(** All OD pairs contributing nonzero load to the arc, sorted by
+    decreasing contribution (ties: ascending source, then
+    destination).  Exact ECMP shares via the backward-fraction pass.
+    @raise Invalid_argument on a class or arc out of range. *)
+
+val class_label : Eval_ctx.t -> int -> string
+(** ["H"]/["L"] for two-class contexts, ["class k"] otherwise. *)
+
+val explain_table : ?top:int -> Eval_ctx.t -> arc:int -> Dtr_util.Table.t
+(** Per-class top contributing OD pairs of one arc, with each pair's
+    demand, the share of it crossing the arc, and its share of the
+    class's link load.  [top] limits the rows {e per class}
+    (default 10). *)
+
+val destinations_table :
+  ?top:int -> Eval_ctx.t -> arc:int -> Dtr_util.Table.t
+(** Per-class top contributing destinations of one arc (the exact
+    committed subtotals {!link_load} re-sums bitwise). *)
+
+val hottest_table :
+  ?top:int -> Eval_ctx.t -> Dtr_util.Table.t
+(** The costliest links by total Fortz cost [Σ_k Φ_k,l] with, for each
+    class, the dominant OD pair crossing the link — the
+    [inspect --explain-top] view.  [top] limits the row count
+    (default 10). *)

@@ -608,6 +608,25 @@ let phi_per_arc t k =
     invalid_arg "Eval_ctx.phi_per_arc: class out of range";
   t.phi_per_arc.(k)
 
+let check_class_dst t name k dst =
+  if k < 0 || k >= class_count t then
+    invalid_arg (Printf.sprintf "Eval_ctx.%s: class out of range" name);
+  if dst < 0 || dst >= Graph.node_count t.graph then
+    invalid_arg (Printf.sprintf "Eval_ctx.%s: destination out of range" name)
+
+let contrib_view t ~klass ~dst =
+  check_class_dst t "contrib_view" klass dst;
+  t.contrib.(klass).(dst)
+
+let demand_view t ~klass ~dst =
+  check_class_dst t "demand_view" klass dst;
+  t.demand.(klass).(dst)
+
+let capacity_seen_view t k =
+  if k < 0 || k >= class_count t then
+    invalid_arg "Eval_ctx.capacity_seen_view: class out of range";
+  t.capacity_seen.(k)
+
 let probes t = t.probes
 
 let commits t = t.commits

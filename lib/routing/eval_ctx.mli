@@ -169,6 +169,28 @@ val phi_per_arc : t -> int -> float array
     arcs from the live context instead of re-deriving link costs from
     a solution. *)
 
+val contrib_view : t -> klass:int -> dst:int -> float array
+(** One destination's committed per-arc load contribution for a class
+    — the exact row {!loads} sums in ascending-destination order (so
+    re-summing the rows reproduces the totals {e bitwise}).  [[||]]
+    when the destination has no routable positive demand in that
+    class.  Shared, not copied: commits replace rows, never mutate
+    them, so a held view is a stable snapshot.  This is the raw
+    material of {!Attribution}.
+    @raise Invalid_argument on a class or destination out of range. *)
+
+val demand_view : t -> klass:int -> dst:int -> float array
+(** One destination's per-source demand column for a class ([[||]]
+    mirrors {!contrib_view}; fixed for the context's lifetime —
+    reachability is weight-independent).  Shared; never mutate.
+    @raise Invalid_argument on a class or destination out of range. *)
+
+val capacity_seen_view : t -> int -> float array
+(** Per-arc capacity a class is charged against (class 0: the physical
+    capacities; class [k]: the residual cascade after class [k-1]).
+    Shared; commits replace the row.
+    @raise Invalid_argument on a class out of range. *)
+
 val shares_group : t -> int -> int -> bool
 (** Whether two classes share (alias) one weight vector. *)
 

@@ -1,0 +1,36 @@
+(** Minimal JSON reader for the repo's own artifacts (trace JSONL
+    lines, metrics snapshots, manifests).  No external dependency; no
+    writer — every artifact writer in the repo already emits its own
+    fixed-format JSON.
+
+    Numbers are parsed with [float_of_string], so the ["%.17g"] floats
+    the writers emit round-trip bit-exactly.  Strings support the
+    standard JSON escapes, including [u]-escapes (decoded to UTF-8,
+    surrogate pairs handled). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON document (surrounding whitespace allowed; trailing
+    garbage is an error).  Errors carry a character offset. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj] (first match); [None] otherwise. *)
+
+val to_float : t -> float option
+(** [Num]s only. *)
+
+val to_int : t -> int option
+(** [Num]s representing integers ([Float.is_integer]). *)
+
+val to_string : t -> string option
+
+val to_bool : t -> bool option
+
+val to_list : t -> t list option
